@@ -1,0 +1,44 @@
+#ifndef DOEM_BENCH_BENCH_COMMON_H_
+#define DOEM_BENCH_BENCH_COMMON_H_
+
+#include <cassert>
+#include <map>
+#include <tuple>
+
+#include "doem/doem.h"
+#include "testing/generators.h"
+
+namespace doem {
+namespace bench {
+
+/// A prepared workload: a synthetic guide database of a given size, a
+/// history over it, and the resulting DOEM database. Cached per
+/// parameter tuple so repeated benchmark registrations don't rebuild it.
+struct Workload {
+  OemDatabase base;
+  OemHistory history;
+  DoemDatabase doem;
+};
+
+inline const Workload& GuideWorkload(size_t restaurants, size_t steps,
+                                     size_t ops_per_step) {
+  using Key = std::tuple<size_t, size_t, size_t>;
+  static auto* cache = new std::map<Key, Workload>();
+  Key key{restaurants, steps, ops_per_step};
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    Workload w;
+    w.base = testing::SyntheticGuide(restaurants);
+    w.history = testing::SyntheticGuideHistory(w.base, steps, ops_per_step);
+    auto d = DoemDatabase::Build(w.base, w.history);
+    assert(d.ok());
+    w.doem = std::move(d).value();
+    it = cache->emplace(key, std::move(w)).first;
+  }
+  return it->second;
+}
+
+}  // namespace bench
+}  // namespace doem
+
+#endif  // DOEM_BENCH_BENCH_COMMON_H_

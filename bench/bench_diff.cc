@@ -1,0 +1,102 @@
+// E7: OEMdiff cost — keyed vs. structural differencing as a function of
+// snapshot size and change volume. Structural matching is the expensive
+// CRGMW96-style step the paper's QSS pays when the wrapper has no
+// persistent ids.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "diff/diff.h"
+#include "oem/subgraph.h"
+
+namespace doem {
+namespace {
+
+struct DiffInput {
+  OemDatabase from;
+  OemDatabase to_keyed;       // shared ids
+  OemDatabase to_structural;  // fresh ids
+};
+
+const DiffInput& MakeInput(size_t restaurants, size_t edit_steps) {
+  static auto* cache = new std::map<std::pair<size_t, size_t>, DiffInput>();
+  auto key = std::make_pair(restaurants, edit_steps);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    DiffInput in;
+    in.from = testing::SyntheticGuide(restaurants);
+    in.to_keyed = in.from;
+    OemHistory h =
+        testing::SyntheticGuideHistory(in.from, edit_steps, 10);
+    Status s = h.ApplyTo(&in.to_keyed);
+    assert(s.ok());
+    (void)s;
+    in.to_structural.ReserveIdsBelow(in.to_keyed.PeekNextId() + 1000);
+    auto map = CopyReachable(in.to_keyed, {in.to_keyed.root()},
+                             &in.to_structural, false);
+    assert(map.ok());
+    Status rs = in.to_structural.SetRoot(map->at(in.to_keyed.root()));
+    assert(rs.ok());
+    (void)rs;
+    it = cache->emplace(key, std::move(in)).first;
+  }
+  return it->second;
+}
+
+void BM_KeyedDiff(benchmark::State& state) {
+  const DiffInput& in = MakeInput(static_cast<size_t>(state.range(0)),
+                                  static_cast<size_t>(state.range(1)));
+  size_t ops = 0;
+  for (auto _ : state) {
+    auto u = DiffSnapshots(in.from, in.to_keyed, DiffMode::kKeyed);
+    ops = u.ok() ? u->size() : 0;
+    benchmark::DoNotOptimize(u.ok());
+  }
+  state.counters["ops"] = static_cast<double>(ops);
+  state.counters["from_nodes"] = static_cast<double>(in.from.node_count());
+}
+BENCHMARK(BM_KeyedDiff)
+    ->ArgsProduct({{100, 500, 2000, 8000}, {2, 20}})
+    ->ArgNames({"restaurants", "edit_steps"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StructuralDiff(benchmark::State& state) {
+  const DiffInput& in = MakeInput(static_cast<size_t>(state.range(0)),
+                                  static_cast<size_t>(state.range(1)));
+  size_t ops = 0;
+  for (auto _ : state) {
+    auto u = DiffSnapshots(in.from, in.to_structural,
+                           DiffMode::kStructural);
+    ops = u.ok() ? u->size() : 0;
+    benchmark::DoNotOptimize(u.ok());
+  }
+  state.counters["ops"] = static_cast<double>(ops);
+}
+BENCHMARK(BM_StructuralDiff)
+    ->ArgsProduct({{100, 500, 2000}, {2, 20}})
+    ->ArgNames({"restaurants", "edit_steps"})
+    ->Unit(benchmark::kMillisecond);
+
+// The no-change fast path both modes hit at most polls.
+void BM_DiffNoChanges(benchmark::State& state) {
+  const DiffInput& in = MakeInput(static_cast<size_t>(state.range(0)), 2);
+  DiffMode mode =
+      state.range(1) == 0 ? DiffMode::kKeyed : DiffMode::kStructural;
+  const OemDatabase& to =
+      mode == DiffMode::kKeyed ? in.from : in.to_structural;
+  // For structural, diff the structural copy against itself-equivalent.
+  const OemDatabase& from = mode == DiffMode::kKeyed ? in.from : to;
+  for (auto _ : state) {
+    auto u = DiffSnapshots(from, to, mode);
+    benchmark::DoNotOptimize(u.ok());
+  }
+}
+BENCHMARK(BM_DiffNoChanges)
+    ->ArgsProduct({{500, 2000}, {0, 1}})
+    ->ArgNames({"restaurants", "structural"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace doem
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// E4: the Section 5.1 DOEM-in-OEM encoding — encode/decode throughput and
+// the size blow-up of representing annotations as &-labeled subobjects.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "encoding/encode.h"
+
+namespace doem {
+namespace {
+
+void BM_Encode(benchmark::State& state) {
+  const auto& w = bench::GuideWorkload(
+      static_cast<size_t>(state.range(0)),
+      static_cast<size_t>(state.range(1)), 10);
+  size_t enc_nodes = 0, enc_arcs = 0;
+  for (auto _ : state) {
+    auto enc = EncodeDoem(w.doem);
+    enc_nodes = enc->node_count();
+    enc_arcs = enc->arc_count();
+    benchmark::DoNotOptimize(enc.ok());
+  }
+  state.counters["doem_nodes"] =
+      static_cast<double>(w.doem.graph().node_count());
+  state.counters["doem_arcs"] =
+      static_cast<double>(w.doem.graph().arc_count());
+  state.counters["enc_nodes"] = static_cast<double>(enc_nodes);
+  state.counters["enc_arcs"] = static_cast<double>(enc_arcs);
+  state.counters["node_blowup"] =
+      static_cast<double>(enc_nodes) / w.doem.graph().node_count();
+  state.counters["arc_blowup"] =
+      static_cast<double>(enc_arcs) / w.doem.graph().arc_count();
+}
+BENCHMARK(BM_Encode)
+    ->ArgsProduct({{100, 500, 2000}, {10, 50}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Decode(benchmark::State& state) {
+  const auto& w = bench::GuideWorkload(
+      static_cast<size_t>(state.range(0)),
+      static_cast<size_t>(state.range(1)), 10);
+  auto enc = EncodeDoem(w.doem);
+  for (auto _ : state) {
+    auto dec = DecodeDoem(*enc);
+    benchmark::DoNotOptimize(dec.ok());
+  }
+}
+BENCHMARK(BM_Decode)
+    ->ArgsProduct({{100, 500, 2000}, {10, 50}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RoundTrip(benchmark::State& state) {
+  const auto& w = bench::GuideWorkload(500, 20, 10);
+  for (auto _ : state) {
+    auto enc = EncodeDoem(w.doem);
+    auto dec = DecodeDoem(*enc);
+    benchmark::DoNotOptimize(dec->Equals(w.doem));
+  }
+}
+BENCHMARK(BM_RoundTrip)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace doem
+
+BENCHMARK_MAIN();

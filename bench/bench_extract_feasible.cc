@@ -1,0 +1,56 @@
+// E3: history extraction H(D) and the feasibility check
+// D(O_0(D), H(D)) == D (Section 3.2's last two properties).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace doem {
+namespace {
+
+void BM_ExtractHistory(benchmark::State& state) {
+  const auto& w = bench::GuideWorkload(
+      static_cast<size_t>(state.range(0)),
+      static_cast<size_t>(state.range(1)), 10);
+  size_t steps = 0;
+  for (auto _ : state) {
+    OemHistory h = w.doem.ExtractHistory();
+    steps = h.size();
+    benchmark::DoNotOptimize(h.empty());
+  }
+  state.counters["extracted_steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_ExtractHistory)
+    ->ArgsProduct({{100, 500, 2000}, {10, 50}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IsFeasible(benchmark::State& state) {
+  const auto& w = bench::GuideWorkload(
+      static_cast<size_t>(state.range(0)),
+      static_cast<size_t>(state.range(1)), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.doem.IsFeasible());
+  }
+}
+BENCHMARK(BM_IsFeasible)
+    ->ArgsProduct({{100, 500}, {10, 50}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OriginalSnapshot(benchmark::State& state) {
+  const auto& w = bench::GuideWorkload(
+      static_cast<size_t>(state.range(0)), 50, 10);
+  for (auto _ : state) {
+    OemDatabase o = w.doem.OriginalSnapshot();
+    benchmark::DoNotOptimize(o.node_count());
+  }
+}
+BENCHMARK(BM_OriginalSnapshot)
+    ->Arg(100)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace doem
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// E1: history application throughput — the cost of building D(O, H)
+// (Section 3.1's inductive construction) and, for comparison, of replaying
+// the same history on a plain OEM database (GC'd per change set).
+// Axes: database size (restaurants) x history length (steps).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace doem {
+namespace {
+
+void BM_DoemBuild(benchmark::State& state) {
+  const auto& w = bench::GuideWorkload(
+      static_cast<size_t>(state.range(0)),
+      static_cast<size_t>(state.range(1)), /*ops_per_step=*/10);
+  size_t total_ops = 0;
+  for (const HistoryStep& s : w.history.steps()) {
+    total_ops += s.changes.size();
+  }
+  for (auto _ : state) {
+    auto d = DoemDatabase::Build(w.base, w.history);
+    benchmark::DoNotOptimize(d.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(total_ops));
+  state.counters["ops_per_history"] = static_cast<double>(total_ops);
+  state.counters["base_nodes"] = static_cast<double>(w.base.node_count());
+}
+BENCHMARK(BM_DoemBuild)
+    ->ArgsProduct({{100, 500, 2000}, {10, 50}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PlainOemReplay(benchmark::State& state) {
+  const auto& w = bench::GuideWorkload(
+      static_cast<size_t>(state.range(0)),
+      static_cast<size_t>(state.range(1)), 10);
+  for (auto _ : state) {
+    OemDatabase db = w.base;
+    Status s = w.history.ApplyTo(&db);
+    benchmark::DoNotOptimize(s.ok());
+  }
+  state.counters["base_nodes"] = static_cast<double>(w.base.node_count());
+}
+BENCHMARK(BM_PlainOemReplay)
+    ->ArgsProduct({{100, 500, 2000}, {10, 50}})
+    ->Unit(benchmark::kMillisecond);
+
+// Incremental cost of one more change set on an existing DOEM database,
+// as the QSS pays it at every poll.
+void BM_DoemIncrementalStep(benchmark::State& state) {
+  const auto& w = bench::GuideWorkload(
+      static_cast<size_t>(state.range(0)), 20, 10);
+  for (auto _ : state) {
+    state.PauseTiming();
+    DoemDatabase d = w.doem;
+    // A realistic small set: one price update on some restaurant.
+    ChangeSet ops;
+    NodeId g = d.graph().Child(d.root(), "guide");
+    for (NodeId r : d.graph().Children(g, "restaurant")) {
+      NodeId price = kInvalidNode;
+      for (const OutArc& a : d.LiveArcs(r)) {
+        if (a.label == "price" && d.CurrentValue(a.child).is_atomic()) {
+          price = a.child;
+          break;
+        }
+      }
+      if (price != kInvalidNode) {
+        ops.push_back(ChangeOp::UpdNode(price, Value::Int(99)));
+        break;
+      }
+    }
+    Timestamp t(Timestamp::FromDate(1998, 1, 1).ticks);
+    state.ResumeTiming();
+    Status s = d.ApplyChangeSet(t, ops);
+    benchmark::DoNotOptimize(s.ok());
+  }
+  state.counters["graph_nodes"] =
+      static_cast<double>(w.doem.graph().node_count());
+}
+BENCHMARK(BM_DoemIncrementalStep)
+    ->Arg(100)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace doem
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// E6: Lorel path evaluation over plain OEM — simple paths, shared-prefix
+// multi-path queries, '#' wildcards (which must traverse shared subobjects
+// and cycles), and `like` filters, across database sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "lorel/lorel.h"
+
+namespace doem {
+namespace {
+
+const char* kQueries[] = {
+    "select guide.restaurant",
+    "select guide.restaurant.name",
+    "select N, P from guide.restaurant R, R.name N, R.price P "
+    "where P < 20",
+    "select guide.#",
+    "select guide.restaurant where "
+    "guide.restaurant.address.# like \"%Lytton%\"",
+    "select R from guide.restaurant R where "
+    "exists A in R.address : A.city = \"Palo Alto\"",
+};
+
+void BM_LorelQuery(benchmark::State& state) {
+  const auto& w = bench::GuideWorkload(
+      static_cast<size_t>(state.range(0)), 0, 0);
+  lorel::OemView view(w.base);
+  std::string q = kQueries[state.range(1)];
+  auto nq = lorel::ParseAndNormalize(q);
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto r = lorel::Evaluate(*nq, view);
+    rows = r.ok() ? r->rows.size() : 0;
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["db_nodes"] = static_cast<double>(w.base.node_count());
+}
+BENCHMARK(BM_LorelQuery)
+    ->ArgsProduct({{100, 500, 2000, 8000}, {0, 1, 2, 3, 4, 5}})
+    ->ArgNames({"restaurants", "query"})
+    ->Unit(benchmark::kMicrosecond);
+
+// Parsing + normalization alone.
+void BM_ParseNormalize(benchmark::State& state) {
+  std::string q = kQueries[state.range(0)];
+  for (auto _ : state) {
+    auto nq = lorel::ParseAndNormalize(q);
+    benchmark::DoNotOptimize(nq.ok());
+  }
+}
+BENCHMARK(BM_ParseNormalize)->DenseRange(0, 5)->Unit(benchmark::kMicrosecond);
+
+// Result packaging cost: rows only vs. packaged answer database.
+void BM_Packaging(benchmark::State& state) {
+  const auto& w = bench::GuideWorkload(2000, 0, 0);
+  lorel::OemView view(w.base);
+  auto nq = lorel::ParseAndNormalize("select guide.restaurant");
+  lorel::EvalOptions opts;
+  opts.package_results = state.range(0) == 1;
+  for (auto _ : state) {
+    auto r = lorel::Evaluate(*nq, view, opts);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_Packaging)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"package"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace doem
+
+BENCHMARK_MAIN();

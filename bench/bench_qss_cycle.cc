@@ -1,0 +1,102 @@
+// E8: end-to-end QSS polling cycle (Figure 6: poll -> diff -> annotate ->
+// filter -> notify) — cost per poll as a function of source size, number
+// of subscriptions, and keyed vs. structural differencing.
+
+#include <benchmark/benchmark.h>
+
+#include "qss/qss.h"
+#include "testing/generators.h"
+
+namespace doem {
+namespace {
+
+constexpr int64_t kPolls = 10;
+
+void RunCycles(benchmark::State& state, bool preserve_ids) {
+  size_t restaurants = static_cast<size_t>(state.range(0));
+  int subs = static_cast<int>(state.range(1));
+  OemDatabase base = testing::SyntheticGuide(restaurants);
+  OemHistory script = testing::SyntheticGuideHistory(
+      base, static_cast<size_t>(kPolls), 5);
+  Timestamp start(Timestamp::FromDate(1997, 1, 1).ticks);
+
+  size_t notifications = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    qss::ScriptedSource source(base, script, preserve_ids);
+    qss::QuerySubscriptionService service(&source, start);
+    notifications = 0;
+    for (int s = 0; s < subs; ++s) {
+      qss::Subscription sub;
+      sub.name = "S" + std::to_string(s);
+      sub.frequency = *qss::FrequencySpec::Parse("every day");
+      sub.polling_query = "select guide.restaurant";
+      sub.filter_query = "select " + sub.name +
+                         ".restaurant<cre at T> where T > t[-1]";
+      Status st = service.Subscribe(
+          sub, [&](const qss::Notification&) { ++notifications; });
+      assert(st.ok());
+      (void)st;
+    }
+    state.ResumeTiming();
+    Status st =
+        service.AdvanceTo(Timestamp(start.ticks + kPolls - 1));
+    benchmark::DoNotOptimize(st.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * kPolls);
+  state.counters["polls"] = static_cast<double>(kPolls);
+  state.counters["notifications"] = static_cast<double>(notifications);
+}
+
+void BM_QssKeyedSource(benchmark::State& state) {
+  RunCycles(state, /*preserve_ids=*/true);
+}
+BENCHMARK(BM_QssKeyedSource)
+    ->ArgsProduct({{50, 200, 1000}, {1, 8}})
+    ->ArgNames({"restaurants", "subs"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_QssStructuralSource(benchmark::State& state) {
+  RunCycles(state, /*preserve_ids=*/false);
+}
+BENCHMARK(BM_QssStructuralSource)
+    ->ArgsProduct({{50, 200, 1000}, {1, 8}})
+    ->ArgNames({"restaurants", "subs"})
+    ->Unit(benchmark::kMillisecond);
+
+// Filter evaluation strategy inside the QSS loop: direct vs. translated.
+void BM_QssFilterStrategy(benchmark::State& state) {
+  OemDatabase base = testing::SyntheticGuide(200);
+  OemHistory script = testing::SyntheticGuideHistory(base, kPolls, 5);
+  Timestamp start(Timestamp::FromDate(1997, 1, 1).ticks);
+  qss::QssOptions opts;
+  opts.strategy = state.range(0) == 0 ? chorel::Strategy::kDirect
+                                      : chorel::Strategy::kTranslated;
+  for (auto _ : state) {
+    state.PauseTiming();
+    qss::ScriptedSource source(base, script);
+    qss::QuerySubscriptionService service(&source, start, opts);
+    qss::Subscription sub;
+    sub.name = "S";
+    sub.frequency = *qss::FrequencySpec::Parse("every day");
+    sub.polling_query = "select guide.restaurant";
+    sub.filter_query = "select S.restaurant<cre at T> where T > t[-1]";
+    Status st = service.Subscribe(sub, nullptr);
+    assert(st.ok());
+    (void)st;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        service.AdvanceTo(Timestamp(start.ticks + kPolls - 1)).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * kPolls);
+}
+BENCHMARK(BM_QssFilterStrategy)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"translated"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace doem
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// E2: snapshot reconstruction O_t(D) (Section 3.2) — cost as a function
+// of database size, history length, and where t falls (original / middle
+// / current). The paper claims all three are "easy to obtain"; this
+// quantifies them.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace doem {
+namespace {
+
+Timestamp PickTime(const DoemDatabase& d, int which) {
+  std::vector<Timestamp> times = d.AllTimestamps();
+  if (times.empty()) return Timestamp(0);
+  switch (which) {
+    case 0:
+      return Timestamp::NegativeInfinity();  // original snapshot
+    case 1:
+      return times[times.size() / 2];  // middle of history
+    default:
+      return Timestamp::PositiveInfinity();  // current snapshot
+  }
+}
+
+void BM_SnapshotAt(benchmark::State& state) {
+  const auto& w = bench::GuideWorkload(
+      static_cast<size_t>(state.range(0)),
+      static_cast<size_t>(state.range(1)), 10);
+  Timestamp t = PickTime(w.doem, static_cast<int>(state.range(2)));
+  size_t nodes = 0;
+  for (auto _ : state) {
+    OemDatabase snap = w.doem.SnapshotAt(t);
+    nodes = snap.node_count();
+    benchmark::DoNotOptimize(snap.root());
+  }
+  state.counters["snapshot_nodes"] = static_cast<double>(nodes);
+  state.counters["annotations"] =
+      static_cast<double>(w.doem.AllTimestamps().size());
+}
+BENCHMARK(BM_SnapshotAt)
+    ->ArgsProduct({{100, 500, 2000}, {10, 50}, {0, 1, 2}})
+    ->ArgNames({"restaurants", "steps", "when"})
+    ->Unit(benchmark::kMillisecond);
+
+// Liveness primitives: the per-arc / per-node checks snapshotting and
+// plain-Lorel-over-DOEM traversal pay.
+void BM_ValueAt(benchmark::State& state) {
+  const auto& w = bench::GuideWorkload(500, 50, 10);
+  std::vector<NodeId> nodes = w.doem.graph().NodeIds();
+  Timestamp t = PickTime(w.doem, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.doem.ValueAt(nodes[i], t));
+    i = (i + 1) % nodes.size();
+  }
+}
+BENCHMARK(BM_ValueAt);
+
+void BM_LiveArcs(benchmark::State& state) {
+  const auto& w = bench::GuideWorkload(500, 50, 10);
+  std::vector<NodeId> nodes = w.doem.graph().NodeIds();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.doem.LiveArcs(nodes[i]));
+    i = (i + 1) % nodes.size();
+  }
+}
+BENCHMARK(BM_LiveArcs);
+
+}  // namespace
+}  // namespace doem
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+#include "chorel/chorel.h"
+
+#include "chorel/translate.h"
+#include "encoding/encode.h"
+
+namespace doem {
+namespace chorel {
+
+Result<const OemDatabase*> ChorelEngine::Encoding() {
+  if (!encoding_.has_value()) {
+    auto enc = EncodeDoem(doem_);
+    if (!enc.ok()) return enc.status();
+    encoding_ = std::move(enc).value();
+  }
+  return &*encoding_;
+}
+
+Result<lorel::QueryResult> ChorelEngine::Run(const std::string& query,
+                                             Strategy strategy,
+                                             const lorel::EvalOptions& opts) {
+  auto nq = lorel::ParseAndNormalize(query);
+  if (!nq.ok()) return nq.status();
+  if (strategy == Strategy::kDirect) {
+    DoemView view(doem_);
+    return lorel::Evaluate(*nq, view, opts);
+  }
+  auto translated = TranslateToLorel(*nq);
+  if (!translated.ok()) return translated.status();
+  auto enc = Encoding();
+  if (!enc.ok()) return enc.status();
+  lorel::OemView view(**enc, /*amp_aware=*/true);
+  return lorel::Evaluate(*translated, view, opts);
+}
+
+Result<lorel::QueryResult> RunChorel(const DoemDatabase& d,
+                                     const std::string& query,
+                                     Strategy strategy,
+                                     const lorel::EvalOptions& opts) {
+  ChorelEngine engine(d);
+  return engine.Run(query, strategy, opts);
+}
+
+}  // namespace chorel
+}  // namespace doem

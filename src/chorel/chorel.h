@@ -1,0 +1,65 @@
+#ifndef DOEM_CHOREL_CHOREL_H_
+#define DOEM_CHOREL_CHOREL_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "chorel/doem_view.h"
+#include "doem/doem.h"
+#include "lorel/lorel.h"
+#include "oem/oem.h"
+
+namespace doem {
+namespace chorel {
+
+/// The two implementation strategies discussed in Section 5.
+enum class Strategy {
+  /// Evaluate annotation expressions directly against the DOEM database
+  /// ("extend the Lore kernel").
+  kDirect,
+  /// Encode the DOEM database in plain OEM (Section 5.1) and translate
+  /// the Chorel query to Lorel over the encoding (Section 5.2) — the
+  /// paper's layered implementation.
+  kTranslated,
+};
+
+/// A Chorel query processor over one DOEM database, supporting both
+/// strategies. The translated strategy encodes the database once, lazily,
+/// and caches the encoding; call InvalidateEncoding() after mutating the
+/// DOEM database.
+///
+/// Both strategies produce identical rows for every supported query (a
+/// property the test suite checks exhaustively). The packaged `answer`
+/// databases differ by design: the translated strategy returns encoding
+/// objects, which carry their history with them (end of Section 5.2).
+class ChorelEngine {
+ public:
+  explicit ChorelEngine(const DoemDatabase& d) : doem_(d) {}
+
+  /// Parses, normalizes, (optionally translates,) and evaluates `query`.
+  Result<lorel::QueryResult> Run(const std::string& query,
+                                 Strategy strategy,
+                                 const lorel::EvalOptions& opts = {});
+
+  /// Drops the cached OEM encoding; the next translated Run re-encodes.
+  void InvalidateEncoding() { encoding_.reset(); }
+
+  /// The cached encoding (encodes now if needed). Exposed for benchmarks.
+  Result<const OemDatabase*> Encoding();
+
+ private:
+  const DoemDatabase& doem_;
+  std::optional<OemDatabase> encoding_;
+};
+
+/// One-shot conveniences.
+Result<lorel::QueryResult> RunChorel(const DoemDatabase& d,
+                                     const std::string& query,
+                                     Strategy strategy,
+                                     const lorel::EvalOptions& opts = {});
+
+}  // namespace chorel
+}  // namespace doem
+
+#endif  // DOEM_CHOREL_CHOREL_H_

@@ -1,0 +1,119 @@
+#ifndef DOEM_CHOREL_DOEM_VIEW_H_
+#define DOEM_CHOREL_DOEM_VIEW_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "doem/doem.h"
+#include "lorel/view.h"
+
+namespace doem {
+namespace chorel {
+
+/// A GraphView over a DOEM database, implementing the "extend the kernel"
+/// strategy of Section 5: plain Lorel steps see the current snapshot
+/// (Section 4.2.1's default), annotation accessors expose the DOEM
+/// annotations to Chorel annotation expressions, and virtual <at T>
+/// annotations time-travel via the snapshot rules of Section 3.2.
+class DoemView : public lorel::GraphView {
+ public:
+  explicit DoemView(const DoemDatabase& d) : d_(d) {}
+
+  NodeId root() const override { return d_.root(); }
+  bool HasNode(NodeId n) const override { return d_.graph().HasNode(n); }
+  const Value& value(NodeId n) const override { return d_.CurrentValue(n); }
+
+  std::vector<NodeId> Children(NodeId n,
+                               const std::string& label) const override {
+    std::vector<NodeId> out;
+    for (const OutArc& a : d_.graph().OutArcs(n)) {
+      if (a.label == label && d_.ArcCurrentlyLive(n, a.label, a.child)) {
+        out.push_back(a.child);
+      }
+    }
+    return out;
+  }
+
+  std::vector<OutArc> LiveOutArcs(NodeId n) const override {
+    return d_.LiveArcs(n);
+  }
+
+  NodeId IdFloor() const override { return d_.graph().PeekNextId(); }
+
+  bool SupportsAnnotations() const override { return true; }
+
+  std::optional<Timestamp> CreTime(NodeId n) const override {
+    return d_.CreTime(n);
+  }
+
+  std::vector<lorel::UpdEntry> UpdEntries(NodeId n) const override {
+    std::vector<lorel::UpdEntry> out;
+    for (const UpdRecord& u : d_.UpdRecords(n)) {
+      out.push_back(lorel::UpdEntry{u.time, u.old_value, u.new_value});
+    }
+    return out;
+  }
+
+  std::vector<std::pair<Timestamp, NodeId>> AddAnnotated(
+      NodeId n, const std::string& label) const override {
+    return d_.AddAnnotated(n, label);
+  }
+
+  std::vector<std::pair<Timestamp, NodeId>> RemAnnotated(
+      NodeId n, const std::string& label) const override {
+    return d_.RemAnnotated(n, label);
+  }
+
+  std::vector<std::pair<Timestamp, NodeId>> AddAnnotatedAny(
+      NodeId n) const override {
+    return AnyLabel(n, Annotation::Kind::kAdd);
+  }
+
+  std::vector<std::pair<Timestamp, NodeId>> RemAnnotatedAny(
+      NodeId n) const override {
+    return AnyLabel(n, Annotation::Kind::kRem);
+  }
+
+  bool SupportsTimeTravel() const override { return true; }
+
+  std::vector<NodeId> ChildrenAt(NodeId n, const std::string& label,
+                                 Timestamp t) const override {
+    std::vector<NodeId> out;
+    for (const OutArc& a : d_.ArcsLiveAt(n, t)) {
+      if (a.label == label) out.push_back(a.child);
+    }
+    return out;
+  }
+
+  std::vector<NodeId> ChildrenAtAny(NodeId n, Timestamp t) const override {
+    std::vector<NodeId> out;
+    for (const OutArc& a : d_.ArcsLiveAt(n, t)) out.push_back(a.child);
+    return out;
+  }
+
+  Value ValueAt(NodeId n, Timestamp t) const override {
+    return d_.ValueAt(n, t);
+  }
+
+  const DoemDatabase& doem() const { return d_; }
+
+ private:
+  std::vector<std::pair<Timestamp, NodeId>> AnyLabel(
+      NodeId n, Annotation::Kind kind) const {
+    std::vector<std::pair<Timestamp, NodeId>> out;
+    for (const OutArc& a : d_.graph().OutArcs(n)) {
+      for (const Annotation& ann : d_.ArcAnnotations(n, a.label, a.child)) {
+        if (ann.kind == kind) out.emplace_back(ann.time, a.child);
+      }
+    }
+    return out;
+  }
+
+  const DoemDatabase& d_;
+};
+
+}  // namespace chorel
+}  // namespace doem
+
+#endif  // DOEM_CHOREL_DOEM_VIEW_H_

@@ -1,0 +1,217 @@
+#include "chorel/translate.h"
+
+#include "encoding/encode.h"
+
+namespace doem {
+namespace chorel {
+
+namespace {
+
+using lorel::AnnotKind;
+using lorel::Expr;
+using lorel::ExprPtr;
+using lorel::NormQuery;
+using lorel::PathExpr;
+using lorel::PathStep;
+using lorel::RangeDef;
+using lorel::VarKind;
+
+class Translator {
+ public:
+  explicit Translator(const NormQuery& q) : q_(q) {}
+
+  Result<NormQuery> Run() {
+    out_.select = q_.select;
+    out_.labels = q_.labels;
+    out_.var_kinds = q_.var_kinds;
+    for (const RangeDef& def : q_.defs) {
+      DOEM_RETURN_IF_ERROR(TranslateDef(def));
+    }
+    if (q_.where) {
+      auto w = TranslateBool(q_.where);
+      if (!w.ok()) return w.status();
+      out_.where = std::move(w).value();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  std::string Fresh(const char* hint) {
+    // '$' cannot appear in parsed identifiers, so these never collide
+    // with user or normalizer variables.
+    return std::string("$") + hint + std::to_string(++counter_);
+  }
+
+  void EmitPlain(const std::string& source, const PathStep& shape,
+                 const std::string& var, bool bind_value = false) {
+    RangeDef def;
+    def.source_var = source;
+    def.step.label = shape.label;
+    def.step.wildcard = shape.wildcard;
+    def.step.wildcard_one = shape.wildcard_one;
+    def.var = var;
+    def.bind_value = bind_value;
+    if (!out_.var_kinds.contains(var)) {
+      out_.var_kinds[var] = bind_value ? VarKind::kValue : VarKind::kNode;
+    }
+    out_.defs.push_back(std::move(def));
+  }
+
+  Status TranslateDef(const RangeDef& def) {
+    const PathStep& step = def.step;
+    if ((step.arc_annot && step.arc_annot->kind == AnnotKind::kAt) ||
+        (step.node_annot && step.node_annot->kind == AnnotKind::kAt)) {
+      return Status::Unsupported(
+          "virtual <at T> annotations have no Lorel translation; use the "
+          "direct evaluation strategy");
+    }
+    std::string node_var = def.var;
+    if (step.wildcard_one && (step.arc_annot || step.node_annot)) {
+      return Status::Unsupported(
+          "annotation expressions on '%' have no Lorel translation (the "
+          "history objects' labels are per-source-label); use the direct "
+          "evaluation strategy");
+    }
+    if (!step.arc_annot) {
+      // Plain or wildcard step: current arcs are exposed under their own
+      // labels in the encoding; the '#' wildcard skips &-arcs because the
+      // evaluator runs with an encoding-aware view.
+      EmitPlain(def.source_var, step, node_var);
+    } else {
+      const auto& a = *step.arc_annot;
+      // X.<add at T>l Y -> X.&l-history H, H.&add T, H.&target Y.
+      std::string hist = Fresh("h");
+      PathStep shape;
+      shape.label = HistoryLabelFor(step.label);
+      EmitPlain(def.source_var, shape, hist);
+      shape.label = a.kind == AnnotKind::kAdd ? "&add" : "&rem";
+      EmitPlain(hist, shape, a.time_var, /*bind_value=*/true);
+      shape.label = "&target";
+      EmitPlain(hist, shape, node_var);
+    }
+    if (step.node_annot) {
+      const auto& a = *step.node_annot;
+      PathStep shape;
+      if (a.kind == AnnotKind::kCre) {
+        shape.label = "&cre";
+        EmitPlain(node_var, shape, a.time_var, /*bind_value=*/true);
+      } else {  // kUpd
+        std::string rec = Fresh("u");
+        shape.label = "&upd";
+        EmitPlain(node_var, shape, rec);
+        shape.label = "&time";
+        EmitPlain(rec, shape, a.time_var, true);
+        shape.label = "&ov";
+        EmitPlain(rec, shape, a.from_var, true);
+        shape.label = "&nv";
+        EmitPlain(rec, shape, a.to_var, true);
+      }
+    }
+    return Status::OK();
+  }
+
+  bool IsObjectVar(const std::string& name) const {
+    auto it = out_.var_kinds.find(name);
+    return it != out_.var_kinds.end() && it->second == VarKind::kNode;
+  }
+
+  /// Value-access rewriting for comparison operands (Section 5.2): object
+  /// variables X become the path X.&val; lazy paths gain a final .&val
+  /// step.
+  Result<ExprPtr> TranslateOperand(const ExprPtr& e) {
+    switch (e->kind) {
+      case Expr::Kind::kLiteral:
+      case Expr::Kind::kTimeRef:
+        return e;
+      case Expr::Kind::kVar: {
+        if (!IsObjectVar(e->var)) return e;  // annotation value variable
+        PathExpr p;
+        p.head_is_var = true;
+        PathStep head;
+        head.label = e->var;
+        p.steps.push_back(std::move(head));
+        PathStep val;
+        val.label = "&val";
+        p.steps.push_back(std::move(val));
+        return Expr::MakePath(std::move(p));
+      }
+      case Expr::Kind::kPath: {
+        auto copy = std::make_shared<Expr>(*e);
+        for (const PathStep& s : copy->path.steps) {
+          if (s.arc_annot || s.node_annot) {
+            return Status::Unsupported(
+                "annotated paths inside exists ranges/predicates have no "
+                "Lorel translation; use the direct evaluation strategy");
+          }
+        }
+        PathStep val;
+        val.label = "&val";
+        copy->path.steps.push_back(std::move(val));
+        return ExprPtr(copy);
+      }
+      default:
+        return Status::Unsupported("operand '" + e->ToString() +
+                                   "' cannot be translated");
+    }
+  }
+
+  Result<ExprPtr> TranslateBool(const ExprPtr& e) {
+    switch (e->kind) {
+      case Expr::Kind::kLiteral:
+        return e;
+      case Expr::Kind::kBinary: {
+        if (e->op == lorel::BinOp::kAnd || e->op == lorel::BinOp::kOr) {
+          auto l = TranslateBool(e->lhs);
+          if (!l.ok()) return l;
+          auto r = TranslateBool(e->rhs);
+          if (!r.ok()) return r;
+          return Expr::MakeBinary(e->op, std::move(l).value(),
+                                  std::move(r).value());
+        }
+        auto l = TranslateOperand(e->lhs);
+        if (!l.ok()) return l;
+        auto r = TranslateOperand(e->rhs);
+        if (!r.ok()) return r;
+        return Expr::MakeBinary(e->op, std::move(l).value(),
+                                std::move(r).value());
+      }
+      case Expr::Kind::kNot: {
+        auto c = TranslateBool(e->child);
+        if (!c.ok()) return c;
+        return Expr::MakeNot(std::move(c).value());
+      }
+      case Expr::Kind::kExists: {
+        auto copy = std::make_shared<Expr>(*e);
+        for (const PathStep& s : copy->exists_path.steps) {
+          if (s.arc_annot || s.node_annot) {
+            return Status::Unsupported(
+                "annotated exists ranges have no Lorel translation; use "
+                "the direct evaluation strategy");
+          }
+        }
+        // The binder stays an encoding object; only value accesses inside
+        // the predicate are rewritten.
+        auto pred = TranslateBool(copy->exists_pred);
+        if (!pred.ok()) return pred;
+        copy->exists_pred = std::move(pred).value();
+        return ExprPtr(copy);
+      }
+      default:
+        return Status::Unsupported("condition '" + e->ToString() +
+                                   "' cannot be translated");
+    }
+  }
+
+  const NormQuery& q_;
+  NormQuery out_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+Result<NormQuery> TranslateToLorel(const NormQuery& q) {
+  return Translator(q).Run();
+}
+
+}  // namespace chorel
+}  // namespace doem

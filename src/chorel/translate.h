@@ -1,0 +1,39 @@
+#ifndef DOEM_CHOREL_TRANSLATE_H_
+#define DOEM_CHOREL_TRANSLATE_H_
+
+#include "common/result.h"
+#include "lorel/normalize.h"
+
+namespace doem {
+namespace chorel {
+
+/// Translates a normalized Chorel query into an equivalent plain-Lorel
+/// query over the Section 5.1 OEM encoding of the DOEM database
+/// (Section 5.2):
+///
+///   X.<add at T>l Y   ->  X.&l-history H, H.&add T, H.&target Y
+///   X.<rem at T>l Y   ->  X.&l-history H, H.&rem T, H.&target Y
+///   X.l Y<cre at T>   ->  X.l Y, Y.&cre T
+///   X.l Y<upd at T from OV to NV>
+///                     ->  X.l Y, Y.&upd U, U.&time T, U.&ov OV, U.&nv NV
+///
+/// plus the value-access rewriting: wherever an object variable's value is
+/// read (comparison operands, like arguments), it becomes X.&val; the
+/// lazy where-paths similarly gain a final .&val step. Object variables in
+/// the select clause are NOT rewritten — they return the encoding object,
+/// packaging its history with it (end of Section 5.2).
+///
+/// Annotation variables are bound from the encoding's timestamp/value
+/// atoms with RangeDef::bind_value, so translated evaluation produces
+/// rows identical to direct evaluation.
+///
+/// Unsupported in translation (direct evaluation handles them): virtual
+/// <at T> annotations — the paper also leaves their implementation open —
+/// and annotated paths inside `exists` ranges, which have no linear path
+/// form over the encoding.
+Result<lorel::NormQuery> TranslateToLorel(const lorel::NormQuery& q);
+
+}  // namespace chorel
+}  // namespace doem
+
+#endif  // DOEM_CHOREL_TRANSLATE_H_

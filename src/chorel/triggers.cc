@@ -1,0 +1,62 @@
+#include "chorel/triggers.h"
+
+#include "lorel/lorel.h"
+
+namespace doem {
+namespace chorel {
+
+Result<TriggeredDatabase> TriggeredDatabase::Create(OemDatabase base) {
+  auto d = DoemDatabase::FromSnapshot(std::move(base));
+  if (!d.ok()) return d.status();
+  TriggeredDatabase t;
+  t.doem_ = std::move(d).value();
+  return t;
+}
+
+Status TriggeredDatabase::AddTrigger(const std::string& name,
+                                     const std::string& condition,
+                                     Action action) {
+  if (triggers_.contains(name)) {
+    return Status::AlreadyExists("trigger '" + name + "' exists");
+  }
+  auto nq = lorel::ParseAndNormalize(condition);
+  if (!nq.ok()) {
+    return Status(nq.status().code(),
+                  "trigger condition: " + nq.status().message());
+  }
+  triggers_.emplace(name, Trigger{condition, std::move(action)});
+  return Status::OK();
+}
+
+Status TriggeredDatabase::RemoveTrigger(const std::string& name) {
+  if (triggers_.erase(name) == 0) {
+    return Status::NotFound("no trigger '" + name + "'");
+  }
+  return Status::OK();
+}
+
+Status TriggeredDatabase::ApplyChangeSet(Timestamp t, const ChangeSet& ops) {
+  DOEM_RETURN_IF_ERROR(doem_.ApplyChangeSet(t, ops));
+  times_.push_back(t);
+  ChorelEngine engine(doem_);
+  for (auto& [name, trigger] : triggers_) {
+    lorel::EvalOptions opts;
+    opts.polling_times = &times_;
+    auto result = engine.Run(trigger.condition, Strategy::kDirect, opts);
+    if (!result.ok()) {
+      return Status(result.status().code(),
+                    "trigger '" + name + "': " + result.status().message());
+    }
+    if (!result->rows.empty() && trigger.action) {
+      TriggerFiring firing;
+      firing.trigger = name;
+      firing.time = t;
+      firing.result = std::move(result).value();
+      trigger.action(firing);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace chorel
+}  // namespace doem

@@ -1,0 +1,76 @@
+#ifndef DOEM_CHOREL_TRIGGERS_H_
+#define DOEM_CHOREL_TRIGGERS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chorel/chorel.h"
+#include "common/result.h"
+#include "doem/doem.h"
+
+namespace doem {
+namespace chorel {
+
+/// What a fired trigger delivers to its action.
+struct TriggerFiring {
+  std::string trigger;
+  Timestamp time;
+  lorel::QueryResult result;
+};
+
+/// An event-condition-action trigger facility for OEM "based on ideas
+/// from DOEM and Chorel" — the paper's Section 7 future-work item,
+/// realized the way Section 6 realizes subscriptions:
+///
+///   * the *event* is the application of a change set (t_k, U_k);
+///   * the *condition* is a Chorel query over the accumulated DOEM
+///     database, evaluated with t[0] = t_k and t[-1] = t_{k-1}, so
+///     "changes since the last event" is expressible exactly as in QSS
+///     filter queries;
+///   * the *action* is a callback receiving the query result.
+///
+/// Unlike QSS — which infers changes by polling and diffing — triggers
+/// see every change set as it is applied, so they fire synchronously and
+/// lose nothing.
+class TriggeredDatabase {
+ public:
+  using Action = std::function<void(const TriggerFiring&)>;
+
+  /// Wraps a base snapshot; all further mutations must go through
+  /// ApplyChangeSet so triggers observe them.
+  static Result<TriggeredDatabase> Create(OemDatabase base);
+
+  /// Registers a trigger. The condition must parse as a (Chorel) query;
+  /// it may use t[i]. Fails on duplicate names.
+  Status AddTrigger(const std::string& name, const std::string& condition,
+                    Action action);
+
+  Status RemoveTrigger(const std::string& name);
+
+  /// Applies the change set, then evaluates every trigger condition and
+  /// fires actions for non-empty results (in trigger-name order).
+  /// The change application and the trigger evaluations are atomic with
+  /// respect to failure: a failing condition reports an error after the
+  /// change has been applied and remains applied.
+  Status ApplyChangeSet(Timestamp t, const ChangeSet& ops);
+
+  const DoemDatabase& doem() const { return doem_; }
+  size_t trigger_count() const { return triggers_.size(); }
+
+ private:
+  struct Trigger {
+    std::string condition;
+    Action action;
+  };
+
+  DoemDatabase doem_;
+  std::map<std::string, Trigger> triggers_;
+  std::vector<Timestamp> times_;
+};
+
+}  // namespace chorel
+}  // namespace doem
+
+#endif  // DOEM_CHOREL_TRIGGERS_H_

@@ -1,0 +1,285 @@
+#include "chorel/update.h"
+
+#include <vector>
+
+#include "chorel/doem_view.h"
+#include "common/strings.h"
+#include "lorel/lexer.h"
+#include "lorel/lorel.h"
+
+namespace doem {
+namespace chorel {
+
+namespace {
+
+using lorel::Lex;
+using lorel::Token;
+using lorel::TokenKind;
+
+/// An atomic or object literal, parsed from the statement.
+struct Literal {
+  Value value;                     // atomic, or C for objects
+  std::vector<std::pair<std::string, Literal>> children;  // objects only
+};
+
+class UpdateParser {
+ public:
+  UpdateParser(std::vector<Token> tokens, const std::string& text)
+      : tokens_(std::move(tokens)), text_(text) {}
+
+  enum class Kind { kInsert, kSet, kRemove };
+
+  Kind kind = Kind::kInsert;
+  std::vector<std::string> path;  // plain label chain
+  Literal literal;                // insert/set payload
+  std::string condition;          // raw text after 'where' ("" if none)
+
+  Status Parse() {
+    const Token& head = Peek();
+    if (head.kind != TokenKind::kIdent) {
+      return Err("expected insert/set/remove");
+    }
+    std::string verb = ToLower(head.text);
+    if (verb == "insert") {
+      kind = Kind::kInsert;
+    } else if (verb == "set") {
+      kind = Kind::kSet;
+    } else if (verb == "remove") {
+      kind = Kind::kRemove;
+    } else {
+      return Err("expected insert/set/remove, got '" + head.text + "'");
+    }
+    ++pos_;
+    DOEM_RETURN_IF_ERROR(ParsePath());
+    if (kind != Kind::kRemove) {
+      if (!(Eat(TokenKind::kColon) && Eat(TokenKind::kEq))) {
+        return Err("expected ':=' after the path");
+      }
+      DOEM_RETURN_IF_ERROR(ParseLiteral(&literal));
+      if (kind == Kind::kSet && literal.value.is_complex()) {
+        return Err("set takes an atomic value; use insert for objects");
+      }
+    }
+    if (Peek().kind == TokenKind::kIdent &&
+        EqualsIgnoreCase(Peek().text, "where")) {
+      // The condition is handed to the query engine verbatim.
+      size_t offset = Peek().offset;
+      condition = std::string(
+          StripWhitespace(text_.substr(offset + 5)));
+      if (condition.empty()) return Err("empty where clause");
+      return Status::OK();
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err("unexpected trailing input '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+ private:
+  const Token& Peek() const {
+    return tokens_[pos_ < tokens_.size() ? pos_ : tokens_.size() - 1];
+  }
+  bool Eat(TokenKind k) {
+    if (Peek().kind == k) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError("update statement, offset " +
+                              std::to_string(Peek().offset) + ": " + msg);
+  }
+
+  Status ParsePath() {
+    while (true) {
+      if (Peek().kind != TokenKind::kIdent ||
+          EqualsIgnoreCase(Peek().text, "where")) {
+        return Err("updates target plain label paths");
+      }
+      path.push_back(Peek().text);
+      ++pos_;
+      if (!Eat(TokenKind::kDot)) break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseLiteral(Literal* out) {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInt:
+        out->value = Value::Int(t.int_value);
+        ++pos_;
+        return Status::OK();
+      case TokenKind::kReal:
+        out->value = Value::Real(t.real_value);
+        ++pos_;
+        return Status::OK();
+      case TokenKind::kString:
+        out->value = Value::String(t.text);
+        ++pos_;
+        return Status::OK();
+      case TokenKind::kDate:
+        out->value = Value::Time(t.date_value);
+        ++pos_;
+        return Status::OK();
+      case TokenKind::kMinus: {
+        ++pos_;
+        if (Peek().kind == TokenKind::kInt) {
+          out->value = Value::Int(-Peek().int_value);
+        } else if (Peek().kind == TokenKind::kReal) {
+          out->value = Value::Real(-Peek().real_value);
+        } else {
+          return Err("expected a number after '-'");
+        }
+        ++pos_;
+        return Status::OK();
+      }
+      case TokenKind::kIdent:
+        if (EqualsIgnoreCase(t.text, "true") ||
+            EqualsIgnoreCase(t.text, "false")) {
+          out->value = Value::Bool(EqualsIgnoreCase(t.text, "true"));
+          ++pos_;
+          return Status::OK();
+        }
+        return Err("bad literal '" + t.text + "'");
+      case TokenKind::kLBrace: {
+        ++pos_;
+        out->value = Value::Complex();
+        if (Eat(TokenKind::kRBrace)) return Status::OK();
+        while (true) {
+          if (Peek().kind != TokenKind::kIdent) {
+            return Err("expected a label in object literal");
+          }
+          std::string label = Peek().text;
+          ++pos_;
+          if (!Eat(TokenKind::kColon)) return Err("expected ':'");
+          Literal child;
+          DOEM_RETURN_IF_ERROR(ParseLiteral(&child));
+          out->children.emplace_back(std::move(label), std::move(child));
+          if (Eat(TokenKind::kComma)) continue;
+          if (Eat(TokenKind::kRBrace)) return Status::OK();
+          return Err("expected ',' or '}' in object literal");
+        }
+      }
+      default:
+        return Err("expected a literal");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string JoinPath(const std::vector<std::string>& path, size_t n) {
+  std::string out;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) out += ".";
+    out += path[i];
+  }
+  return out;
+}
+
+// Emits creNode/addArc ops materializing `lit` under (parent, label);
+// fresh ids come from *next_id.
+void EmitLiteral(const Literal& lit, NodeId parent, const std::string& label,
+                 NodeId* next_id, ChangeSet* ops) {
+  NodeId node = (*next_id)++;
+  ops->push_back(ChangeOp::CreNode(node, lit.value));
+  ops->push_back(ChangeOp::AddArc(parent, label, node));
+  for (const auto& [child_label, child] : lit.children) {
+    EmitLiteral(child, node, child_label, next_id, ops);
+  }
+}
+
+// Runs a generated selection query against the current snapshot.
+Result<std::vector<std::vector<lorel::RtVal>>> Select(
+    const DoemDatabase& d, const std::string& query) {
+  DoemView view(d);
+  lorel::EvalOptions opts;
+  opts.package_results = false;
+  auto r = lorel::RunQuery(query, view, opts);
+  if (!r.ok()) return r.status();
+  return std::move(r->rows);
+}
+
+}  // namespace
+
+Result<ChangeSet> CompileUpdate(const DoemDatabase& d,
+                                const std::string& statement) {
+  auto tokens = Lex(statement);
+  if (!tokens.ok()) return tokens.status();
+  UpdateParser p(std::move(tokens).value(), statement);
+  DOEM_RETURN_IF_ERROR(p.Parse());
+  const std::string where =
+      p.condition.empty() ? "" : " where " + p.condition;
+
+  ChangeSet ops;
+  NodeId next_id = d.graph().PeekNextId();
+  switch (p.kind) {
+    case UpdateParser::Kind::kInsert: {
+      std::vector<NodeId> parents;
+      if (p.path.size() == 1) {
+        if (!p.condition.empty()) {
+          return Status::Unsupported(
+              "a condition on a root-level insert has nothing to filter");
+        }
+        parents.push_back(d.root());
+      } else {
+        auto rows = Select(
+            d, "select _p from " + JoinPath(p.path, p.path.size() - 1) +
+                   " _p" + where);
+        if (!rows.ok()) return rows.status();
+        for (const auto& row : *rows) parents.push_back(row[0].node);
+      }
+      for (NodeId parent : parents) {
+        EmitLiteral(p.literal, parent, p.path.back(), &next_id, &ops);
+      }
+      return ops;
+    }
+    case UpdateParser::Kind::kSet: {
+      auto rows = Select(d, "select _t from " +
+                                JoinPath(p.path, p.path.size()) + " _t" +
+                                where);
+      if (!rows.ok()) return rows.status();
+      for (const auto& row : *rows) {
+        ops.push_back(ChangeOp::UpdNode(row[0].node, p.literal.value));
+      }
+      return ops;
+    }
+    case UpdateParser::Kind::kRemove: {
+      // Both from-items use full textual paths so that condition paths
+      // correlate with the removal target via Lorel's prefix sharing —
+      // "remove guide.restaurant where guide.restaurant.name = ..." must
+      // remove exactly the restaurants whose own name matches.
+      std::string query;
+      if (p.path.size() == 1) {
+        query = "select _c from " + p.path[0] + " _c" + where;
+      } else {
+        query = "select _p, _c from " +
+                JoinPath(p.path, p.path.size() - 1) + " _p, " +
+                JoinPath(p.path, p.path.size()) + " _c" + where;
+      }
+      auto rows = Select(d, query);
+      if (!rows.ok()) return rows.status();
+      for (const auto& row : *rows) {
+        NodeId parent = p.path.size() == 1 ? d.root() : row[0].node;
+        NodeId child = p.path.size() == 1 ? row[0].node : row[1].node;
+        ops.push_back(ChangeOp::RemArc(parent, p.path.back(), child));
+      }
+      return ops;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status ApplyUpdate(DoemDatabase* d, Timestamp t,
+                   const std::string& statement) {
+  auto ops = CompileUpdate(*d, statement);
+  if (!ops.ok()) return ops.status();
+  return d->ApplyChangeSet(t, *ops);
+}
+
+}  // namespace chorel
+}  // namespace doem

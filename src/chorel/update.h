@@ -1,0 +1,58 @@
+#ifndef DOEM_CHOREL_UPDATE_H_
+#define DOEM_CHOREL_UPDATE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "doem/doem.h"
+#include "oem/change.h"
+
+namespace doem {
+namespace chorel {
+
+/// A small Lorel-style update language, compiling high-level requests
+/// into the four basic change operations — the paper's Section 2.1
+/// division of labor: "users will typically request 'higher-level'
+/// changes based on the Lorel update language; the basic change
+/// operations defined here reflect the actual changes at the database
+/// level."
+///
+/// Statements:
+///
+///   insert <path> := <literal> [where <cond>]
+///       For every object matched by the path prefix (filtered by the
+///       condition), create the literal as a fresh subobject reached by
+///       the path's last label.
+///       insert guide.restaurant := {name: "Hakata"}
+///       insert guide.restaurant.comment := "try the curry"
+///           where guide.restaurant.name = "Hakata"
+///
+///   set <path> := <value> [where <cond>]
+///       updNode every atomic object matched by the path.
+///       set guide.restaurant.price := 20
+///           where guide.restaurant.name = "Bangkok Cuisine"
+///
+///   remove <path> [where <cond>]
+///       remArc every matched (parent, last-label, child) arc; objects
+///       left unreachable are thereby deleted.
+///       remove guide.restaurant where guide.restaurant.name = "Janta"
+///
+/// Paths in statements are plain label chains (no wildcards or
+/// annotation expressions — updates target concrete data). Literals are
+/// atomic values (10, 2.5, "s", true, 4Jan97) or object literals
+/// ({label: literal, ...}).
+///
+/// CompileUpdate evaluates the statement against the *current snapshot*
+/// and returns the change set; it performs no mutation. ApplyUpdate
+/// compiles and applies at the given timestamp. Statements matching
+/// nothing compile to an empty change set.
+Result<ChangeSet> CompileUpdate(const DoemDatabase& d,
+                                const std::string& statement);
+
+Status ApplyUpdate(DoemDatabase* d, Timestamp t,
+                   const std::string& statement);
+
+}  // namespace chorel
+}  // namespace doem
+
+#endif  // DOEM_CHOREL_UPDATE_H_

@@ -1,0 +1,66 @@
+#ifndef DOEM_COMMON_RESULT_H_
+#define DOEM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace doem {
+
+/// Holder for either a value of type T or an error Status (never both).
+/// Analogous to arrow::Result / absl::StatusOr.
+///
+/// Accessing the value of an errored Result is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (the common error path).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating a non-OK status to the
+/// caller; otherwise moves the value into `lhs`.
+#define DOEM_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto DOEM_CONCAT_(_doem_result_, __LINE__) = (expr);             \
+  if (!DOEM_CONCAT_(_doem_result_, __LINE__).ok())                 \
+    return DOEM_CONCAT_(_doem_result_, __LINE__).status();         \
+  lhs = std::move(DOEM_CONCAT_(_doem_result_, __LINE__)).value()
+
+#define DOEM_CONCAT_INNER_(a, b) a##b
+#define DOEM_CONCAT_(a, b) DOEM_CONCAT_INNER_(a, b)
+
+}  // namespace doem
+
+#endif  // DOEM_COMMON_RESULT_H_

@@ -1,0 +1,91 @@
+#ifndef DOEM_COMMON_STATUS_H_
+#define DOEM_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace doem {
+
+/// Error categories used across the library. Public APIs never throw;
+/// fallible operations return a Status or a Result<T> (see result.h).
+enum class StatusCode {
+  kOk = 0,
+  /// A caller-supplied argument violated a documented precondition.
+  kInvalidArgument,
+  /// A referenced node, arc, or named entity does not exist.
+  kNotFound,
+  /// An entity that must be fresh (node id, arc, subscription name)
+  /// already exists.
+  kAlreadyExists,
+  /// A change operation or history is not valid for the database it is
+  /// applied to (Definitions 2.1 and 2.2 of the paper).
+  kInvalidChange,
+  /// A query or serialized database failed to parse.
+  kParseError,
+  /// A well-formed query uses a feature in an unsupported position.
+  kUnsupported,
+  /// An internal invariant was violated; indicates a library bug.
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "ParseError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation that produces no value.
+///
+/// Cheap to copy in the OK case (no allocation). Error statuses carry a
+/// message describing what failed; messages are intended for humans and are
+/// not part of the API contract.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidChange(std::string msg) {
+    return Status(StatusCode::kInvalidChange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller. Usable only in functions
+/// returning Status.
+#define DOEM_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::doem::Status _doem_status = (expr);         \
+    if (!_doem_status.ok()) return _doem_status;  \
+  } while (false)
+
+}  // namespace doem
+
+#endif  // DOEM_COMMON_STATUS_H_

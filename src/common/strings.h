@@ -1,0 +1,42 @@
+#ifndef DOEM_COMMON_STRINGS_H_
+#define DOEM_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace doem {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// ASCII case-insensitive equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Lowercases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// SQL LIKE match: '%' matches any sequence (including empty), '_' matches
+/// exactly one character; everything else matches literally.
+/// This is the semantics of the Lorel `like` operator used in the paper's
+/// polling-query example (Section 6).
+bool LikeMatch(std::string_view value, std::string_view pattern);
+
+/// Escapes a string for inclusion in double quotes in the OEM text format
+/// and in query literals ("\\", "\"", "\n", "\t").
+std::string EscapeString(std::string_view s);
+
+/// True if `s` is a valid bare identifier in the OEM text format / query
+/// syntax: [A-Za-z_][A-Za-z0-9_-]*.
+bool IsBareIdentifier(std::string_view s);
+
+}  // namespace doem
+
+#endif  // DOEM_COMMON_STRINGS_H_

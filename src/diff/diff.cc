@@ -1,0 +1,255 @@
+#include "diff/diff.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "oem/graph_compare.h"
+
+namespace doem {
+
+namespace {
+
+// ------------------------------------------------------------- keyed mode
+
+Result<ChangeSet> KeyedDiff(const OemDatabase& from, const OemDatabase& to) {
+  ChangeSet ops;
+  // Creations and updates.
+  for (NodeId n : to.NodeIds()) {
+    const Value& tv = *to.GetValue(n);
+    const Value* fv = from.GetValue(n);
+    if (fv == nullptr) {
+      ops.push_back(ChangeOp::CreNode(n, tv));
+    } else if (!(*fv == tv)) {
+      ops.push_back(ChangeOp::UpdNode(n, tv));
+    }
+  }
+  // Arc additions.
+  for (const Arc& a : to.AllArcs()) {
+    if (!from.HasArc(a.parent, a.label, a.child)) {
+      ops.push_back(ChangeOp::AddArc(a.parent, a.label, a.child));
+    }
+  }
+  // Arc removals. Arcs whose parent disappears are skipped: deletion is
+  // by unreachability, so removing the incoming arcs of the dead region
+  // (which ARE emitted, since their parents survive) suffices.
+  for (const Arc& a : from.AllArcs()) {
+    if (!to.HasNode(a.parent)) continue;
+    if (!to.HasArc(a.parent, a.label, a.child)) {
+      ops.push_back(ChangeOp::RemArc(a.parent, a.label, a.child));
+    }
+  }
+  return ops;
+}
+
+// -------------------------------------------------------- structural mode
+
+class StructuralMatcher {
+ public:
+  StructuralMatcher(const OemDatabase& from, const OemDatabase& to)
+      : from_(from), to_(to) {}
+
+  // Computes a partial injective mapping from-node -> to-node, rooted at
+  // the two roots.
+  std::unordered_map<NodeId, NodeId> Match() {
+    int rounds = static_cast<int>(
+        std::min<size_t>(16, std::max(from_.node_count(), to_.node_count())));
+    hf_ = RefinementHashes(from_, rounds);
+    ht_ = RefinementHashes(to_, rounds);
+    if (from_.root() != kInvalidNode && to_.root() != kInvalidNode) {
+      MatchPair(from_.root(), to_.root());
+    }
+    return fwd_;
+  }
+
+ private:
+  void MatchPair(NodeId a, NodeId b) {
+    auto ita = fwd_.find(a);
+    if (ita != fwd_.end()) return;  // already matched (shared node/cycle)
+    if (rev_.contains(b)) return;
+    fwd_[a] = b;
+    rev_[b] = a;
+
+    // Group children by label on both sides and pair within groups.
+    std::unordered_map<std::string, std::vector<NodeId>> ca, cb;
+    for (const OutArc& arc : from_.OutArcs(a)) {
+      ca[arc.label].push_back(arc.child);
+    }
+    for (const OutArc& arc : to_.OutArcs(b)) {
+      cb[arc.label].push_back(arc.child);
+    }
+    for (auto& [label, fc] : ca) {
+      auto it = cb.find(label);
+      if (it == cb.end()) continue;
+      PairChildren(fc, it->second);
+    }
+  }
+
+  // Pairs same-label child lists: exact signature matches first, then
+  // same-value atomics / best-overlap complex nodes.
+  void PairChildren(const std::vector<NodeId>& fc,
+                    const std::vector<NodeId>& tc) {
+    std::vector<NodeId> fleft, tleft;
+    for (NodeId f : fc) {
+      if (!fwd_.contains(f)) fleft.push_back(f);
+    }
+    std::unordered_set<NodeId> tused;
+    for (NodeId t : tc) {
+      if (rev_.contains(t)) tused.insert(t);
+    }
+    // Phase 1: exact refinement-hash matches (identical subtrees).
+    for (NodeId f : fleft) {
+      for (NodeId t : tc) {
+        if (tused.contains(t) || rev_.contains(t)) continue;
+        if (hf_.at(f) == ht_.at(t)) {
+          tused.insert(t);
+          MatchPair(f, t);
+          break;
+        }
+      }
+    }
+    // Phase 2: remaining pairs by similarity score.
+    for (NodeId f : fleft) {
+      if (fwd_.contains(f)) continue;
+      NodeId best = kInvalidNode;
+      double best_score = 0;
+      for (NodeId t : tc) {
+        if (tused.contains(t) || rev_.contains(t)) continue;
+        double s = Similarity(f, t);
+        if (s > best_score) {
+          best_score = s;
+          best = t;
+        }
+      }
+      // A minimum similarity avoids matching wholly unrelated nodes,
+      // which would turn one update into a cascade of arc surgery.
+      if (best != kInvalidNode && best_score >= 0.3) {
+        tused.insert(best);
+        MatchPair(f, best);
+      }
+    }
+  }
+
+  double Similarity(NodeId f, NodeId t) {
+    const Value& fv = *from_.GetValue(f);
+    const Value& tv = *to_.GetValue(t);
+    if (fv.is_atomic() != tv.is_atomic()) return 0.1;
+    if (fv.is_atomic()) return fv == tv ? 1.0 : 0.5;
+    // Complex: overlap of (label, child-signature) multisets.
+    std::unordered_map<uint64_t, int> sig;
+    size_t fa = 0, ta = 0;
+    for (const OutArc& a : from_.OutArcs(f)) {
+      ++sig[Mix(a.label, hf_.at(a.child))];
+      ++fa;
+    }
+    int common = 0;
+    for (const OutArc& a : to_.OutArcs(t)) {
+      auto it = sig.find(Mix(a.label, ht_.at(a.child)));
+      if (it != sig.end() && it->second > 0) {
+        --it->second;
+        ++common;
+      }
+      ++ta;
+    }
+    if (fa == 0 && ta == 0) return 0.9;  // both empty complex objects
+    return 0.3 + 0.7 * (2.0 * common / static_cast<double>(fa + ta));
+  }
+
+  static uint64_t Mix(const std::string& label, uint64_t h) {
+    return std::hash<std::string>()(label) * 0x9e3779b97f4a7c15ull ^ h;
+  }
+
+  const OemDatabase& from_;
+  const OemDatabase& to_;
+  std::unordered_map<NodeId, uint64_t> hf_, ht_;
+  std::unordered_map<NodeId, NodeId> fwd_, rev_;
+};
+
+Result<ChangeSet> StructuralDiff(const OemDatabase& from,
+                                 const OemDatabase& to) {
+  std::unordered_map<NodeId, NodeId> fwd =
+      StructuralMatcher(from, to).Match();
+  std::unordered_map<NodeId, NodeId> rev;  // to -> from-space id
+  for (const auto& [f, t] : fwd) rev[t] = f;
+
+  ChangeSet ops;
+  // Fresh ids for unmatched to-nodes, safely above both id spaces.
+  NodeId next_fresh = std::max(from.PeekNextId(), to.PeekNextId());
+  for (NodeId t : to.NodeIds()) {
+    if (!rev.contains(t)) {
+      NodeId fresh = next_fresh++;
+      rev[t] = fresh;
+      ops.push_back(ChangeOp::CreNode(fresh, *to.GetValue(t)));
+    }
+  }
+  // Updates on matched nodes whose values differ.
+  for (const auto& [f, t] : fwd) {
+    if (!(*from.GetValue(f) == *to.GetValue(t))) {
+      ops.push_back(ChangeOp::UpdNode(f, *to.GetValue(t)));
+    }
+  }
+  // Arcs of `to`, mapped into from-space.
+  for (const Arc& a : to.AllArcs()) {
+    NodeId p = rev.at(a.parent);
+    NodeId c = rev.at(a.child);
+    if (!from.HasNode(p) || !from.HasNode(c) ||
+        !from.HasArc(p, a.label, c)) {
+      ops.push_back(ChangeOp::AddArc(p, a.label, c));
+    }
+  }
+  // Arcs of `from` with no counterpart in `to`.
+  for (const Arc& a : from.AllArcs()) {
+    auto fp = fwd.find(a.parent);
+    if (fp == fwd.end()) continue;  // parent dies; deletion by reachability
+    auto fc = fwd.find(a.child);
+    bool kept = fc != fwd.end() &&
+                to.HasArc(fp->second, a.label, fc->second);
+    if (!kept) {
+      ops.push_back(ChangeOp::RemArc(a.parent, a.label, a.child));
+    }
+  }
+  return ops;
+}
+
+}  // namespace
+
+Result<ChangeSet> DiffSnapshots(const OemDatabase& from,
+                                const OemDatabase& to, DiffMode mode) {
+  DOEM_RETURN_IF_ERROR(from.Validate());
+  DOEM_RETURN_IF_ERROR(to.Validate());
+  Result<ChangeSet> ops = mode == DiffMode::kKeyed ? KeyedDiff(from, to)
+                                                   : StructuralDiff(from, to);
+  if (!ops.ok()) return ops;
+  DOEM_RETURN_IF_ERROR(CheckChangeSetConflicts(*ops));
+  return ops;
+}
+
+DiffStats SummarizeChanges(const ChangeSet& ops) {
+  DiffStats s;
+  for (const ChangeOp& op : ops) {
+    switch (op.kind) {
+      case ChangeOp::Kind::kCreNode:
+        ++s.creations;
+        break;
+      case ChangeOp::Kind::kUpdNode:
+        ++s.updates;
+        break;
+      case ChangeOp::Kind::kAddArc:
+        ++s.arc_additions;
+        break;
+      case ChangeOp::Kind::kRemArc:
+        ++s.arc_removals;
+        break;
+    }
+  }
+  return s;
+}
+
+std::string DiffStats::ToString() const {
+  return std::to_string(creations) + " creations, " +
+         std::to_string(updates) + " updates, " +
+         std::to_string(arc_additions) + " arc additions, " +
+         std::to_string(arc_removals) + " arc removals";
+}
+
+}  // namespace doem

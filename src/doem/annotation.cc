@@ -1,0 +1,29 @@
+#include "doem/annotation.h"
+
+namespace doem {
+
+std::string Annotation::ToString() const {
+  switch (kind) {
+    case Kind::kCre:
+      return "cre(" + time.ToString() + ")";
+    case Kind::kUpd:
+      return "upd(" + time.ToString() + ", " + old_value.ToString() + ")";
+    case Kind::kAdd:
+      return "add(" + time.ToString() + ")";
+    case Kind::kRem:
+      return "rem(" + time.ToString() + ")";
+  }
+  return "?";
+}
+
+std::string AnnotationListToString(const AnnotationList& annots) {
+  std::string out = "[";
+  for (size_t i = 0; i < annots.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += annots[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace doem

@@ -1,0 +1,54 @@
+#ifndef DOEM_DOEM_ANNOTATION_H_
+#define DOEM_DOEM_ANNOTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "oem/timestamp.h"
+#include "oem/value.h"
+
+namespace doem {
+
+/// An annotation on a node or arc of a DOEM graph (Section 3). There is a
+/// one-to-one correspondence with the basic change operations:
+///   cre(t)      node created at t
+///   upd(t, ov)  node value updated at t; ov is the value *before* t
+///   add(t)      arc added at t
+///   rem(t)      arc removed at t
+///
+/// cre/upd annotate nodes; add/rem annotate arcs.
+struct Annotation {
+  enum class Kind { kCre, kUpd, kAdd, kRem };
+
+  Kind kind = Kind::kCre;
+  Timestamp time;
+  /// The pre-update value; meaningful only for kUpd.
+  Value old_value;
+
+  static Annotation Cre(Timestamp t) {
+    return Annotation{Kind::kCre, t, Value()};
+  }
+  static Annotation Upd(Timestamp t, Value ov) {
+    return Annotation{Kind::kUpd, t, std::move(ov)};
+  }
+  static Annotation Add(Timestamp t) {
+    return Annotation{Kind::kAdd, t, Value()};
+  }
+  static Annotation Rem(Timestamp t) {
+    return Annotation{Kind::kRem, t, Value()};
+  }
+
+  bool operator==(const Annotation&) const = default;
+  std::string ToString() const;
+};
+
+/// Annotations attached to one node or arc, maintained in increasing
+/// timestamp order (at most one annotation per timestamp per node/arc,
+/// since a change set contains at most one operation per target).
+using AnnotationList = std::vector<Annotation>;
+
+std::string AnnotationListToString(const AnnotationList& annots);
+
+}  // namespace doem
+
+#endif  // DOEM_DOEM_ANNOTATION_H_

@@ -1,0 +1,105 @@
+#include "doem/annotation_index.h"
+
+#include <algorithm>
+
+namespace doem {
+
+AnnotationIndex::AnnotationIndex(const DoemDatabase& d) {
+  const OemDatabase& g = d.graph();
+  for (NodeId n : g.NodeIds()) {
+    for (const Annotation& a : d.NodeAnnotations(n)) {
+      if (a.kind == Annotation::Kind::kCre) {
+        cre_.push_back(NodeEntry{a.time, n});
+      } else if (a.kind == Annotation::Kind::kUpd) {
+        upd_.push_back(NodeEntry{a.time, n});
+      }
+    }
+  }
+  for (const Arc& arc : g.AllArcs()) {
+    for (const Annotation& a :
+         d.ArcAnnotations(arc.parent, arc.label, arc.child)) {
+      if (a.kind == Annotation::Kind::kAdd) {
+        add_.push_back(ArcEntry{a.time, arc});
+      } else if (a.kind == Annotation::Kind::kRem) {
+        rem_.push_back(ArcEntry{a.time, arc});
+      }
+    }
+  }
+  auto by_time = [](const auto& x, const auto& y) { return x.time < y.time; };
+  std::stable_sort(cre_.begin(), cre_.end(), by_time);
+  std::stable_sort(upd_.begin(), upd_.end(), by_time);
+  std::stable_sort(add_.begin(), add_.end(), by_time);
+  std::stable_sort(rem_.begin(), rem_.end(), by_time);
+}
+
+template <typename Entry>
+std::vector<Entry> AnnotationIndex::Range(const std::vector<Entry>& postings,
+                                          Timestamp from, Timestamp to) {
+  auto lo = std::lower_bound(
+      postings.begin(), postings.end(), from,
+      [](const Entry& e, Timestamp t) { return e.time < t; });
+  auto hi = std::upper_bound(
+      postings.begin(), postings.end(), to,
+      [](Timestamp t, const Entry& e) { return t < e.time; });
+  if (lo >= hi) return {};  // empty or inverted range
+  return std::vector<Entry>(lo, hi);
+}
+
+std::vector<AnnotationIndex::NodeEntry> AnnotationIndex::CreatedIn(
+    Timestamp from, Timestamp to) const {
+  return Range(cre_, from, to);
+}
+
+std::vector<AnnotationIndex::NodeEntry> AnnotationIndex::UpdatedIn(
+    Timestamp from, Timestamp to) const {
+  return Range(upd_, from, to);
+}
+
+std::vector<AnnotationIndex::ArcEntry> AnnotationIndex::AddedIn(
+    Timestamp from, Timestamp to) const {
+  return Range(add_, from, to);
+}
+
+std::vector<AnnotationIndex::ArcEntry> AnnotationIndex::RemovedIn(
+    Timestamp from, Timestamp to) const {
+  return Range(rem_, from, to);
+}
+
+std::vector<AnnotationIndex::NodeEntry> ScanCreatedIn(const DoemDatabase& d,
+                                                      Timestamp from,
+                                                      Timestamp to) {
+  std::vector<AnnotationIndex::NodeEntry> out;
+  for (NodeId n : d.graph().NodeIds()) {
+    for (const Annotation& a : d.NodeAnnotations(n)) {
+      if (a.kind == Annotation::Kind::kCre && a.time >= from &&
+          a.time <= to) {
+        out.push_back({a.time, n});
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
+    return x.time < y.time;
+  });
+  return out;
+}
+
+std::vector<AnnotationIndex::ArcEntry> ScanAddedIn(const DoemDatabase& d,
+                                                   Timestamp from,
+                                                   Timestamp to) {
+  std::vector<AnnotationIndex::ArcEntry> out;
+  for (const Arc& arc : d.graph().AllArcs()) {
+    for (const Annotation& a :
+         d.ArcAnnotations(arc.parent, arc.label, arc.child)) {
+      if (a.kind == Annotation::Kind::kAdd && a.time >= from &&
+          a.time <= to) {
+        out.push_back({a.time, arc});
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
+    return x.time < y.time;
+  });
+  return out;
+}
+
+}  // namespace doem

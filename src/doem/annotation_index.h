@@ -1,0 +1,70 @@
+#ifndef DOEM_DOEM_ANNOTATION_INDEX_H_
+#define DOEM_DOEM_ANNOTATION_INDEX_H_
+
+#include <vector>
+
+#include "doem/doem.h"
+
+namespace doem {
+
+/// An index over the annotations of a DOEM database, keyed by annotation
+/// kind and timestamp — the paper's Section 7 future-work item
+/// ("designing indexes on annotations (based on their types and
+/// timestamps)").
+///
+/// The index answers "which nodes/arcs were created/updated/added/removed
+/// in [from, to]?" by binary search over per-kind, time-sorted postings,
+/// instead of scanning every node and arc of the graph. Chorel queries of
+/// the QSS shape — "changes since the last poll" — are exactly such range
+/// probes; bench_annotation_index quantifies the gain.
+///
+/// The index is a read-only companion: build it from a DoemDatabase and
+/// rebuild (or Refresh with the new timestamp's entries) after mutations.
+class AnnotationIndex {
+ public:
+  struct NodeEntry {
+    Timestamp time;
+    NodeId node;
+  };
+  struct ArcEntry {
+    Timestamp time;
+    Arc arc;
+  };
+
+  /// Builds the index in one pass over the database.
+  explicit AnnotationIndex(const DoemDatabase& d);
+
+  /// Nodes with a cre annotation in [from, to], time-ascending.
+  std::vector<NodeEntry> CreatedIn(Timestamp from, Timestamp to) const;
+  /// Nodes with an upd annotation in [from, to]; a node appears once per
+  /// matching update.
+  std::vector<NodeEntry> UpdatedIn(Timestamp from, Timestamp to) const;
+  /// Arcs with an add / rem annotation in [from, to].
+  std::vector<ArcEntry> AddedIn(Timestamp from, Timestamp to) const;
+  std::vector<ArcEntry> RemovedIn(Timestamp from, Timestamp to) const;
+
+  size_t entry_count() const {
+    return cre_.size() + upd_.size() + add_.size() + rem_.size();
+  }
+
+ private:
+  template <typename Entry>
+  static std::vector<Entry> Range(const std::vector<Entry>& postings,
+                                  Timestamp from, Timestamp to);
+
+  std::vector<NodeEntry> cre_, upd_;
+  std::vector<ArcEntry> add_, rem_;
+};
+
+/// The scan-based equivalents, for correctness tests and the ablation
+/// benchmark: walk every node / arc and filter annotations by hand.
+std::vector<AnnotationIndex::NodeEntry> ScanCreatedIn(const DoemDatabase& d,
+                                                      Timestamp from,
+                                                      Timestamp to);
+std::vector<AnnotationIndex::ArcEntry> ScanAddedIn(const DoemDatabase& d,
+                                                   Timestamp from,
+                                                   Timestamp to);
+
+}  // namespace doem
+
+#endif  // DOEM_DOEM_ANNOTATION_INDEX_H_

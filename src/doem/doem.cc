@@ -1,0 +1,505 @@
+#include "doem/doem.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "oem/oem_text.h"
+
+namespace doem {
+
+namespace {
+const AnnotationList kNoAnnotations;
+}  // namespace
+
+std::string DoemDatabase::ArcKey(NodeId p, const std::string& l, NodeId c) {
+  return std::to_string(p) + "\x1f" + l + "\x1f" + std::to_string(c);
+}
+
+Result<DoemDatabase> DoemDatabase::FromSnapshot(OemDatabase base) {
+  Status s = base.Validate();
+  if (!s.ok()) {
+    return Status(s.code(), "DoemDatabase::FromSnapshot: " + s.message());
+  }
+  DoemDatabase d;
+  d.graph_ = std::move(base);
+  return d;
+}
+
+Result<DoemDatabase> DoemDatabase::Build(OemDatabase base,
+                                         const OemHistory& h) {
+  auto d = FromSnapshot(std::move(base));
+  if (!d.ok()) return d.status();
+  DOEM_RETURN_IF_ERROR(d->ApplyHistory(h));
+  return std::move(d).value();
+}
+
+Result<DoemDatabase> DoemDatabase::FromParts(
+    OemDatabase graph,
+    std::unordered_map<NodeId, AnnotationList> node_annots,
+    std::vector<std::pair<Arc, AnnotationList>> arc_annots) {
+  DoemDatabase d;
+  if (graph.root() == kInvalidNode) {
+    return Status::InvalidArgument("FromParts: graph has no root");
+  }
+  auto check_ordered = [](const AnnotationList& annots) {
+    for (size_t i = 1; i < annots.size(); ++i) {
+      if (annots[i].time <= annots[i - 1].time) return false;
+    }
+    return true;
+  };
+  std::optional<Timestamp> last;
+  for (const auto& [n, annots] : node_annots) {
+    if (!graph.HasNode(n)) {
+      return Status::InvalidArgument("FromParts: annotations on unknown "
+                                     "node " +
+                                     std::to_string(n));
+    }
+    if (!check_ordered(annots)) {
+      return Status::InvalidArgument("FromParts: node annotations not "
+                                     "time-ordered");
+    }
+    for (size_t i = 0; i < annots.size(); ++i) {
+      const Annotation& a = annots[i];
+      if (a.kind == Annotation::Kind::kAdd ||
+          a.kind == Annotation::Kind::kRem) {
+        return Status::InvalidArgument("FromParts: arc annotation on node");
+      }
+      if (a.kind == Annotation::Kind::kCre && i != 0) {
+        return Status::InvalidArgument("FromParts: cre must be earliest");
+      }
+      if (!last || a.time > *last) last = a.time;
+    }
+  }
+  for (const auto& [arc, annots] : arc_annots) {
+    if (!graph.HasArc(arc.parent, arc.label, arc.child)) {
+      return Status::InvalidArgument("FromParts: annotations on unknown "
+                                     "arc " +
+                                     arc.ToString());
+    }
+    if (!check_ordered(annots)) {
+      return Status::InvalidArgument("FromParts: arc annotations not "
+                                     "time-ordered");
+    }
+    for (const Annotation& a : annots) {
+      if (a.kind == Annotation::Kind::kCre ||
+          a.kind == Annotation::Kind::kUpd) {
+        return Status::InvalidArgument("FromParts: node annotation on arc");
+      }
+      if (!last || a.time > *last) last = a.time;
+    }
+  }
+  d.graph_ = std::move(graph);
+  d.node_annots_ = std::move(node_annots);
+  for (auto& [arc, annots] : arc_annots) {
+    if (!annots.empty()) {
+      d.arc_annots_[ArcKey(arc.parent, arc.label, arc.child)] =
+          std::move(annots);
+    }
+  }
+  d.last_time_ = last;
+  d.RefreshDeleted();
+  return d;
+}
+
+const AnnotationList& DoemDatabase::NodeAnnotations(NodeId n) const {
+  auto it = node_annots_.find(n);
+  return it == node_annots_.end() ? kNoAnnotations : it->second;
+}
+
+const AnnotationList& DoemDatabase::ArcAnnotations(NodeId p,
+                                                   const std::string& l,
+                                                   NodeId c) const {
+  auto it = arc_annots_.find(ArcKey(p, l, c));
+  return it == arc_annots_.end() ? kNoAnnotations : it->second;
+}
+
+Status DoemDatabase::ApplyChangeSet(Timestamp t, const ChangeSet& ops) {
+  if (last_time_.has_value() && t <= *last_time_) {
+    return Status::InvalidChange(
+        "change-set timestamps must be strictly increasing: " +
+        t.ToString() + " after " + last_time_->ToString());
+  }
+  DOEM_RETURN_IF_ERROR(CheckChangeSetConflicts(ops));
+  DoemDatabase scratch = *this;
+  for (const ChangeOp& op : CanonicalOrder(ops)) {
+    Status s = scratch.ApplyOne(t, op);
+    if (!s.ok()) {
+      return Status(s.code(), op.ToString() + ": " + s.message());
+    }
+  }
+  scratch.RefreshDeleted(t);
+  scratch.last_time_ = t;
+  *this = std::move(scratch);
+  return Status::OK();
+}
+
+Status DoemDatabase::ApplyHistory(const OemHistory& h) {
+  for (const HistoryStep& step : h.steps()) {
+    DOEM_RETURN_IF_ERROR(ApplyChangeSet(step.time, step.changes));
+  }
+  return Status::OK();
+}
+
+Status DoemDatabase::ApplyOne(Timestamp t, const ChangeOp& op) {
+  switch (op.kind) {
+    case ChangeOp::Kind::kCreNode: {
+      DOEM_RETURN_IF_ERROR(graph_.CreNode(op.node, op.value));
+      node_annots_[op.node].push_back(Annotation::Cre(t));
+      return Status::OK();
+    }
+    case ChangeOp::Kind::kUpdNode: {
+      if (!graph_.HasNode(op.node)) {
+        return Status::NotFound("no node " + std::to_string(op.node));
+      }
+      if (deleted_.contains(op.node)) {
+        return Status::InvalidChange("node " + std::to_string(op.node) +
+                                     " was deleted");
+      }
+      if (!LiveArcs(op.node).empty()) {
+        return Status::InvalidChange(
+            "node " + std::to_string(op.node) +
+            " has live subobjects; remove them before updating");
+      }
+      Value old = CurrentValue(op.node);
+      DOEM_RETURN_IF_ERROR(graph_.SetValueForce(op.node, op.value));
+      node_annots_[op.node].push_back(Annotation::Upd(t, std::move(old)));
+      return Status::OK();
+    }
+    case ChangeOp::Kind::kAddArc: {
+      const Arc& a = op.arc;
+      if (!graph_.HasNode(a.parent) || !graph_.HasNode(a.child)) {
+        return Status::NotFound("missing endpoint of " + a.ToString());
+      }
+      if (deleted_.contains(a.parent) || deleted_.contains(a.child)) {
+        return Status::InvalidChange("endpoint of " + a.ToString() +
+                                     " was deleted");
+      }
+      if (!CurrentValue(a.parent).is_complex()) {
+        return Status::InvalidChange("parent of " + a.ToString() +
+                                     " is atomic");
+      }
+      if (ArcCurrentlyLive(a.parent, a.label, a.child)) {
+        return Status::InvalidChange("arc " + a.ToString() +
+                                     " already exists");
+      }
+      if (!graph_.HasArc(a.parent, a.label, a.child)) {
+        DOEM_RETURN_IF_ERROR(graph_.AddArc(a.parent, a.label, a.child));
+      }
+      arc_annots_[ArcKey(a.parent, a.label, a.child)].push_back(
+          Annotation::Add(t));
+      return Status::OK();
+    }
+    case ChangeOp::Kind::kRemArc: {
+      const Arc& a = op.arc;
+      if (!ArcCurrentlyLive(a.parent, a.label, a.child)) {
+        return Status::InvalidChange("arc " + a.ToString() +
+                                     " does not exist");
+      }
+      // The arc is not physically removed; it gets a rem annotation
+      // (Section 3.1).
+      arc_annots_[ArcKey(a.parent, a.label, a.child)].push_back(
+          Annotation::Rem(t));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown ChangeOp kind");
+}
+
+void DoemDatabase::RefreshDeleted(std::optional<Timestamp> t) {
+  std::unordered_set<NodeId> live;
+  NodeId root = graph_.root();
+  if (root != kInvalidNode && graph_.HasNode(root)) {
+    std::deque<NodeId> queue{root};
+    live.insert(root);
+    while (!queue.empty()) {
+      NodeId n = queue.front();
+      queue.pop_front();
+      for (const OutArc& a : graph_.OutArcs(n)) {
+        if (!ArcCurrentlyLive(n, a.label, a.child)) continue;
+        if (live.insert(a.child).second) queue.push_back(a.child);
+      }
+    }
+  }
+  // Stillborn nodes: created in the set that just ended (cre at time t)
+  // and already unreachable. They never existed in any snapshot, so they
+  // are erased physically rather than kept as history (keeping them would
+  // make the Section 5.1 encoding unreachable from its root). Arcs touching
+  // a stillborn node were necessarily added in the same set and are erased
+  // with their annotations.
+  std::unordered_set<NodeId> stillborn;
+  if (t.has_value()) {
+    for (NodeId n : graph_.NodeIds()) {
+      if (live.contains(n)) continue;
+      auto cre = CreTime(n);
+      if (cre.has_value() && *cre == *t) stillborn.insert(n);
+    }
+    if (!stillborn.empty()) {
+      for (const Arc& arc : graph_.AllArcs()) {
+        if (stillborn.contains(arc.parent) ||
+            stillborn.contains(arc.child)) {
+          Status s = graph_.RemArc(arc.parent, arc.label, arc.child);
+          (void)s;
+          arc_annots_.erase(ArcKey(arc.parent, arc.label, arc.child));
+        }
+      }
+      for (NodeId n : stillborn) {
+        node_annots_.erase(n);
+        // Physically drop the node: route through a scratch GC-free path
+        // by rebuilding values; OemDatabase has no raw erase, so mark via
+        // CollectGarbage below would be unsafe (it would also drop kept
+        // deleted nodes). Instead we remove it directly.
+        graph_.EraseNodeForce(n);
+      }
+    }
+  }
+  for (NodeId n : graph_.NodeIds()) {
+    if (!live.contains(n)) deleted_.insert(n);
+  }
+}
+
+Value DoemDatabase::ValueAt(NodeId n, Timestamp t) const {
+  const Value* current = graph_.GetValue(n);
+  if (current == nullptr) return Value();
+  // Section 3.2: if the last upd is at or before t, the value is v(n);
+  // otherwise it is the old value of the earliest upd strictly after t.
+  for (const Annotation& a : NodeAnnotations(n)) {
+    if (a.kind == Annotation::Kind::kUpd && a.time > t) {
+      return a.old_value;
+    }
+  }
+  return *current;
+}
+
+const Value& DoemDatabase::CurrentValue(NodeId n) const {
+  static const Value kComplex;
+  const Value* v = graph_.GetValue(n);
+  return v == nullptr ? kComplex : *v;
+}
+
+bool DoemDatabase::ArcLiveAt(NodeId p, const std::string& l, NodeId c,
+                             Timestamp t) const {
+  if (!graph_.HasArc(p, l, c)) return false;
+  const AnnotationList& annots = ArcAnnotations(p, l, c);
+  const Annotation* last_at_or_before = nullptr;
+  for (const Annotation& a : annots) {
+    if (a.time <= t) last_at_or_before = &a;
+  }
+  if (last_at_or_before != nullptr) {
+    return last_at_or_before->kind == Annotation::Kind::kAdd;
+  }
+  // No annotation at or before t: the arc existed at t iff it is an
+  // original arc — no annotations at all, or the earliest annotation is a
+  // removal (an arc whose first event is `add` did not exist before that
+  // add).
+  return annots.empty() || annots.front().kind == Annotation::Kind::kRem;
+}
+
+std::vector<OutArc> DoemDatabase::ArcsLiveAt(NodeId n, Timestamp t) const {
+  std::vector<OutArc> out;
+  for (const OutArc& a : graph_.OutArcs(n)) {
+    if (ArcLiveAt(n, a.label, a.child, t)) out.push_back(a);
+  }
+  return out;
+}
+
+OemDatabase DoemDatabase::SnapshotAt(Timestamp t) const {
+  OemDatabase snap;
+  NodeId root = graph_.root();
+  if (root == kInvalidNode) return snap;
+
+  // Discover nodes reachable at time t. Arcs are traversed only out of
+  // nodes that are complex at t; in a feasible database a node with live
+  // out-arcs is necessarily complex, so this is defensive.
+  std::unordered_set<NodeId> seen{root};
+  std::deque<NodeId> queue{root};
+  std::vector<NodeId> order;
+  while (!queue.empty()) {
+    NodeId n = queue.front();
+    queue.pop_front();
+    order.push_back(n);
+    if (!ValueAt(n, t).is_complex()) continue;
+    for (const OutArc& a : ArcsLiveAt(n, t)) {
+      if (seen.insert(a.child).second) queue.push_back(a.child);
+    }
+  }
+  for (NodeId n : order) {
+    Status s = snap.CreNode(n, ValueAt(n, t));
+    (void)s;
+  }
+  for (NodeId n : order) {
+    if (!ValueAt(n, t).is_complex()) continue;
+    for (const OutArc& a : ArcsLiveAt(n, t)) {
+      Status s = snap.AddArc(n, a.label, a.child);
+      (void)s;
+    }
+  }
+  // Preserve the id allocator position so snapshots can be extended
+  // without clashing with ids the DOEM graph already burned.
+  snap.ReserveIdsBelow(graph_.PeekNextId());
+  Status s = snap.SetRoot(root);
+  (void)s;
+  return snap;
+}
+
+std::vector<Timestamp> DoemDatabase::AllTimestamps() const {
+  std::set<Timestamp> times;
+  for (const auto& [n, annots] : node_annots_) {
+    for (const Annotation& a : annots) times.insert(a.time);
+  }
+  for (const auto& [key, annots] : arc_annots_) {
+    for (const Annotation& a : annots) times.insert(a.time);
+  }
+  return {times.begin(), times.end()};
+}
+
+std::optional<Timestamp> DoemDatabase::CreTime(NodeId n) const {
+  for (const Annotation& a : NodeAnnotations(n)) {
+    if (a.kind == Annotation::Kind::kCre) return a.time;
+  }
+  return std::nullopt;
+}
+
+std::vector<UpdRecord> DoemDatabase::UpdRecords(NodeId n) const {
+  std::vector<UpdRecord> out;
+  const AnnotationList& annots = NodeAnnotations(n);
+  for (size_t i = 0; i < annots.size(); ++i) {
+    if (annots[i].kind != Annotation::Kind::kUpd) continue;
+    // The new value is the old value of the next upd, or the current
+    // value if this is the last update (Section 4.2).
+    Value nv = CurrentValue(n);
+    for (size_t j = i + 1; j < annots.size(); ++j) {
+      if (annots[j].kind == Annotation::Kind::kUpd) {
+        nv = annots[j].old_value;
+        break;
+      }
+    }
+    out.push_back(UpdRecord{annots[i].time, annots[i].old_value,
+                            std::move(nv)});
+  }
+  return out;
+}
+
+std::vector<std::pair<Timestamp, NodeId>> DoemDatabase::AddAnnotated(
+    NodeId n, const std::string& label) const {
+  std::vector<std::pair<Timestamp, NodeId>> out;
+  for (const OutArc& a : graph_.OutArcs(n)) {
+    if (a.label != label) continue;
+    for (const Annotation& ann : ArcAnnotations(n, a.label, a.child)) {
+      if (ann.kind == Annotation::Kind::kAdd) {
+        out.emplace_back(ann.time, a.child);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<Timestamp, NodeId>> DoemDatabase::RemAnnotated(
+    NodeId n, const std::string& label) const {
+  std::vector<std::pair<Timestamp, NodeId>> out;
+  for (const OutArc& a : graph_.OutArcs(n)) {
+    if (a.label != label) continue;
+    for (const Annotation& ann : ArcAnnotations(n, a.label, a.child)) {
+      if (ann.kind == Annotation::Kind::kRem) {
+        out.emplace_back(ann.time, a.child);
+      }
+    }
+  }
+  return out;
+}
+
+OemHistory DoemDatabase::ExtractHistory() const {
+  OemHistory history;
+  for (Timestamp t : AllTimestamps()) {
+    ChangeSet ops;
+    for (NodeId n : graph_.NodeIds()) {
+      const AnnotationList& annots = NodeAnnotations(n);
+      for (size_t i = 0; i < annots.size(); ++i) {
+        if (annots[i].time != t) continue;
+        // Value right after time t: the old value of the next upd
+        // annotation, or the current value (Section 3.2, cases 2-3).
+        Value v_after = CurrentValue(n);
+        for (size_t j = i + 1; j < annots.size(); ++j) {
+          if (annots[j].kind == Annotation::Kind::kUpd) {
+            v_after = annots[j].old_value;
+            break;
+          }
+        }
+        if (annots[i].kind == Annotation::Kind::kCre) {
+          ops.push_back(ChangeOp::CreNode(n, std::move(v_after)));
+        } else if (annots[i].kind == Annotation::Kind::kUpd) {
+          ops.push_back(ChangeOp::UpdNode(n, std::move(v_after)));
+        }
+      }
+    }
+    for (const Arc& arc : graph_.AllArcs()) {
+      for (const Annotation& ann :
+           ArcAnnotations(arc.parent, arc.label, arc.child)) {
+        if (ann.time != t) continue;
+        if (ann.kind == Annotation::Kind::kAdd) {
+          ops.push_back(ChangeOp::AddArc(arc.parent, arc.label, arc.child));
+        } else if (ann.kind == Annotation::Kind::kRem) {
+          ops.push_back(ChangeOp::RemArc(arc.parent, arc.label, arc.child));
+        }
+      }
+    }
+    Status s = history.Append(t, std::move(ops));
+    (void)s;  // Timestamps come sorted from AllTimestamps.
+  }
+  return history;
+}
+
+bool DoemDatabase::IsFeasible() const {
+  OemDatabase original = OriginalSnapshot();
+  if (!original.Validate().ok()) return false;
+  auto rebuilt = FromSnapshot(std::move(original));
+  if (!rebuilt.ok()) return false;
+  if (!rebuilt->ApplyHistory(ExtractHistory()).ok()) return false;
+  return Equals(*rebuilt);
+}
+
+bool DoemDatabase::Equals(const DoemDatabase& other) const {
+  if (!graph_.Equals(other.graph_)) return false;
+  if (deleted_ != other.deleted_) return false;
+  auto nonempty = [](const auto& m) {
+    size_t n = 0;
+    for (const auto& [k, v] : m) {
+      if (!v.empty()) ++n;
+    }
+    return n;
+  };
+  if (nonempty(node_annots_) != nonempty(other.node_annots_)) return false;
+  for (const auto& [n, annots] : node_annots_) {
+    if (annots.empty()) continue;
+    if (other.NodeAnnotations(n) != annots) return false;
+  }
+  if (nonempty(arc_annots_) != nonempty(other.arc_annots_)) return false;
+  for (const auto& [key, annots] : arc_annots_) {
+    if (annots.empty()) continue;
+    auto it = other.arc_annots_.find(key);
+    if (it == other.arc_annots_.end() || it->second != annots) return false;
+  }
+  return true;
+}
+
+std::string DoemDatabase::ToString() const {
+  std::string out = WriteOemText(graph_);
+  out += "-- node annotations --\n";
+  for (NodeId n : graph_.NodeIds()) {
+    const AnnotationList& annots = NodeAnnotations(n);
+    if (annots.empty()) continue;
+    out += "&" + std::to_string(n) + ": " + AnnotationListToString(annots);
+    if (deleted_.contains(n)) out += " (deleted)";
+    out += "\n";
+  }
+  out += "-- arc annotations --\n";
+  for (const Arc& arc : graph_.AllArcs()) {
+    const AnnotationList& annots =
+        ArcAnnotations(arc.parent, arc.label, arc.child);
+    if (annots.empty()) continue;
+    out += arc.ToString() + ": " + AnnotationListToString(annots) + "\n";
+  }
+  return out;
+}
+
+}  // namespace doem

@@ -1,0 +1,197 @@
+#ifndef DOEM_DOEM_DOEM_H_
+#define DOEM_DOEM_DOEM_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "doem/annotation.h"
+#include "oem/change.h"
+#include "oem/history.h"
+#include "oem/oem.h"
+
+namespace doem {
+
+/// A (time, old value, new value) record for one upd annotation. The new
+/// value is not stored in the DOEM model; it is derived per Section 4.2:
+/// the old value of the temporally next upd annotation, or the current
+/// value if none follows.
+struct UpdRecord {
+  Timestamp time;
+  Value old_value;
+  Value new_value;
+
+  bool operator==(const UpdRecord&) const = default;
+};
+
+/// A DOEM database D = (O, fN, fA) (Definition 3.1): an OEM graph whose
+/// nodes and arcs carry annotation sets encoding the history of basic
+/// change operations.
+///
+/// Unlike a plain OemDatabase, the underlying graph is a *superset* of any
+/// single state: removed arcs stay in the graph with a `rem` annotation,
+/// and objects that became unreachable ("deleted") stay physically present.
+/// Consequently the raw graph() may violate plain-OEM invariants — e.g. a
+/// node updated to an atomic value can still have (removed) out-arcs.
+/// All snapshot accessors apply liveness filtering.
+///
+/// Construction follows Section 3.1: start from a base snapshot
+/// (FromSnapshot) and apply history steps (ApplyHistory / ApplyChangeSet),
+/// which performs the change and attaches the corresponding annotation.
+class DoemDatabase {
+ public:
+  DoemDatabase() = default;
+
+  /// Wraps a base snapshot O with empty annotation sets (D_0 in the
+  /// paper's inductive construction). The snapshot must be well-formed
+  /// (Validate() must pass). A minimal base is a single complex root —
+  /// this is what the QSS uses as its "empty" result database, so that
+  /// reachability-based deletion has an anchor.
+  static Result<DoemDatabase> FromSnapshot(OemDatabase base);
+
+  /// Builds D(O, H): FromSnapshot(O) then ApplyHistory(H).
+  static Result<DoemDatabase> Build(OemDatabase base, const OemHistory& h);
+
+  /// Assembles a DOEM database directly from an annotated graph — the
+  /// decoder's entry point (Section 5.1), also usable to construct
+  /// *infeasible* databases for testing IsFeasible. `graph` is the raw
+  /// superset graph; `arc_annots` entries must reference arcs present in
+  /// it. Annotation lists must be time-ordered; the deleted set is
+  /// recomputed from current-liveness reachability.
+  static Result<DoemDatabase> FromParts(
+      OemDatabase graph,
+      std::unordered_map<NodeId, AnnotationList> node_annots,
+      std::vector<std::pair<Arc, AnnotationList>> arc_annots);
+
+  // ---- Mutation (Section 3.1) ----------------------------------------
+
+  /// Applies the set U at time t, attaching annotations. Transactional:
+  /// on error the database is unchanged. t must exceed every timestamp
+  /// already present. Validity of U is checked against the *current
+  /// snapshot*, mirroring Definition 2.2.
+  Status ApplyChangeSet(Timestamp t, const ChangeSet& ops);
+
+  /// Applies all steps of `h` in order.
+  Status ApplyHistory(const OemHistory& h);
+
+  // ---- Raw annotated graph --------------------------------------------
+
+  /// The full annotated graph, including removed arcs and deleted nodes.
+  const OemDatabase& graph() const { return graph_; }
+  NodeId root() const { return graph_.root(); }
+
+  /// fN(n): annotations on node n (time-ordered). Empty if none.
+  const AnnotationList& NodeAnnotations(NodeId n) const;
+  /// fA(p,l,c): annotations on the arc (time-ordered). Empty if none.
+  const AnnotationList& ArcAnnotations(NodeId p, const std::string& l,
+                                       NodeId c) const;
+
+  // ---- Liveness & time travel ------------------------------------------
+
+  /// The node's value at time t (Section 3.2, step 1).
+  Value ValueAt(NodeId n, Timestamp t) const;
+  /// The node's current value, v(n).
+  const Value& CurrentValue(NodeId n) const;
+
+  /// Whether the arc existed at time t: the latest annotation at or
+  /// before t is an add; or there is no such annotation and the arc is
+  /// original (no annotations, or earliest is rem). Section 3.2, step 2 —
+  /// with the refinement that arcs first added *after* t did not exist
+  /// at t.
+  bool ArcLiveAt(NodeId p, const std::string& l, NodeId c,
+                 Timestamp t) const;
+  bool ArcCurrentlyLive(NodeId p, const std::string& l, NodeId c) const {
+    return ArcLiveAt(p, l, c, Timestamp::PositiveInfinity());
+  }
+
+  /// Out-arcs of n that existed at time t / exist now.
+  std::vector<OutArc> ArcsLiveAt(NodeId n, Timestamp t) const;
+  std::vector<OutArc> LiveArcs(NodeId n) const {
+    return ArcsLiveAt(n, Timestamp::PositiveInfinity());
+  }
+
+  /// True if the object was deleted (became unreachable at some change-set
+  /// boundary). Deleted objects stay in graph() but no longer participate
+  /// in history (Section 2.2).
+  bool IsDeleted(NodeId n) const { return deleted_.contains(n); }
+
+  // ---- Snapshots (Section 3.2) ----------------------------------------
+
+  /// O_t(D): the snapshot at time t, with original node identifiers.
+  OemDatabase SnapshotAt(Timestamp t) const;
+  /// O_0(D): the original snapshot.
+  OemDatabase OriginalSnapshot() const {
+    return SnapshotAt(Timestamp::NegativeInfinity());
+  }
+  /// The current snapshot.
+  OemDatabase CurrentSnapshot() const {
+    return SnapshotAt(Timestamp::PositiveInfinity());
+  }
+
+  // ---- History extraction & feasibility (Section 3.2) ------------------
+
+  /// All timestamps occurring in annotations, sorted ascending.
+  std::vector<Timestamp> AllTimestamps() const;
+
+  /// H(D): the encoded history.
+  OemHistory ExtractHistory() const;
+
+  /// Whether D is feasible: D(O_0(D), H(D)) == D. Every database built via
+  /// FromSnapshot/ApplyHistory is feasible; hand-assembled annotation sets
+  /// may not be.
+  bool IsFeasible() const;
+
+  /// Structural equality: same graph (ids, values, arcs, root), same
+  /// annotation sets, same deleted set.
+  bool Equals(const DoemDatabase& other) const;
+
+  // ---- Chorel support ---------------------------------------------------
+
+  /// creFun(n): the cre timestamp, if any (at most one per node).
+  std::optional<Timestamp> CreTime(NodeId n) const;
+
+  /// updFun(n): (t, ov, nv) triples for each upd annotation on n.
+  std::vector<UpdRecord> UpdRecords(NodeId n) const;
+
+  /// addFun(n, l): (t, c) pairs such that arc (n, l, c) has an add(t)
+  /// annotation — regardless of whether the arc is currently live.
+  std::vector<std::pair<Timestamp, NodeId>> AddAnnotated(
+      NodeId n, const std::string& label) const;
+  /// remFun(n, l): analogous for rem annotations.
+  std::vector<std::pair<Timestamp, NodeId>> RemAnnotated(
+      NodeId n, const std::string& label) const;
+
+  /// All arcs (p,l,c) of the raw graph, plus liveness filtering helpers,
+  /// used by the encoder.
+  std::string ToString() const;
+
+ private:
+  static std::string ArcKey(NodeId p, const std::string& l, NodeId c);
+
+  /// Recomputes the deleted set: non-deleted nodes unreachable from the
+  /// root via currently-live arcs become deleted. Nodes created in the
+  /// change set that just ended and already unreachable ("stillborn" —
+  /// they never existed in any snapshot) are physically pruned together
+  /// with their incident arcs and annotations; `t` is that set's
+  /// timestamp.
+  void RefreshDeleted(std::optional<Timestamp> t = std::nullopt);
+
+  Status ApplyOne(Timestamp t, const ChangeOp& op);
+
+  OemDatabase graph_;
+  std::unordered_map<NodeId, AnnotationList> node_annots_;
+  std::unordered_map<std::string, AnnotationList> arc_annots_;
+  std::unordered_set<NodeId> deleted_;
+  // Largest timestamp applied so far (annotation timestamps are strictly
+  // increasing across change sets).
+  std::optional<Timestamp> last_time_;
+};
+
+}  // namespace doem
+
+#endif  // DOEM_DOEM_DOEM_H_

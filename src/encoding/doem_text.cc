@@ -1,0 +1,20 @@
+#include "encoding/doem_text.h"
+
+#include "encoding/encode.h"
+#include "oem/oem_text.h"
+
+namespace doem {
+
+std::string WriteDoemText(const DoemDatabase& d) {
+  auto enc = EncodeDoem(d);
+  if (!enc.ok()) return std::string();
+  return WriteOemText(*enc);
+}
+
+Result<DoemDatabase> ParseDoemText(const std::string& text) {
+  auto enc = ParseOemText(text);
+  if (!enc.ok()) return enc.status();
+  return DecodeDoem(*enc);
+}
+
+}  // namespace doem

@@ -1,0 +1,22 @@
+#ifndef DOEM_ENCODING_DOEM_TEXT_H_
+#define DOEM_ENCODING_DOEM_TEXT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "doem/doem.h"
+
+namespace doem {
+
+/// Text persistence for DOEM databases, composed exactly the way the
+/// paper stores DOEM in Lore: serialize the Section 5.1 OEM encoding in
+/// the OEM text format (oem/oem_text.h), and decode on load. The
+/// round trip ParseDoemText(WriteDoemText(d)) reproduces `d` exactly,
+/// including node identifiers, annotations, and the deleted set.
+std::string WriteDoemText(const DoemDatabase& d);
+
+Result<DoemDatabase> ParseDoemText(const std::string& text);
+
+}  // namespace doem
+
+#endif  // DOEM_ENCODING_DOEM_TEXT_H_

@@ -1,0 +1,299 @@
+#include "htmldiff/html.h"
+
+#include <cctype>
+#include <unordered_set>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace doem {
+namespace htmldiff {
+
+namespace {
+
+const std::unordered_set<std::string>& VoidElements() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "br", "hr", "img", "meta", "link", "input"};
+  return *kSet;
+}
+
+std::string DecodeEntities(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size();) {
+    if (s[i] != '&') {
+      out.push_back(s[i++]);
+      continue;
+    }
+    size_t semi = s.find(';', i);
+    if (semi == std::string::npos || semi - i > 8) {
+      out.push_back(s[i++]);
+      continue;
+    }
+    std::string ent = s.substr(i + 1, semi - i - 1);
+    if (ent == "amp") {
+      out.push_back('&');
+    } else if (ent == "lt") {
+      out.push_back('<');
+    } else if (ent == "gt") {
+      out.push_back('>');
+    } else if (ent == "quot") {
+      out.push_back('"');
+    } else if (ent == "nbsp") {
+      out.push_back(' ');
+    } else if (!ent.empty() && ent[0] == '#') {
+      int code = std::atoi(ent.c_str() + 1);
+      if (code > 0 && code < 128) {
+        out.push_back(static_cast<char>(code));
+      } else {
+        out.push_back('?');
+      }
+    } else {
+      out.append(s, i, semi - i + 1);
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+class HtmlParser {
+ public:
+  explicit HtmlParser(const std::string& html) : html_(html) {}
+
+  Result<OemDatabase> Parse() {
+    NodeId root = db_.NewComplex();
+    DOEM_RETURN_IF_ERROR(db_.SetRoot(root));
+    DOEM_RETURN_IF_ERROR(ParseChildren(root, ""));
+    if (pos_ != html_.size()) {
+      return Status::ParseError("unexpected closing tag at offset " +
+                                std::to_string(pos_));
+    }
+    return std::move(db_);
+  }
+
+ private:
+  // Parses element/text children of `parent` until a closing tag (whose
+  // name must equal enclosing_tag) or end of input.
+  Status ParseChildren(NodeId parent, const std::string& enclosing_tag) {
+    std::string text;
+    auto flush_text = [&]() -> Status {
+      std::string_view stripped = StripWhitespace(text);
+      if (!stripped.empty()) {
+        NodeId t = db_.NewString(DecodeEntities(std::string(stripped)));
+        DOEM_RETURN_IF_ERROR(db_.AddArc(parent, "text", t));
+      }
+      text.clear();
+      return Status::OK();
+    };
+    while (pos_ < html_.size()) {
+      if (html_[pos_] != '<') {
+        text.push_back(html_[pos_++]);
+        continue;
+      }
+      // Comment or doctype.
+      if (html_.compare(pos_, 4, "<!--") == 0) {
+        size_t end = html_.find("-->", pos_ + 4);
+        if (end == std::string::npos) {
+          return Status::ParseError("unterminated comment");
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      if (pos_ + 1 < html_.size() && html_[pos_ + 1] == '!') {
+        size_t end = html_.find('>', pos_);
+        if (end == std::string::npos) {
+          return Status::ParseError("unterminated <! ... >");
+        }
+        pos_ = end + 1;
+        continue;
+      }
+      if (pos_ + 1 < html_.size() && html_[pos_ + 1] == '/') {
+        // Closing tag: hand control back to the enclosing element.
+        DOEM_RETURN_IF_ERROR(flush_text());
+        size_t end = html_.find('>', pos_);
+        if (end == std::string::npos) {
+          return Status::ParseError("unterminated closing tag");
+        }
+        std::string name = ToLower(
+            StripWhitespace(html_.substr(pos_ + 2, end - pos_ - 2)));
+        if (name != enclosing_tag) {
+          if (enclosing_tag.empty()) {
+            return Status::OK();  // caller reports trailing input
+          }
+          return Status::ParseError("mismatched </" + name + ">, expected </" +
+                                    enclosing_tag + ">");
+        }
+        pos_ = end + 1;
+        closed_ = true;
+        return Status::OK();
+      }
+      DOEM_RETURN_IF_ERROR(flush_text());
+      DOEM_RETURN_IF_ERROR(ParseElement(parent));
+    }
+    DOEM_RETURN_IF_ERROR(flush_text());
+    if (!enclosing_tag.empty()) {
+      return Status::ParseError("missing </" + enclosing_tag + ">");
+    }
+    return Status::OK();
+  }
+
+  Status ParseElement(NodeId parent) {
+    if (depth_ > 1000) {
+      return Status::ParseError("elements nested deeper than 1000");
+    }
+    ++pos_;  // consume '<'
+    size_t start = pos_;
+    while (pos_ < html_.size() &&
+           (std::isalnum(static_cast<unsigned char>(html_[pos_])) ||
+            html_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError("bad tag at offset " + std::to_string(start));
+    }
+    std::string tag = ToLower(html_.substr(start, pos_ - start));
+    NodeId node = db_.NewComplex();
+    DOEM_RETURN_IF_ERROR(db_.AddArc(parent, tag, node));
+
+    // Attributes.
+    bool self_closed = false;
+    while (pos_ < html_.size() && html_[pos_] != '>') {
+      if (std::isspace(static_cast<unsigned char>(html_[pos_]))) {
+        ++pos_;
+        continue;
+      }
+      if (html_[pos_] == '/') {
+        self_closed = true;
+        ++pos_;
+        continue;
+      }
+      size_t nstart = pos_;
+      while (pos_ < html_.size() && html_[pos_] != '=' &&
+             html_[pos_] != '>' && html_[pos_] != '/' &&
+             !std::isspace(static_cast<unsigned char>(html_[pos_]))) {
+        ++pos_;
+      }
+      std::string name = ToLower(html_.substr(nstart, pos_ - nstart));
+      if (name.empty()) {
+        return Status::ParseError("bad attribute at offset " +
+                                  std::to_string(nstart));
+      }
+      std::string value;
+      if (pos_ < html_.size() && html_[pos_] == '=') {
+        ++pos_;
+        if (pos_ < html_.size() &&
+            (html_[pos_] == '"' || html_[pos_] == '\'')) {
+          char quote = html_[pos_++];
+          size_t vstart = pos_;
+          while (pos_ < html_.size() && html_[pos_] != quote) ++pos_;
+          if (pos_ >= html_.size()) {
+            return Status::ParseError("unterminated attribute value");
+          }
+          value = html_.substr(vstart, pos_ - vstart);
+          ++pos_;
+        } else {
+          size_t vstart = pos_;
+          while (pos_ < html_.size() && html_[pos_] != '>' &&
+                 !std::isspace(static_cast<unsigned char>(html_[pos_]))) {
+            ++pos_;
+          }
+          value = html_.substr(vstart, pos_ - vstart);
+        }
+      }
+      NodeId attr = db_.NewString(DecodeEntities(value));
+      DOEM_RETURN_IF_ERROR(db_.AddArc(node, "@" + name, attr));
+    }
+    if (pos_ >= html_.size()) {
+      return Status::ParseError("unterminated <" + tag + ">");
+    }
+    ++pos_;  // consume '>'
+    if (self_closed || VoidElements().contains(tag)) return Status::OK();
+    closed_ = false;
+    ++depth_;
+    Status children = ParseChildren(node, tag);
+    --depth_;
+    DOEM_RETURN_IF_ERROR(children);
+    if (!closed_) {
+      return Status::ParseError("missing </" + tag + ">");
+    }
+    return Status::OK();
+  }
+
+  const std::string& html_;
+  OemDatabase db_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  bool closed_ = false;
+};
+
+void RenderNode(const OemDatabase& db, NodeId node, const std::string& label,
+                std::string* out) {
+  if (label == "text") {
+    const Value* v = db.GetValue(node);
+    if (v != nullptr && v->kind() == Value::Kind::kString) {
+      out->append(EscapeHtml(v->AsString()));
+    }
+    return;
+  }
+  out->append("<").append(label);
+  for (const OutArc& a : db.OutArcs(node)) {
+    if (a.label.size() > 1 && a.label[0] == '@') {
+      const Value* v = db.GetValue(a.child);
+      out->append(" ").append(a.label.substr(1)).append("=\"");
+      if (v != nullptr && v->kind() == Value::Kind::kString) {
+        out->append(EscapeHtml(v->AsString()));
+      }
+      out->append("\"");
+    }
+  }
+  out->append(">");
+  for (const OutArc& a : db.OutArcs(node)) {
+    if (!a.label.empty() && a.label[0] == '@') continue;
+    RenderNode(db, a.child, a.label, out);
+  }
+  if (!VoidElements().contains(label)) {
+    out->append("</").append(label).append(">");
+  }
+}
+
+}  // namespace
+
+std::string EscapeHtml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<OemDatabase> ParseHtml(const std::string& html) {
+  return HtmlParser(html).Parse();
+}
+
+std::string RenderHtml(const OemDatabase& db) {
+  std::string out;
+  if (db.root() == kInvalidNode) return out;
+  for (const OutArc& a : db.OutArcs(db.root())) {
+    RenderNode(db, a.child, a.label, &out);
+  }
+  return out;
+}
+
+}  // namespace htmldiff
+}  // namespace doem

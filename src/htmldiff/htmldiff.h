@@ -1,0 +1,47 @@
+#ifndef DOEM_HTMLDIFF_HTMLDIFF_H_
+#define DOEM_HTMLDIFF_HTMLDIFF_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "diff/diff.h"
+#include "doem/doem.h"
+
+namespace doem {
+namespace htmldiff {
+
+/// The htmldiff tool of Section 1.1 (Figure 1): takes two versions of a
+/// page, diffs them on their semistructured content, and produces a
+/// marked-up copy of the new version highlighting the differences:
+///
+///   inserted elements/text     <ins class="hd-new">...</ins>
+///   deleted elements/text      <del class="hd-del">...</del> (kept in
+///                              place, as the DOEM graph keeps removed
+///                              arcs)
+///   updated text               <span class="hd-upd" data-old="...">
+///
+/// Internally this is a showcase of the whole pipeline: parse both
+/// versions to OEM, infer the change set with the structural OEMdiff,
+/// build the DOEM database D(old, {(1, U)}), and render the annotated
+/// graph.
+struct HtmlDiffResult {
+  /// The marked-up page.
+  std::string markup;
+  /// The DOEM database holding old page + changes (for change queries
+  /// over the page, the paper's Section 1.1 motivation).
+  DoemDatabase doem;
+  /// Operation counts.
+  DiffStats stats;
+};
+
+Result<HtmlDiffResult> HtmlDiff(const std::string& old_html,
+                                const std::string& new_html);
+
+/// Renders the marked-up page from any single-step DOEM database built
+/// over an HTML-shaped OEM graph.
+std::string RenderMarkedUp(const DoemDatabase& d);
+
+}  // namespace htmldiff
+}  // namespace doem
+
+#endif  // DOEM_HTMLDIFF_HTMLDIFF_H_

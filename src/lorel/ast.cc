@@ -1,0 +1,187 @@
+#include "lorel/ast.h"
+
+namespace doem {
+namespace lorel {
+
+namespace {
+
+const char* AnnotKindName(AnnotKind k) {
+  switch (k) {
+    case AnnotKind::kCre:
+      return "cre";
+    case AnnotKind::kUpd:
+      return "upd";
+    case AnnotKind::kAdd:
+      return "add";
+    case AnnotKind::kRem:
+      return "rem";
+    case AnnotKind::kAt:
+      return "at";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string AnnotExpr::ToString() const {
+  std::string out = "<";
+  if (kind == AnnotKind::kAt) {
+    out += "at ";
+    out += at_time ? at_time->ToString() : "?";
+  } else {
+    out += AnnotKindName(kind);
+    if (!time_var.empty()) out += " at " + time_var;
+    if (!from_var.empty()) out += " from " + from_var;
+    if (!to_var.empty()) out += " to " + to_var;
+  }
+  out += ">";
+  return out;
+}
+
+std::string PathStep::ToString() const {
+  std::string out;
+  if (arc_annot) out += arc_annot->ToString();
+  out += wildcard ? "#" : (wildcard_one ? "%" : label);
+  if (node_annot) out += node_annot->ToString();
+  return out;
+}
+
+std::string PathExpr::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0) out += ".";
+    out += steps[i].ToString();
+  }
+  return out;
+}
+
+const char* BinOpToString(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+      return "=";
+    case BinOp::kNe:
+      return "!=";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kLike:
+      return "like";
+    case BinOp::kAnd:
+      return "and";
+    case BinOp::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kPath:
+      return path.ToString();
+    case Kind::kVar:
+      return var;
+    case Kind::kBinary:
+      return "(" + lhs->ToString() + " " + BinOpToString(op) + " " +
+             rhs->ToString() + ")";
+    case Kind::kNot:
+      return "not " + child->ToString();
+    case Kind::kExists:
+      return "exists " + exists_var + " in " + exists_path.ToString() +
+             " : " + exists_pred->ToString();
+    case Kind::kTimeRef:
+      return "t[" + std::to_string(time_ref) + "]";
+  }
+  return "?";
+}
+
+ExprPtr Expr::MakeLiteral(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::MakePath(PathExpr p) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kPath;
+  e->path = std::move(p);
+  return e;
+}
+
+ExprPtr Expr::MakeVar(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kVar;
+  e->var = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::MakeNot(ExprPtr c) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kNot;
+  e->child = std::move(c);
+  return e;
+}
+
+ExprPtr Expr::MakeExists(std::string var, PathExpr path, ExprPtr pred) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kExists;
+  e->exists_var = std::move(var);
+  e->exists_path = std::move(path);
+  e->exists_pred = std::move(pred);
+  return e;
+}
+
+ExprPtr Expr::MakeTimeRef(int i) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kTimeRef;
+  e->time_ref = i;
+  return e;
+}
+
+std::string SelectItem::ToString() const {
+  std::string out = expr ? expr->ToString() : "?";
+  if (!as_label.empty()) out += " as " + as_label;
+  return out;
+}
+
+std::string FromItem::ToString() const {
+  std::string out = path.ToString();
+  if (!var.empty()) out += " " + var;
+  return out;
+}
+
+std::string Query::ToString() const {
+  std::string out = "select ";
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select[i].ToString();
+  }
+  if (!from.empty()) {
+    out += " from ";
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += from[i].ToString();
+    }
+  }
+  if (where) out += " where " + where->ToString();
+  return out;
+}
+
+}  // namespace lorel
+}  // namespace doem

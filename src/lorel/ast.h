@@ -1,0 +1,150 @@
+#ifndef DOEM_LOREL_AST_H_
+#define DOEM_LOREL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "oem/value.h"
+
+namespace doem {
+namespace lorel {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Annotation-expression kinds (Chorel, paper Section 4.2). kAt is the
+/// "virtual annotation" extension of Section 4.2.2: on an arc position it
+/// means "the arc existed at time T"; on a node position, "the value of
+/// the object at time T".
+enum class AnnotKind { kCre, kUpd, kAdd, kRem, kAt };
+
+/// An annotation expression, e.g. <add at T>, <upd at T from OV to NV>,
+/// <at 5Jan97>. Variable fields are empty when not written; the
+/// canonicalization step of Section 4.2.1 fills them with fresh variables.
+struct AnnotExpr {
+  AnnotKind kind = AnnotKind::kCre;
+  std::string time_var;  // "at V" for cre/upd/add/rem
+  std::string from_var;  // upd only: "from V"
+  std::string to_var;    // upd only: "to V"
+  ExprPtr at_time;       // kAt only: a literal, variable, or t[i]
+
+  std::string ToString() const;
+};
+
+/// One step of a path expression: optional arc annotation, a label (or
+/// the '#' wildcard matching any path of length >= 0), and an optional
+/// node annotation. E.g. in guide.<add>restaurant.price<upd at T>:
+///   step 1: label "guide"
+///   step 2: arc_annot add, label "restaurant"
+///   step 3: label "price", node_annot upd at T.
+struct PathStep {
+  std::string label;
+  bool wildcard = false;      // label is '#' (any path, length >= 0)
+  bool wildcard_one = false;  // label is '%' (exactly one arc, any label)
+  std::optional<AnnotExpr> arc_annot;   // add / rem / at
+  std::optional<AnnotExpr> node_annot;  // cre / upd / at
+
+  std::string ToString() const;
+};
+
+/// A path expression. `head` is either a range variable declared in the
+/// from clause (or an exists binder), or — when no such variable is in
+/// scope — the name of a root-level entry (the first step's label).
+/// Which one it is gets resolved during normalization; syntactically the
+/// head is just the first step.
+struct PathExpr {
+  std::vector<PathStep> steps;
+  /// Set by normalization: the first step is a bound range variable, not
+  /// a root entry name. Enumeration then starts at that variable's node
+  /// with steps[1..].
+  bool head_is_var = false;
+
+  std::string ToString() const;
+};
+
+enum class BinOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLike,
+  kAnd,
+  kOr,
+};
+
+const char* BinOpToString(BinOp op);
+
+/// An expression tree: literals, paths (a bare identifier is a
+/// single-step path that may resolve to a variable), comparisons,
+/// boolean connectives, `exists V in <path> : <pred>`, and the QSS
+/// relative polling-time reference t[i] (Section 6).
+struct Expr {
+  enum class Kind {
+    kLiteral,
+    kPath,
+    kVar,      // produced by normalization: a bound range variable
+    kBinary,
+    kNot,
+    kExists,
+    kTimeRef,
+  };
+
+  Kind kind = Kind::kLiteral;
+
+  Value literal;                // kLiteral
+  PathExpr path;                // kPath
+  std::string var;              // kVar
+  BinOp op = BinOp::kEq;        // kBinary
+  ExprPtr lhs, rhs;             // kBinary
+  ExprPtr child;                // kNot
+  std::string exists_var;       // kExists: binder
+  PathExpr exists_path;         // kExists: range
+  ExprPtr exists_pred;          // kExists: predicate
+  int time_ref = 0;             // kTimeRef: the i of t[i] (i <= 0)
+
+  std::string ToString() const;
+
+  static ExprPtr MakeLiteral(Value v);
+  static ExprPtr MakePath(PathExpr p);
+  static ExprPtr MakeVar(std::string name);
+  static ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr MakeNot(ExprPtr e);
+  static ExprPtr MakeExists(std::string var, PathExpr path, ExprPtr pred);
+  static ExprPtr MakeTimeRef(int i);
+};
+
+/// One item of the select clause, with an optional output label
+/// (`select N as restaurant-name`).
+struct SelectItem {
+  ExprPtr expr;
+  std::string as_label;
+
+  std::string ToString() const;
+};
+
+/// One item of the from clause: a path and an optional range variable
+/// bound to its endpoint (`from guide.restaurant R`).
+struct FromItem {
+  PathExpr path;
+  std::string var;
+
+  std::string ToString() const;
+};
+
+/// A parsed select-from-where query.
+struct Query {
+  std::vector<SelectItem> select;
+  std::vector<FromItem> from;
+  ExprPtr where;  // null if absent
+
+  std::string ToString() const;
+};
+
+}  // namespace lorel
+}  // namespace doem
+
+#endif  // DOEM_LOREL_AST_H_

@@ -1,0 +1,140 @@
+#include "lorel/coerce.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <optional>
+
+#include "common/strings.h"
+
+namespace doem {
+namespace lorel {
+
+namespace {
+
+bool ApplyOrder(int cmp, BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+      return cmp == 0;
+    case BinOp::kNe:
+      return cmp != 0;
+    case BinOp::kLt:
+      return cmp < 0;
+    case BinOp::kLe:
+      return cmp <= 0;
+    case BinOp::kGt:
+      return cmp > 0;
+    case BinOp::kGe:
+      return cmp >= 0;
+    default:
+      return false;
+  }
+}
+
+std::optional<double> ToNumber(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kInt:
+      return static_cast<double>(v.AsInt());
+    case Value::Kind::kReal:
+      return v.AsReal();
+    case Value::Kind::kString: {
+      const std::string& s = v.AsString();
+      if (s.empty()) return std::nullopt;
+      char* end = nullptr;
+      double d = std::strtod(s.c_str(), &end);
+      if (end != s.c_str() + s.size()) return std::nullopt;
+      return d;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<Timestamp> ToTimestamp(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kTimestamp:
+      return v.AsTime();
+    case Value::Kind::kInt:
+      return Timestamp(v.AsInt());
+    case Value::Kind::kString: {
+      Timestamp t;
+      if (Timestamp::Parse(v.AsString(), &t)) return t;
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+// Text rendering for `like`: strings stay as-is, other atomics use their
+// literal form (without quotes).
+std::optional<std::string> ToText(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kString:
+      return v.AsString();
+    case Value::Kind::kInt:
+    case Value::Kind::kReal:
+    case Value::Kind::kBool:
+      return v.ToString();
+    case Value::Kind::kTimestamp:
+      return v.AsTime().ToString();
+    case Value::Kind::kComplex:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool CompareValues(const Value& lhs, BinOp op, const Value& rhs) {
+  if (lhs.is_complex() || rhs.is_complex()) return false;
+
+  if (op == BinOp::kLike) {
+    auto l = ToText(lhs);
+    auto r = ToText(rhs);
+    return l && r && LikeMatch(*l, *r);
+  }
+
+  // Timestamp context: if either side is a timestamp, coerce both.
+  if (lhs.kind() == Value::Kind::kTimestamp ||
+      rhs.kind() == Value::Kind::kTimestamp) {
+    auto l = ToTimestamp(lhs);
+    auto r = ToTimestamp(rhs);
+    if (!l || !r) return false;
+    return ApplyOrder(l->ticks < r->ticks ? -1 : (l->ticks > r->ticks ? 1 : 0),
+                      op);
+  }
+
+  // Boolean context: only with two booleans, only (in)equality.
+  if (lhs.kind() == Value::Kind::kBool ||
+      rhs.kind() == Value::Kind::kBool) {
+    if (lhs.kind() != rhs.kind()) return false;
+    if (op != BinOp::kEq && op != BinOp::kNe) return false;
+    return ApplyOrder(lhs.AsBool() == rhs.AsBool() ? 0 : 1, op);
+  }
+
+  // Numeric context: if either side is a number, coerce both.
+  if (lhs.kind() == Value::Kind::kInt || lhs.kind() == Value::Kind::kReal ||
+      rhs.kind() == Value::Kind::kInt || rhs.kind() == Value::Kind::kReal) {
+    // Exact path for int-int.
+    if (lhs.kind() == Value::Kind::kInt &&
+        rhs.kind() == Value::Kind::kInt) {
+      int64_t a = lhs.AsInt(), b = rhs.AsInt();
+      return ApplyOrder(a < b ? -1 : (a > b ? 1 : 0), op);
+    }
+    auto l = ToNumber(lhs);
+    auto r = ToNumber(rhs);
+    if (!l || !r) return false;
+    return ApplyOrder(*l < *r ? -1 : (*l > *r ? 1 : 0), op);
+  }
+
+  // String vs string.
+  if (lhs.kind() == Value::Kind::kString &&
+      rhs.kind() == Value::Kind::kString) {
+    int cmp = lhs.AsString().compare(rhs.AsString());
+    return ApplyOrder(cmp < 0 ? -1 : (cmp > 0 ? 1 : 0), op);
+  }
+  return false;
+}
+
+}  // namespace lorel
+}  // namespace doem

@@ -1,0 +1,30 @@
+#ifndef DOEM_LOREL_COERCE_H_
+#define DOEM_LOREL_COERCE_H_
+
+#include "lorel/ast.h"
+#include "oem/value.h"
+
+namespace doem {
+namespace lorel {
+
+/// Lorel's "forgiving" comparison semantics (paper Section 4.1): before
+/// comparing, values are coerced to a common type; if coercion fails the
+/// comparison is false — never an error. Rules:
+///
+///   int vs real        -> real comparison
+///   string vs number   -> parse the string as a number; else false
+///   string vs timestamp-> parse the string as a timestamp; else false
+///   int vs timestamp   -> the int is a tick count
+///   bool vs bool       -> = and != only
+///   complex vs anything-> false (a complex object has no comparable value)
+///   like               -> both sides rendered as text; SQL %/_ pattern
+///
+/// Example 4.1: price < 20.5 succeeds for the integer price 10 (coerced
+/// to real), fails (false, not error) for the string price "moderate",
+/// and is false for restaurants with no price at all.
+bool CompareValues(const Value& lhs, BinOp op, const Value& rhs);
+
+}  // namespace lorel
+}  // namespace doem
+
+#endif  // DOEM_LOREL_COERCE_H_

@@ -1,0 +1,84 @@
+#ifndef DOEM_LOREL_EVAL_H_
+#define DOEM_LOREL_EVAL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lorel/normalize.h"
+#include "lorel/view.h"
+#include "oem/oem.h"
+
+namespace doem {
+namespace lorel {
+
+/// A runtime binding: either a database object (with an optional "as of"
+/// time attached by a virtual <at T> node annotation) or a plain value
+/// (timestamps and old/new values bound by annotation expressions).
+struct RtVal {
+  enum class Kind { kNode, kValue };
+
+  Kind kind = Kind::kValue;
+  NodeId node = kInvalidNode;
+  std::optional<Timestamp> as_of;
+  Value value;
+
+  static RtVal Node(NodeId n) {
+    RtVal v;
+    v.kind = Kind::kNode;
+    v.node = n;
+    return v;
+  }
+  static RtVal NodeAt(NodeId n, Timestamp t) {
+    RtVal v = Node(n);
+    v.as_of = t;
+    return v;
+  }
+  static RtVal Val(Value val) {
+    RtVal v;
+    v.value = std::move(val);
+    return v;
+  }
+
+  /// Canonical key used for row deduplication and deterministic ordering.
+  std::string Key() const;
+  bool operator==(const RtVal& o) const { return Key() == o.Key(); }
+};
+
+/// The outcome of a query: raw variable bindings per result row (used by
+/// the differential tests and the QSS), display labels per select item,
+/// and the result packaged as an OEM database in Lorel style — the root
+/// has one arc per result; multi-item rows become complex "answer"
+/// objects whose components carry the item labels (paper Example 4.4).
+struct QueryResult {
+  std::vector<std::string> labels;
+  std::vector<std::vector<RtVal>> rows;
+  OemDatabase answer;
+
+  std::string RowsToString() const;
+};
+
+struct EvalOptions {
+  /// Polling times t_1..t_k for resolving the QSS variables t[0], t[-1],
+  /// ... (Section 6): t[0] = t_k, t[-i] = t_{k-i}, negative infinity when
+  /// out of range. Null if the query must not use t[i].
+  const std::vector<Timestamp>* polling_times = nullptr;
+  /// Safety valve: abort with an error after this many result rows
+  /// (0 = unlimited).
+  size_t max_rows = 0;
+  /// Skip building `answer` (rows only) — used by benchmarks and QSS
+  /// internals.
+  bool package_results = true;
+};
+
+/// Runs a normalized query against a view. Chorel annotation expressions
+/// require view.SupportsAnnotations(); virtual <at T> annotations require
+/// view.SupportsTimeTravel().
+Result<QueryResult> Evaluate(const NormQuery& q, const GraphView& view,
+                             const EvalOptions& opts = {});
+
+}  // namespace lorel
+}  // namespace doem
+
+#endif  // DOEM_LOREL_EVAL_H_

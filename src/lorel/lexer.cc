@@ -1,0 +1,264 @@
+#include "lorel/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace doem {
+namespace lorel {
+
+namespace {
+
+bool IsIdentHead(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '&';
+}
+
+bool IsIdentTail(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '&';
+}
+
+Status LexError(size_t offset, const std::string& msg) {
+  return Status::ParseError("at offset " + std::to_string(offset) + ": " +
+                            msg);
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& q) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = q.size();
+  auto push = [&](TokenKind kind, size_t offset) {
+    Token t;
+    t.kind = kind;
+    t.offset = offset;
+    out.push_back(std::move(t));
+    return &out.back();
+  };
+
+  while (i < n) {
+    char c = q[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && q[i + 1] == '-') {
+      // SQL-style comment to end of line.
+      while (i < n && q[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (c == '@') {
+      // Explicit timestamp literal: @8Jan1997, @42, @1997-01-08.
+      size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(q[j])) ||
+                       q[j] == '-')) {
+        ++j;
+      }
+      std::string text = q.substr(i + 1, j - i - 1);
+      Timestamp ts;
+      if (!Timestamp::Parse(text, &ts)) {
+        return LexError(start, "bad timestamp literal '@" + text + "'");
+      }
+      Token* t = push(TokenKind::kDate, start);
+      t->text = text;
+      t->date_value = ts;
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Integer, real, or date literal (4Jan97).
+      size_t j = i;
+      while (j < n && std::isdigit(static_cast<unsigned char>(q[j]))) ++j;
+      if (j < n && std::isalpha(static_cast<unsigned char>(q[j]))) {
+        // Date literal: digits letters digits.
+        size_t k = j;
+        while (k < n && std::isalpha(static_cast<unsigned char>(q[k]))) ++k;
+        size_t m = k;
+        while (m < n && std::isdigit(static_cast<unsigned char>(q[m]))) ++m;
+        std::string text = q.substr(i, m - i);
+        Timestamp ts;
+        if (m == k || !Timestamp::Parse(text, &ts)) {
+          return LexError(start, "bad date literal '" + text + "'");
+        }
+        Token* t = push(TokenKind::kDate, start);
+        t->text = text;
+        t->date_value = ts;
+        i = m;
+        continue;
+      }
+      bool is_real = false;
+      if (j < n && q[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(q[j + 1]))) {
+        is_real = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(q[j]))) ++j;
+      }
+      std::string text = q.substr(i, j - i);
+      if (is_real) {
+        Token* t = push(TokenKind::kReal, start);
+        t->real_value = std::stod(text);
+        t->text = text;
+      } else {
+        Token* t = push(TokenKind::kInt, start);
+        auto [p, ec] = std::from_chars(text.data(),
+                                       text.data() + text.size(),
+                                       t->int_value);
+        (void)p;
+        if (ec != std::errc()) {
+          return LexError(start, "bad integer literal '" + text + "'");
+        }
+        t->text = text;
+      }
+      i = j;
+      continue;
+    }
+    if (IsIdentHead(c)) {
+      size_t j = i + 1;
+      while (j < n) {
+        if (IsIdentTail(q[j])) {
+          ++j;
+        } else if (q[j] == '-' && j + 1 < n && IsIdentTail(q[j + 1])) {
+          // '-' joins identifier parts: nearby-eats, &price-history.
+          j += 2;
+          while (j < n && IsIdentTail(q[j])) ++j;
+        } else {
+          break;
+        }
+      }
+      Token* t = push(TokenKind::kIdent, start);
+      t->text = q.substr(i, j - i);
+      i = j;
+      continue;
+    }
+    if (c == '"') {
+      std::string s;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        char d = q[i++];
+        if (d == '"') {
+          closed = true;
+          break;
+        }
+        if (d == '\\' && i < n) {
+          char e = q[i++];
+          switch (e) {
+            case 'n':
+              s.push_back('\n');
+              break;
+            case 't':
+              s.push_back('\t');
+              break;
+            case '"':
+              s.push_back('"');
+              break;
+            case '\\':
+              s.push_back('\\');
+              break;
+            default:
+              return LexError(i - 1, std::string("bad escape '\\") + e +
+                                         "' in string");
+          }
+        } else {
+          s.push_back(d);
+        }
+      }
+      if (!closed) return LexError(start, "unterminated string");
+      Token* t = push(TokenKind::kString, start);
+      t->text = std::move(s);
+      continue;
+    }
+    switch (c) {
+      case '.':
+        push(TokenKind::kDot, start);
+        ++i;
+        continue;
+      case ',':
+        push(TokenKind::kComma, start);
+        ++i;
+        continue;
+      case '(':
+        push(TokenKind::kLParen, start);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, start);
+        ++i;
+        continue;
+      case '[':
+        push(TokenKind::kLBracket, start);
+        ++i;
+        continue;
+      case ']':
+        push(TokenKind::kRBracket, start);
+        ++i;
+        continue;
+      case '{':
+        push(TokenKind::kLBrace, start);
+        ++i;
+        continue;
+      case '}':
+        push(TokenKind::kRBrace, start);
+        ++i;
+        continue;
+      case ':':
+        push(TokenKind::kColon, start);
+        ++i;
+        continue;
+      case '#':
+        push(TokenKind::kHash, start);
+        ++i;
+        continue;
+      case '%':
+        push(TokenKind::kPercent, start);
+        ++i;
+        continue;
+      case '-':
+        push(TokenKind::kMinus, start);
+        ++i;
+        continue;
+      case '=':
+        push(TokenKind::kEq, start);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < n && q[i + 1] == '=') {
+          push(TokenKind::kNe, start);
+          i += 2;
+          continue;
+        }
+        return LexError(start, "unexpected '!'");
+      case '<':
+        if (i + 1 < n && q[i + 1] == '=') {
+          push(TokenKind::kLe, start);
+          i += 2;
+        } else if (i + 1 < n && q[i + 1] == '>') {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLAngle, start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && q[i + 1] == '=') {
+          push(TokenKind::kGe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kRAngle, start);
+          ++i;
+        }
+        continue;
+      default:
+        return LexError(start, std::string("unexpected character '") + c +
+                                   "'");
+    }
+  }
+  push(TokenKind::kEnd, n);
+  return out;
+}
+
+}  // namespace lorel
+}  // namespace doem

@@ -1,0 +1,25 @@
+#ifndef DOEM_LOREL_LEXER_H_
+#define DOEM_LOREL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lorel/token.h"
+
+namespace doem {
+namespace lorel {
+
+/// Tokenizes a Lorel/Chorel query. Keywords are not distinguished here —
+/// the parser recognizes them contextually and case-insensitively, so that
+/// labels like "name" or "at" remain usable in paths.
+///
+/// A lexical quirk carried over from Lorel: '-' joins identifier parts
+/// (nearby-eats is one identifier), and digit-letter-digit runs such as
+/// 4Jan97 lex as date literals.
+Result<std::vector<Token>> Lex(const std::string& query);
+
+}  // namespace lorel
+}  // namespace doem
+
+#endif  // DOEM_LOREL_LEXER_H_

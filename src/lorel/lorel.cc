@@ -1,0 +1,20 @@
+#include "lorel/lorel.h"
+
+namespace doem {
+namespace lorel {
+
+Result<NormQuery> ParseAndNormalize(const std::string& text) {
+  auto q = ParseQuery(text);
+  if (!q.ok()) return q.status();
+  return Normalize(*q);
+}
+
+Result<QueryResult> RunQuery(const std::string& text, const GraphView& view,
+                             const EvalOptions& opts) {
+  auto nq = ParseAndNormalize(text);
+  if (!nq.ok()) return nq.status();
+  return Evaluate(*nq, view, opts);
+}
+
+}  // namespace lorel
+}  // namespace doem

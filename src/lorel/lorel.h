@@ -1,0 +1,28 @@
+#ifndef DOEM_LOREL_LOREL_H_
+#define DOEM_LOREL_LOREL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "lorel/eval.h"
+#include "lorel/normalize.h"
+#include "lorel/parser.h"
+#include "lorel/view.h"
+
+namespace doem {
+namespace lorel {
+
+/// One-call convenience: parse, normalize, and evaluate a query text
+/// against a view. Lorel queries (no annotation expressions) work over any
+/// view; Chorel queries additionally need a view with annotations.
+Result<QueryResult> RunQuery(const std::string& text, const GraphView& view,
+                             const EvalOptions& opts = {});
+
+/// Parse + normalize only; exposed for the Chorel translator, benchmarks,
+/// and tests that inspect the OQL-style rewriting of Section 4.2.1.
+Result<NormQuery> ParseAndNormalize(const std::string& text);
+
+}  // namespace lorel
+}  // namespace doem
+
+#endif  // DOEM_LOREL_LOREL_H_

@@ -1,0 +1,408 @@
+#include "lorel/normalize.h"
+
+#include <unordered_set>
+
+namespace doem {
+namespace lorel {
+
+namespace {
+
+std::string DefaultTimeLabel(AnnotKind kind) {
+  switch (kind) {
+    case AnnotKind::kCre:
+      return "create-time";
+    case AnnotKind::kAdd:
+      return "add-time";
+    case AnnotKind::kRem:
+      return "remove-time";
+    case AnnotKind::kUpd:
+      return "update-time";
+    case AnnotKind::kAt:
+      return "time";
+  }
+  return "time";
+}
+
+class Normalizer {
+ public:
+  explicit Normalizer(const Query& q) : q_(q) {}
+
+  Result<NormQuery> Run() {
+    // Pass 0: pre-declare from-clause variables so that later from items
+    // and the select/where clauses can reference them in head position.
+    for (const FromItem& fi : q_.from) {
+      if (!fi.var.empty()) {
+        if (!user_vars_.insert(fi.var).second) {
+          return Status::ParseError("range variable '" + fi.var +
+                                    "' declared twice");
+        }
+      }
+    }
+    // Pass 1: from items define range variables.
+    for (const FromItem& fi : q_.from) {
+      auto v = HoistPath(fi.path, fi.var);
+      if (!v.ok()) return v.status();
+    }
+    // Pass 2: select items.
+    for (const SelectItem& item : q_.select) {
+      SelectItem norm;
+      norm.as_label = item.as_label;
+      std::string label;
+      auto e = RewriteExpr(item.expr, Mode::kHoist, &label);
+      if (!e.ok()) return e.status();
+      norm.expr = std::move(e).value();
+      out_.select.push_back(std::move(norm));
+      out_.labels.push_back(!item.as_label.empty() ? item.as_label : label);
+    }
+    // Pass 3: where clause. Annotated paths are hoisted (whole-where
+    // existential scope, Section 4.2.1); plain paths become lazy and
+    // quantify at their enclosing comparison.
+    if (q_.where) {
+      auto e = RewriteExpr(q_.where, Mode::kWhere, nullptr);
+      if (!e.ok()) return e.status();
+      out_.where = std::move(e).value();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  std::string Fresh(const std::string& hint) {
+    std::string base = hint.empty() || hint == "#" ? "v" : hint;
+    std::string name;
+    do {
+      name = "_" + base + std::to_string(++fresh_counter_);
+    } while (declared_.contains(name) || user_vars_.contains(name));
+    declared_.insert(name);
+    return name;
+  }
+
+  Status DeclareValueVar(const std::string& name, const std::string& label) {
+    if (out_.var_kinds.contains(name)) {
+      return Status::ParseError("variable '" + name + "' bound twice");
+    }
+    out_.var_kinds[name] = VarKind::kValue;
+    declared_.insert(name);
+    var_labels_[name] = label;
+    return Status::OK();
+  }
+
+  enum class Mode { kHoist, kWhere, kLazy };
+
+  /// Canonicalizes an annotation expression: fills omitted variables with
+  /// fresh ones (the paper's "<add>" -> "<add at T1>" step) and registers
+  /// the value variables it binds. kAt time expressions are rewritten as
+  /// ordinary operands.
+  Status Canonicalize(AnnotExpr* a, Mode mode) {
+    if (a->kind == AnnotKind::kAt) {
+      auto e = RewriteExpr(a->at_time, mode, nullptr);
+      if (!e.ok()) return e.status();
+      a->at_time = std::move(e).value();
+      return Status::OK();
+    }
+    if (a->time_var.empty()) a->time_var = Fresh("T");
+    DOEM_RETURN_IF_ERROR(
+        DeclareValueVar(a->time_var, DefaultTimeLabel(a->kind)));
+    if (a->kind == AnnotKind::kUpd) {
+      if (a->from_var.empty()) a->from_var = Fresh("OV");
+      DOEM_RETURN_IF_ERROR(DeclareValueVar(a->from_var, "old-value"));
+      if (a->to_var.empty()) a->to_var = Fresh("NV");
+      DOEM_RETURN_IF_ERROR(DeclareValueVar(a->to_var, "new-value"));
+    }
+    return Status::OK();
+  }
+
+  bool IsNodeVar(const std::string& name) const {
+    auto it = out_.var_kinds.find(name);
+    return it != out_.var_kinds.end() && it->second == VarKind::kNode;
+  }
+
+  std::string Resolve(const std::string& name) const {
+    auto it = aliases_.find(name);
+    return it == aliases_.end() ? name : it->second;
+  }
+
+  /// Hoists a path into global range definitions, sharing textual
+  /// prefixes, and returns the variable bound to its endpoint.
+  Result<std::string> HoistPath(const PathExpr& path,
+                                const std::string& explicit_var) {
+    if (path.steps.empty()) {
+      return Status::ParseError("empty path expression");
+    }
+    std::string source;  // "" = root
+    size_t first = 0;
+    std::string key;
+    const PathStep& head = path.steps[0];
+    if (!head.arc_annot && !head.node_annot && !head.wildcard &&
+        !head.wildcard_one && IsNodeVar(Resolve(head.label))) {
+      source = Resolve(head.label);
+      first = 1;
+      key = "$" + source;
+      if (path.steps.size() == 1) {
+        if (!explicit_var.empty() && explicit_var != head.label) {
+          aliases_[explicit_var] = source;
+          out_.var_kinds[explicit_var] = VarKind::kNode;
+        }
+        return source;
+      }
+    }
+    std::string cur = source;
+    for (size_t i = first; i < path.steps.size(); ++i) {
+      const PathStep& raw = path.steps[i];
+      // Prefix sharing keys on the raw (pre-canonicalization) step text,
+      // so that guide.restaurant.price and guide.restaurant.name range
+      // over the same restaurant (paper Example 4.4).
+      key += "." + raw.ToString();
+      auto shared = prefix_to_var_.find(key);
+      bool is_last = i + 1 == path.steps.size();
+      if (shared != prefix_to_var_.end()) {
+        cur = shared->second;
+        if (is_last && !explicit_var.empty()) {
+          aliases_[explicit_var] = cur;
+          out_.var_kinds[explicit_var] = VarKind::kNode;
+        }
+        continue;
+      }
+      RangeDef def;
+      def.source_var = cur;
+      def.step = raw;
+      if (def.step.arc_annot) {
+        DOEM_RETURN_IF_ERROR(Canonicalize(&*def.step.arc_annot,
+                                          Mode::kHoist));
+      }
+      if (def.step.node_annot) {
+        DOEM_RETURN_IF_ERROR(Canonicalize(&*def.step.node_annot,
+                                          Mode::kHoist));
+      }
+      std::string var;
+      if (is_last && !explicit_var.empty()) {
+        var = explicit_var;
+      } else {
+        var = Fresh(raw.wildcard || raw.wildcard_one ? "obj" : raw.label);
+      }
+      if (out_.var_kinds.contains(var)) {
+        return Status::ParseError("variable '" + var + "' bound twice");
+      }
+      out_.var_kinds[var] = VarKind::kNode;
+      var_labels_[var] =
+          raw.wildcard || raw.wildcard_one ? "object" : raw.label;
+      def.var = var;
+      out_.defs.push_back(std::move(def));
+      prefix_to_var_[key] = var;
+      cur = var;
+    }
+    return cur;
+  }
+
+  /// Prepares a path for lazy (in-place) evaluation inside an exists
+  /// predicate or range: resolves the head and canonicalizes annotations
+  /// without hoisting.
+  Status PrepareLazyPath(PathExpr* path) {
+    if (path->steps.empty()) {
+      return Status::ParseError("empty path expression");
+    }
+    PathStep& head = path->steps[0];
+    if (!head.arc_annot && !head.node_annot && !head.wildcard &&
+        !head.wildcard_one && IsNodeVar(Resolve(head.label))) {
+      head.label = Resolve(head.label);
+      path->head_is_var = true;
+    }
+    for (size_t i = path->head_is_var ? 1 : 0; i < path->steps.size(); ++i) {
+      PathStep& s = path->steps[i];
+      if (s.arc_annot) {
+        DOEM_RETURN_IF_ERROR(Canonicalize(&*s.arc_annot, Mode::kLazy));
+      }
+      if (s.node_annot) {
+        DOEM_RETURN_IF_ERROR(Canonicalize(&*s.node_annot, Mode::kLazy));
+      }
+    }
+    return Status::OK();
+  }
+
+  static bool HasAnnotations(const PathExpr& p) {
+    for (const PathStep& s : p.steps) {
+      if (s.arc_annot || s.node_annot) return true;
+    }
+    return false;
+  }
+
+  /// Builds the lazy form of a where-clause path: its longest prefix that
+  /// is already bound by a global definition becomes the head variable
+  /// (keeping the paper's prefix correlation, Example 4.4), and only the
+  /// residual steps are enumerated at the enclosing comparison. This gives
+  /// per-comparison existential semantics for plain paths — so
+  /// disjunctions over optional subobjects behave sensibly — while paths
+  /// with annotation expressions are hoisted instead (whole-where scope,
+  /// Example 4.5, which also keeps the Chorel-to-Lorel translation
+  /// linear).
+  Result<ExprPtr> MakeLazyWherePath(const PathExpr& p,
+                                    std::string* label_out) {
+    std::string source;
+    size_t first = 0;
+    std::string key;
+    const PathStep& head = p.steps[0];
+    if (!head.arc_annot && !head.node_annot && !head.wildcard &&
+        !head.wildcard_one && IsNodeVar(Resolve(head.label))) {
+      source = Resolve(head.label);
+      first = 1;
+      key = "$" + source;
+    }
+    size_t residual_start = first;
+    std::string residual_source = source;
+    for (size_t i = first; i < p.steps.size(); ++i) {
+      key += "." + p.steps[i].ToString();
+      auto it = prefix_to_var_.find(key);
+      if (it == prefix_to_var_.end()) break;
+      residual_source = it->second;
+      residual_start = i + 1;
+    }
+    PathExpr lazy;
+    if (!residual_source.empty()) {
+      PathStep head_step;
+      head_step.label = residual_source;
+      lazy.steps.push_back(std::move(head_step));
+      lazy.head_is_var = true;
+    }
+    for (size_t i = residual_start; i < p.steps.size(); ++i) {
+      PathStep s = p.steps[i];
+      if (s.arc_annot) {
+        DOEM_RETURN_IF_ERROR(Canonicalize(&*s.arc_annot, Mode::kLazy));
+      }
+      if (s.node_annot) {
+        DOEM_RETURN_IF_ERROR(Canonicalize(&*s.node_annot, Mode::kLazy));
+      }
+      lazy.steps.push_back(std::move(s));
+    }
+    if (label_out) {
+      const PathStep& last = p.steps.back();
+      *label_out =
+          last.wildcard || last.wildcard_one ? "object" : last.label;
+    }
+    if (lazy.head_is_var && lazy.steps.size() == 1) {
+      return Expr::MakeVar(residual_source);
+    }
+    return Expr::MakePath(std::move(lazy));
+  }
+
+  /// Rewrites an expression. In non-lazy mode, select paths and where
+  /// annotated where paths are hoisted into the global defs; plain where
+  /// paths become lazy (see MakeLazyWherePath).
+  /// In lazy mode (inside exists predicates), multi-step paths stay as
+  /// kPath and are enumerated during evaluation, existentially at their
+  /// enclosing comparison.
+  /// `label_out`, if non-null, receives a display label for the value.
+  Result<ExprPtr> RewriteExpr(const ExprPtr& e, Mode mode,
+                              std::string* label_out) {
+    if (label_out) *label_out = "value";
+    if (!e) return Status::Internal("null expression");
+    switch (e->kind) {
+      case Expr::Kind::kLiteral:
+        return e;
+      case Expr::Kind::kVar:
+        return e;
+      case Expr::Kind::kTimeRef:
+        if (label_out) *label_out = "time";
+        return e;
+      case Expr::Kind::kPath: {
+        // A single bare identifier that names a bound variable.
+        const PathExpr& p = e->path;
+        if (p.steps.size() == 1 && !p.steps[0].arc_annot &&
+            !p.steps[0].node_annot && !p.steps[0].wildcard &&
+            !p.steps[0].wildcard_one &&
+            out_.var_kinds.contains(Resolve(p.steps[0].label))) {
+          std::string var = Resolve(p.steps[0].label);
+          if (label_out) {
+            auto it = var_labels_.find(var);
+            *label_out = it != var_labels_.end() ? it->second : var;
+          }
+          return Expr::MakeVar(var);
+        }
+        if (mode == Mode::kLazy) {
+          auto copy = std::make_shared<Expr>(*e);
+          DOEM_RETURN_IF_ERROR(PrepareLazyPath(&copy->path));
+          if (label_out) {
+            const PathStep& last = copy->path.steps.back();
+            *label_out =
+                last.wildcard || last.wildcard_one ? "object" : last.label;
+          }
+          return ExprPtr(copy);
+        }
+        if (mode == Mode::kWhere && !HasAnnotations(p)) {
+          return MakeLazyWherePath(p, label_out);
+        }
+        auto var = HoistPath(p, "");
+        if (!var.ok()) return var.status();
+        if (label_out) {
+          auto it = var_labels_.find(*var);
+          *label_out = it != var_labels_.end() ? it->second : *var;
+        }
+        return Expr::MakeVar(std::move(var).value());
+      }
+      case Expr::Kind::kBinary: {
+        auto l = RewriteExpr(e->lhs, mode, nullptr);
+        if (!l.ok()) return l;
+        auto r = RewriteExpr(e->rhs, mode, nullptr);
+        if (!r.ok()) return r;
+        return Expr::MakeBinary(e->op, std::move(l).value(),
+                                std::move(r).value());
+      }
+      case Expr::Kind::kNot: {
+        auto c = RewriteExpr(e->child, mode, nullptr);
+        if (!c.ok()) return c;
+        return Expr::MakeNot(std::move(c).value());
+      }
+      case Expr::Kind::kExists: {
+        auto copy = std::make_shared<Expr>(*e);
+        if (out_.var_kinds.contains(copy->exists_var)) {
+          return Status::ParseError("exists variable '" + copy->exists_var +
+                                    "' shadows an existing variable");
+        }
+        DOEM_RETURN_IF_ERROR(PrepareLazyPath(&copy->exists_path));
+        out_.var_kinds[copy->exists_var] = VarKind::kNode;
+        declared_.insert(copy->exists_var);
+        var_labels_[copy->exists_var] = copy->exists_var;
+        auto pred = RewriteExpr(copy->exists_pred, Mode::kLazy, nullptr);
+        if (!pred.ok()) return pred;
+        copy->exists_pred = std::move(pred).value();
+        return ExprPtr(copy);
+      }
+    }
+    return Status::Internal("unknown expression kind");
+  }
+
+  const Query& q_;
+  NormQuery out_;
+  std::unordered_map<std::string, std::string> prefix_to_var_;
+  std::unordered_map<std::string, std::string> aliases_;
+  std::unordered_map<std::string, std::string> var_labels_;
+  std::unordered_set<std::string> declared_;
+  std::unordered_set<std::string> user_vars_;
+  int fresh_counter_ = 0;
+};
+
+}  // namespace
+
+std::string RangeDef::ToString() const {
+  std::string src = source_var.empty() ? "root" : source_var;
+  return src + "." + step.ToString() + " " + var;
+}
+
+std::string NormQuery::ToString() const {
+  std::string out = "select ";
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select[i].expr ? select[i].expr->ToString() : "?";
+    out += " as " + labels[i];
+  }
+  out += "\nfrom ";
+  for (size_t i = 0; i < defs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += defs[i].ToString();
+  }
+  if (where) out += "\nwhere " + where->ToString();
+  return out;
+}
+
+Result<NormQuery> Normalize(const Query& q) { return Normalizer(q).Run(); }
+
+}  // namespace lorel
+}  // namespace doem

@@ -1,0 +1,72 @@
+#ifndef DOEM_LOREL_NORMALIZE_H_
+#define DOEM_LOREL_NORMALIZE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "lorel/ast.h"
+
+namespace doem {
+namespace lorel {
+
+/// A range-variable definition, the unit of the paper's OQL-style
+/// rewriting (Section 4.2.1): "X.label Y" possibly carrying annotation
+/// expressions. `source_var` empty means the database root (names such as
+/// "guide" are labels on arcs from the root).
+struct RangeDef {
+  std::string source_var;
+  PathStep step;
+  std::string var;  // the node variable bound by this def
+  /// Bind `var` to the matched node's atomic *value* instead of the node
+  /// itself. Produced only by the Chorel-to-Lorel translator, which binds
+  /// annotation variables (timestamps, old/new values) from the &time /
+  /// &add / &ov / ... atoms of the Section 5.1 encoding; with this flag
+  /// both evaluation strategies yield identical rows.
+  bool bind_value = false;
+
+  std::string ToString() const;
+};
+
+/// How a variable is bound — needed by the Chorel-to-Lorel translator
+/// (object variables get ".&val" on value access, annotation-bound value
+/// variables do not; Section 5.2).
+enum class VarKind { kNode, kValue };
+
+/// The normalized form of a query: path expressions have been eliminated
+/// in favor of range-variable definitions with shared prefixes (Lorel's
+/// rewriting; e.g. Example 4.4's two from-paths share the
+/// guide.restaurant prefix and therefore range over the *same*
+/// restaurant), annotation expressions are canonicalized with fresh
+/// variables, and select/where reference variables only.
+///
+/// Variables introduced by paths in the where clause are hoisted into
+/// `defs` — evaluation enumerates all of them and filters, which is
+/// exactly the paper's "existential quantification over the where clause"
+/// semantics (Example 4.5). Paths inside an `exists` predicate stay
+/// un-hoisted and are quantified at their enclosing comparison.
+struct NormQuery {
+  std::vector<RangeDef> defs;
+  std::vector<SelectItem> select;  // exprs are kVar/kLiteral/kTimeRef
+  ExprPtr where;                   // may be null
+  /// Output label per select item (as-label, path label, or annotation
+  /// default such as "update-time"; paper Example 4.4).
+  std::vector<std::string> labels;
+  /// Binding kind of every variable.
+  std::unordered_map<std::string, VarKind> var_kinds;
+
+  /// Renders the OQL-like rewritten form, mirroring the paper's
+  /// presentation of rewritten queries.
+  std::string ToString() const;
+};
+
+/// Rewrites a parsed query into normalized form. Fails with ParseError on
+/// scoping errors (e.g. a from-item variable redeclared) and Unsupported
+/// on constructs outside the implemented subset.
+Result<NormQuery> Normalize(const Query& q);
+
+}  // namespace lorel
+}  // namespace doem
+
+#endif  // DOEM_LOREL_NORMALIZE_H_

@@ -1,0 +1,411 @@
+#include "lorel/parser.h"
+
+#include <vector>
+
+#include "common/strings.h"
+#include "lorel/lexer.h"
+
+namespace doem {
+namespace lorel {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Parse() {
+    Query q;
+    if (!EatKeyword("select")) return Err("expected 'select'");
+    DOEM_RETURN_IF_ERROR(ParseSelectList(&q));
+    if (EatKeyword("from")) {
+      DOEM_RETURN_IF_ERROR(ParseFromList(&q));
+    }
+    if (EatKeyword("where")) {
+      auto cond = ParseOrExpr();
+      if (!cond.ok()) return cond.status();
+      q.where = std::move(cond).value();
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err("unexpected trailing input '" + Peek().text + "'");
+    }
+    return q;
+  }
+
+ private:
+  // ---- token helpers ----------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Eat(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool PeekKeyword(const std::string& kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kIdent && EqualsIgnoreCase(t.text, kw);
+  }
+  bool EatKeyword(const std::string& kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  static bool IsKeywordText(const std::string& s) {
+    static const char* kKeywords[] = {"select", "from", "where", "as",
+                                      "and",    "or",   "not",   "exists",
+                                      "in",     "like"};
+    for (const char* k : kKeywords) {
+      if (EqualsIgnoreCase(s, k)) return true;
+    }
+    return false;
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError("at offset " + std::to_string(Peek().offset) +
+                              ": " + msg);
+  }
+
+  // ---- clauses ------------------------------------------------------------
+
+  Status ParseSelectList(Query* q) {
+    do {
+      SelectItem item;
+      auto e = ParseOperand();
+      if (!e.ok()) return e.status();
+      item.expr = std::move(e).value();
+      if (EatKeyword("as")) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Err("expected label after 'as'");
+        }
+        item.as_label = Next().text;
+      }
+      q->select.push_back(std::move(item));
+    } while (Eat(TokenKind::kComma));
+    return Status::OK();
+  }
+
+  Status ParseFromList(Query* q) {
+    do {
+      FromItem item;
+      auto p = ParsePath();
+      if (!p.ok()) return p.status();
+      item.path = std::move(p).value();
+      if (Peek().kind == TokenKind::kIdent && !IsKeywordText(Peek().text)) {
+        item.var = Next().text;
+      }
+      q->from.push_back(std::move(item));
+    } while (Eat(TokenKind::kComma));
+    return Status::OK();
+  }
+
+  // ---- boolean expressions -------------------------------------------------
+
+  Result<ExprPtr> ParseOrExpr() {
+    auto lhs = ParseAndExpr();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (EatKeyword("or")) {
+      auto rhs = ParseAndExpr();
+      if (!rhs.ok()) return rhs;
+      e = Expr::MakeBinary(BinOp::kOr, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseAndExpr() {
+    auto lhs = ParseNotExpr();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (EatKeyword("and")) {
+      auto rhs = ParseNotExpr();
+      if (!rhs.ok()) return rhs;
+      e = Expr::MakeBinary(BinOp::kAnd, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseNotExpr() {
+    if (EatKeyword("not")) {
+      auto c = ParseNotExpr();
+      if (!c.ok()) return c;
+      return Expr::MakeNot(std::move(c).value());
+    }
+    return ParseBoolPrimary();
+  }
+
+  Result<ExprPtr> ParseBoolPrimary() {
+    if (Eat(TokenKind::kLParen)) {
+      auto e = ParseOrExpr();
+      if (!e.ok()) return e;
+      if (!Eat(TokenKind::kRParen)) return Err("expected ')'");
+      return e;
+    }
+    if (PeekKeyword("exists")) {
+      ++pos_;
+      if (Peek().kind != TokenKind::kIdent || IsKeywordText(Peek().text)) {
+        return Err("expected variable after 'exists'");
+      }
+      std::string var = Next().text;
+      if (!EatKeyword("in")) return Err("expected 'in' after exists variable");
+      auto p = ParsePath();
+      if (!p.ok()) return p.status();
+      if (!Eat(TokenKind::kColon)) return Err("expected ':' after exists range");
+      auto pred = ParseNotExpr();
+      if (!pred.ok()) return pred;
+      return Expr::MakeExists(std::move(var), std::move(p).value(),
+                              std::move(pred).value());
+    }
+    // Comparison.
+    auto lhs = ParseOperand();
+    if (!lhs.ok()) return lhs;
+    BinOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        op = BinOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = BinOp::kNe;
+        break;
+      case TokenKind::kLAngle:
+        op = BinOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = BinOp::kLe;
+        break;
+      case TokenKind::kRAngle:
+        op = BinOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = BinOp::kGe;
+        break;
+      case TokenKind::kIdent:
+        if (EqualsIgnoreCase(Peek().text, "like")) {
+          op = BinOp::kLike;
+          break;
+        }
+        return Err("expected a comparison operator, got '" + Peek().text +
+                   "'");
+      default:
+        return Err("expected a comparison operator");
+    }
+    ++pos_;
+    auto rhs = ParseOperand();
+    if (!rhs.ok()) return rhs;
+    return Expr::MakeBinary(op, std::move(lhs).value(),
+                            std::move(rhs).value());
+  }
+
+  // ---- operands & paths ------------------------------------------------------
+
+  Result<ExprPtr> ParseOperand() {
+    if (Peek().kind == TokenKind::kMinus) {
+      // Unary minus on a numeric literal.
+      ++pos_;
+      const Token& n = Peek();
+      if (n.kind == TokenKind::kInt) {
+        ++pos_;
+        return Expr::MakeLiteral(Value::Int(-n.int_value));
+      }
+      if (n.kind == TokenKind::kReal) {
+        ++pos_;
+        return Expr::MakeLiteral(Value::Real(-n.real_value));
+      }
+      return Err("expected a number after unary '-'");
+    }
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInt: {
+        ++pos_;
+        return Expr::MakeLiteral(Value::Int(t.int_value));
+      }
+      case TokenKind::kReal: {
+        ++pos_;
+        return Expr::MakeLiteral(Value::Real(t.real_value));
+      }
+      case TokenKind::kString: {
+        ++pos_;
+        return Expr::MakeLiteral(Value::String(t.text));
+      }
+      case TokenKind::kDate: {
+        ++pos_;
+        return Expr::MakeLiteral(Value::Time(t.date_value));
+      }
+      case TokenKind::kIdent: {
+        if (EqualsIgnoreCase(t.text, "true")) {
+          ++pos_;
+          return Expr::MakeLiteral(Value::Bool(true));
+        }
+        if (EqualsIgnoreCase(t.text, "false")) {
+          ++pos_;
+          return Expr::MakeLiteral(Value::Bool(false));
+        }
+        // t[i]: the QSS relative polling-time variable.
+        if (t.text == "t" && Peek(1).kind == TokenKind::kLBracket) {
+          pos_ += 2;
+          int sign = 1;
+          if (Eat(TokenKind::kMinus)) sign = -1;
+          if (Peek().kind != TokenKind::kInt) {
+            return Err("expected integer inside t[...]");
+          }
+          int idx = sign * static_cast<int>(Next().int_value);
+          if (idx > 0) return Err("t[i] requires i <= 0");
+          if (!Eat(TokenKind::kRBracket)) return Err("expected ']'");
+          return Expr::MakeTimeRef(idx);
+        }
+        auto p = ParsePath();
+        if (!p.ok()) return p.status();
+        return Expr::MakePath(std::move(p).value());
+      }
+      case TokenKind::kLAngle:
+      case TokenKind::kHash:
+      case TokenKind::kPercent: {
+        // A path may begin with an annotation or wildcard.
+        auto p = ParsePath();
+        if (!p.ok()) return p.status();
+        return Expr::MakePath(std::move(p).value());
+      }
+      default:
+        return Err("expected a value or path, got '" + t.text + "'");
+    }
+  }
+
+  Result<PathExpr> ParsePath() {
+    PathExpr path;
+    while (true) {
+      PathStep step;
+      // Arc annotation (before the label).
+      if (Peek().kind == TokenKind::kLAngle) {
+        size_t save = pos_;
+        auto a = ParseAnnot(/*arc_position=*/true);
+        if (!a.ok()) {
+          pos_ = save;
+          return a.status();
+        }
+        step.arc_annot = std::move(a).value();
+      }
+      if (Eat(TokenKind::kHash)) {
+        step.wildcard = true;
+        step.label = "#";
+      } else if (Eat(TokenKind::kPercent)) {
+        step.wildcard_one = true;
+        step.label = "%";
+      } else if (Peek().kind == TokenKind::kIdent &&
+                 !IsKeywordText(Peek().text)) {
+        step.label = Next().text;
+      } else {
+        return Err("expected a label in path expression");
+      }
+      // Node annotation (after the label) — speculative, since '<' here
+      // may instead be a comparison operator.
+      if (Peek().kind == TokenKind::kLAngle) {
+        size_t save = pos_;
+        auto a = ParseAnnot(/*arc_position=*/false);
+        if (a.ok()) {
+          step.node_annot = std::move(a).value();
+        } else {
+          pos_ = save;  // treat '<' as a comparison, handled by caller
+        }
+      }
+      // Annotation expressions on the '#' wildcard stay unsupported (the
+      // paper defers them, Section 4.2); on '%' they have a clear
+      // semantics — one arc of any label carrying the annotation — and
+      // are implemented as a Section 7 extension.
+      if (step.wildcard && (step.arc_annot || step.node_annot)) {
+        return Err(
+            "annotation expressions on '#' are not supported (paper "
+            "Section 4.2)");
+      }
+      path.steps.push_back(std::move(step));
+      if (!Eat(TokenKind::kDot)) break;
+    }
+    return path;
+  }
+
+  Result<AnnotExpr> ParseAnnot(bool arc_position) {
+    // Caller guarantees current token is '<'.
+    ++pos_;
+    AnnotExpr a;
+    if (Peek().kind != TokenKind::kIdent) {
+      return Err("expected annotation keyword after '<'");
+    }
+    std::string head = ToLower(Peek().text);
+    if (head == "at") {
+      // Virtual annotation <at T> (Section 4.2.2).
+      ++pos_;
+      a.kind = AnnotKind::kAt;
+      auto t = ParseOperand();
+      if (!t.ok()) return t.status();
+      a.at_time = std::move(t).value();
+      if (!Eat(TokenKind::kRAngle)) return Err("expected '>'");
+      return a;
+    }
+    if (head == "add" || head == "rem") {
+      if (!arc_position) {
+        return Err("'" + head + "' is an arc annotation; it must appear "
+                   "before a label");
+      }
+      a.kind = head == "add" ? AnnotKind::kAdd : AnnotKind::kRem;
+      ++pos_;
+      if (EatKeyword("at")) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Err("expected variable after 'at'");
+        }
+        a.time_var = Next().text;
+      }
+      if (!Eat(TokenKind::kRAngle)) return Err("expected '>'");
+      return a;
+    }
+    if (head == "cre" || head == "upd") {
+      if (arc_position) {
+        return Err("'" + head + "' is a node annotation; it must appear "
+                   "after a label");
+      }
+      a.kind = head == "cre" ? AnnotKind::kCre : AnnotKind::kUpd;
+      ++pos_;
+      if (EatKeyword("at")) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Err("expected variable after 'at'");
+        }
+        a.time_var = Next().text;
+      }
+      if (a.kind == AnnotKind::kUpd) {
+        if (EatKeyword("from")) {
+          if (Peek().kind != TokenKind::kIdent) {
+            return Err("expected variable after 'from'");
+          }
+          a.from_var = Next().text;
+        }
+        if (EatKeyword("to")) {
+          if (Peek().kind != TokenKind::kIdent) {
+            return Err("expected variable after 'to'");
+          }
+          a.to_var = Next().text;
+        }
+      }
+      if (!Eat(TokenKind::kRAngle)) return Err("expected '>'");
+      return a;
+    }
+    return Err("unknown annotation '" + head + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(const std::string& text) {
+  auto tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  return Parser(std::move(tokens).value()).Parse();
+}
+
+}  // namespace lorel
+}  // namespace doem

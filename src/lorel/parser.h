@@ -1,0 +1,35 @@
+#ifndef DOEM_LOREL_PARSER_H_
+#define DOEM_LOREL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "lorel/ast.h"
+
+namespace doem {
+namespace lorel {
+
+/// Parses a Lorel or Chorel query. The grammar is the select-from-where
+/// subset used throughout the paper:
+///
+///   query    := SELECT item {, item} [FROM fi {, fi}] [WHERE cond]
+///   item     := operand [AS label]
+///   fi       := path [Var]
+///   path     := step {. step}
+///   step     := [<arcAnnot>] (label | #) [<nodeAnnot>]
+///   arcAnnot := (add|rem) [at Var] | at operand
+///   nodeAnnot:= cre [at Var] | upd [at Var] [from Var] [to Var]
+///              | at operand
+///   cond     := or-combination of: comparisons (= != < <= > >= like),
+///               not, parentheses, exists Var in path : cond
+///   operand  := literal | date (4Jan97) | t[i] | path
+///
+/// Keywords are case-insensitive; identifiers may contain '-' (labels like
+/// nearby-eats). Plain Lorel queries are exactly those without annotation
+/// expressions.
+Result<Query> ParseQuery(const std::string& text);
+
+}  // namespace lorel
+}  // namespace doem
+
+#endif  // DOEM_LOREL_PARSER_H_

@@ -1,0 +1,52 @@
+#ifndef DOEM_LOREL_TOKEN_H_
+#define DOEM_LOREL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "oem/timestamp.h"
+
+namespace doem {
+namespace lorel {
+
+/// Token kinds of the Lorel/Chorel lexical grammar.
+enum class TokenKind {
+  kEnd,
+  kIdent,     // identifiers and labels: restaurant, nearby-eats
+  kInt,       // 42
+  kReal,      // 2.5
+  kString,    // "Lytton"
+  kDate,      // 4Jan97 (a digits-letters-digits date literal)
+  kDot,       // .
+  kComma,     // ,
+  kLParen,    // (
+  kRParen,    // )
+  kLBracket,  // [
+  kRBracket,  // ]
+  kLBrace,    // {  (object literals in update statements)
+  kRBrace,    // }
+  kLAngle,    // <
+  kRAngle,    // >
+  kLe,        // <=
+  kGe,        // >=
+  kEq,        // =
+  kNe,        // != or <>
+  kColon,     // :
+  kHash,      // #   (wildcard: any path of length >= 0)
+  kPercent,   // %   (wildcard: exactly one arc, any label)
+  kMinus,     // - (only in t[-1] position)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // identifier / string contents
+  int64_t int_value = 0;
+  double real_value = 0;
+  Timestamp date_value;
+  size_t offset = 0;   // byte offset in the query, for error messages
+};
+
+}  // namespace lorel
+}  // namespace doem
+
+#endif  // DOEM_LOREL_TOKEN_H_

@@ -1,0 +1,13 @@
+#include "lorel/view.h"
+
+namespace doem {
+namespace lorel {
+
+const Value& OemView::value(NodeId n) const {
+  static const Value kComplex;
+  const Value* v = db_.GetValue(n);
+  return v == nullptr ? kComplex : *v;
+}
+
+}  // namespace lorel
+}  // namespace doem

@@ -1,0 +1,36 @@
+#ifndef DOEM_OEM_GRAPH_COMPARE_H_
+#define DOEM_OEM_GRAPH_COMPARE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "oem/oem.h"
+
+namespace doem {
+
+/// Structural equality of two OEM databases up to renaming of node
+/// identifiers (rooted graph isomorphism respecting values and arc labels).
+///
+/// The check runs Weisfeiler-Leman-style hash refinement and then attempts
+/// to build an explicit bijection from the roots, pairing same-label
+/// children with equal refinement hashes; the candidate bijection is
+/// verified arc-by-arc. A `true` answer is always sound. A `false` answer
+/// can in principle be spurious for highly symmetric graphs where hash ties
+/// hide distinct valid pairings; such graphs do not arise from this
+/// project's generators, and the diff tests that rely on this predicate
+/// construct asymmetric values.
+bool Isomorphic(const OemDatabase& a, const OemDatabase& b);
+
+/// Like Isomorphic, and on success fills `*mapping` with the node bijection
+/// from `a`'s ids to `b`'s ids.
+bool FindIsomorphism(const OemDatabase& a, const OemDatabase& b,
+                     std::unordered_map<NodeId, NodeId>* mapping);
+
+/// The stable refinement hash of each node (value + neighborhood
+/// structure). Exposed for the structural diff's matching heuristics.
+std::unordered_map<NodeId, uint64_t> RefinementHashes(const OemDatabase& db,
+                                                      int rounds);
+
+}  // namespace doem
+
+#endif  // DOEM_OEM_GRAPH_COMPARE_H_

@@ -1,0 +1,59 @@
+#include "oem/history.h"
+
+namespace doem {
+
+Status OemHistory::Append(Timestamp time, ChangeSet changes) {
+  if (!steps_.empty() && time <= steps_.back().time) {
+    return Status::InvalidArgument(
+        "history timestamps must be strictly increasing: " +
+        time.ToString() + " after " + steps_.back().time.ToString());
+  }
+  steps_.push_back(HistoryStep{time, std::move(changes)});
+  return Status::OK();
+}
+
+Status OemHistory::ValidateFor(const OemDatabase& base) const {
+  for (size_t i = 1; i < steps_.size(); ++i) {
+    if (steps_[i].time <= steps_[i - 1].time) {
+      return Status::InvalidArgument("history timestamps not increasing at "
+                                     "step " +
+                                     std::to_string(i));
+    }
+  }
+  OemDatabase scratch = base;
+  return ApplyTo(&scratch);
+}
+
+Status OemHistory::ApplyTo(OemDatabase* db) const {
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    Status s = ApplyChangeSet(db, steps_[i].changes);
+    if (!s.ok()) {
+      return Status(s.code(), "at history step " + std::to_string(i) +
+                                  " (t=" + steps_[i].time.ToString() +
+                                  "): " + s.message());
+    }
+  }
+  return Status::OK();
+}
+
+bool OemHistory::Equals(const OemHistory& other) const {
+  if (steps_.size() != other.steps_.size()) return false;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if (steps_[i].time != other.steps_[i].time) return false;
+    if (!ChangeSetEquals(steps_[i].changes, other.steps_[i].changes)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string OemHistory::ToString() const {
+  std::string out;
+  for (const HistoryStep& step : steps_) {
+    out += "(" + step.time.ToString() + ", " +
+           ChangeSetToString(step.changes) + ")\n";
+  }
+  return out;
+}
+
+}  // namespace doem

@@ -1,0 +1,58 @@
+#ifndef DOEM_OEM_HISTORY_H_
+#define DOEM_OEM_HISTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "oem/change.h"
+#include "oem/timestamp.h"
+
+namespace doem {
+
+/// One element (t_i, U_i) of an OEM history.
+struct HistoryStep {
+  Timestamp time;
+  ChangeSet changes;
+
+  bool operator==(const HistoryStep&) const = default;
+};
+
+/// An OEM history H = (t1, U1), ..., (tn, Un) with strictly increasing
+/// timestamps (Definition 2.2). A history is *valid* for a database O if
+/// each U_i is valid for the state produced by the previous steps.
+class OemHistory {
+ public:
+  OemHistory() = default;
+  explicit OemHistory(std::vector<HistoryStep> steps)
+      : steps_(std::move(steps)) {}
+
+  /// Appends (time, changes); time must exceed the last step's time.
+  Status Append(Timestamp time, ChangeSet changes);
+
+  const std::vector<HistoryStep>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+  size_t size() const { return steps_.size(); }
+
+  /// Checks monotone timestamps and validity for `base` (applies the
+  /// history to a scratch copy).
+  Status ValidateFor(const OemDatabase& base) const;
+
+  /// Applies the entire history to `db` (L(O) in the paper). Transactional
+  /// per change set: fails on the first invalid set, with earlier sets
+  /// already applied; use ValidateFor first if atomicity over the whole
+  /// history is needed.
+  Status ApplyTo(OemDatabase* db) const;
+
+  /// Multiset equality of change sets, per timestamp, in order.
+  bool Equals(const OemHistory& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<HistoryStep> steps_;
+};
+
+}  // namespace doem
+
+#endif  // DOEM_OEM_HISTORY_H_

@@ -1,0 +1,215 @@
+#include "oem/history_text.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/strings.h"
+#include "oem/oem_text.h"
+
+namespace doem {
+
+namespace {
+
+void WriteLabelToken(const std::string& label, std::string* out) {
+  if (IsBareIdentifier(label)) {
+    out->append(label);
+  } else {
+    out->append("\"").append(EscapeString(label)).append("\"");
+  }
+}
+
+void WriteOpLine(const ChangeOp& op, std::string* out) {
+  switch (op.kind) {
+    case ChangeOp::Kind::kCreNode:
+      out->append("cre ").append(std::to_string(op.node)).append(" ");
+      out->append(op.value.ToString());
+      break;
+    case ChangeOp::Kind::kUpdNode:
+      out->append("upd ").append(std::to_string(op.node)).append(" ");
+      out->append(op.value.ToString());
+      break;
+    case ChangeOp::Kind::kAddArc:
+    case ChangeOp::Kind::kRemArc:
+      out->append(op.kind == ChangeOp::Kind::kAddArc ? "add " : "rem ");
+      out->append(std::to_string(op.arc.parent)).append(" ");
+      WriteLabelToken(op.arc.label, out);
+      out->append(" ").append(std::to_string(op.arc.child));
+      break;
+  }
+  out->push_back('\n');
+}
+
+Status ParseErrAt(size_t line_no, const std::string& msg) {
+  return Status::ParseError("line " + std::to_string(line_no) + ": " + msg);
+}
+
+// Parses "<digits>" into id; advances *pos past it and any whitespace.
+bool TakeId(const std::string& s, size_t* pos, NodeId* out) {
+  while (*pos < s.size() && std::isspace(static_cast<unsigned char>(s[*pos]))) {
+    ++*pos;
+  }
+  size_t start = *pos;
+  while (*pos < s.size() && std::isdigit(static_cast<unsigned char>(s[*pos]))) {
+    ++*pos;
+  }
+  if (*pos == start) return false;
+  auto [p, ec] = std::from_chars(s.data() + start, s.data() + *pos, *out);
+  (void)p;
+  return ec == std::errc() && *out != kInvalidNode;
+}
+
+// Parses a bare or quoted label; advances *pos.
+bool TakeLabel(const std::string& s, size_t* pos, std::string* out) {
+  while (*pos < s.size() && std::isspace(static_cast<unsigned char>(s[*pos]))) {
+    ++*pos;
+  }
+  if (*pos >= s.size()) return false;
+  out->clear();
+  if (s[*pos] == '"') {
+    ++*pos;
+    while (*pos < s.size()) {
+      char c = s[(*pos)++];
+      if (c == '"') return true;
+      if (c == '\\' && *pos < s.size()) {
+        char e = s[(*pos)++];
+        switch (e) {
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+  while (*pos < s.size() &&
+         !std::isspace(static_cast<unsigned char>(s[*pos]))) {
+    out->push_back(s[(*pos)++]);
+  }
+  return !out->empty();
+}
+
+Result<ChangeOp> ParseOpLine(const std::string& line, size_t line_no) {
+  size_t pos = 0;
+  std::string verb;
+  if (!TakeLabel(line, &pos, &verb)) {
+    return ParseErrAt(line_no, "expected an operation");
+  }
+  if (verb == "cre" || verb == "upd") {
+    NodeId id;
+    if (!TakeId(line, &pos, &id)) {
+      return ParseErrAt(line_no, "expected a node id after '" + verb + "'");
+    }
+    auto value = ParseValueLiteral(line.substr(pos));
+    if (!value.ok()) {
+      return ParseErrAt(line_no, "bad value: " + value.status().message());
+    }
+    return verb == "cre" ? ChangeOp::CreNode(id, std::move(value).value())
+                         : ChangeOp::UpdNode(id, std::move(value).value());
+  }
+  if (verb == "add" || verb == "rem") {
+    NodeId parent, child;
+    std::string label;
+    if (!TakeId(line, &pos, &parent) || !TakeLabel(line, &pos, &label) ||
+        !TakeId(line, &pos, &child)) {
+      return ParseErrAt(line_no,
+                        "expected '<parent> <label> <child>' after '" +
+                            verb + "'");
+    }
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+    if (pos != line.size()) {
+      return ParseErrAt(line_no, "trailing input after arc operation");
+    }
+    return verb == "add" ? ChangeOp::AddArc(parent, label, child)
+                         : ChangeOp::RemArc(parent, label, child);
+  }
+  return ParseErrAt(line_no, "unknown operation '" + verb + "'");
+}
+
+}  // namespace
+
+std::string WriteChangeSetText(const ChangeSet& ops) {
+  std::string out;
+  for (const ChangeOp& op : ops) WriteOpLine(op, &out);
+  return out;
+}
+
+std::string WriteHistoryText(const OemHistory& history) {
+  std::string out;
+  for (const HistoryStep& step : history.steps()) {
+    out.append("@").append(step.time.ToString()).append("\n");
+    out.append(WriteChangeSetText(step.changes));
+  }
+  return out;
+}
+
+Result<ChangeSet> ParseChangeSetText(const std::string& text) {
+  ChangeSet ops;
+  size_t line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string line(StripWhitespace(raw));
+    if (line.empty() || line[0] == '#') continue;
+    if (line[0] == '@') {
+      return ParseErrAt(line_no,
+                        "timestamp header in a change set; use "
+                        "ParseHistoryText for histories");
+    }
+    auto op = ParseOpLine(line, line_no);
+    if (!op.ok()) return op.status();
+    ops.push_back(std::move(op).value());
+  }
+  return ops;
+}
+
+Result<OemHistory> ParseHistoryText(const std::string& text) {
+  OemHistory history;
+  ChangeSet current;
+  Timestamp current_time;
+  bool open = false;
+  size_t line_no = 0;
+  auto flush = [&]() -> Status {
+    if (!open) return Status::OK();
+    return history.Append(current_time, std::move(current));
+  };
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string line(StripWhitespace(raw));
+    if (line.empty() || line[0] == '#') continue;
+    if (line[0] == '@') {
+      DOEM_RETURN_IF_ERROR(flush());
+      current = ChangeSet();
+      if (!Timestamp::Parse(line.substr(1), &current_time)) {
+        return ParseErrAt(line_no, "bad timestamp '" + line + "'");
+      }
+      open = true;
+      continue;
+    }
+    if (!open) {
+      return ParseErrAt(line_no,
+                        "operation before the first '@<time>' header");
+    }
+    auto op = ParseOpLine(line, line_no);
+    if (!op.ok()) return op.status();
+    current.push_back(std::move(op).value());
+  }
+  DOEM_RETURN_IF_ERROR(flush());
+  return history;
+}
+
+}  // namespace doem

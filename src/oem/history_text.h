@@ -1,0 +1,42 @@
+#ifndef DOEM_OEM_HISTORY_TEXT_H_
+#define DOEM_OEM_HISTORY_TEXT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "oem/history.h"
+
+namespace doem {
+
+/// A line-oriented text format for change sets and histories — replayable
+/// edit scripts. One operation per line; '@<time>' opens a change set;
+/// '#' starts a comment:
+///
+///   # the Example 2.2 modifications
+///   @1Jan1997
+///   upd 1 20
+///   cre 2 C
+///   cre 3 "Hakata"
+///   add 4 restaurant 2
+///   add 2 name 3
+///   @5Jan1997
+///   cre 5 "need info"
+///   add 2 comment 5
+///   @8Jan1997
+///   rem 6 parking 7
+///
+/// Values use the OEM text literal syntax (42, 3.5, "s", true, @8Jan1997,
+/// C); labels are bare identifiers or quoted strings.
+///
+/// Round trip: ParseHistoryText(WriteHistoryText(h)) equals h.
+std::string WriteHistoryText(const OemHistory& history);
+
+Result<OemHistory> ParseHistoryText(const std::string& text);
+
+/// A single change set without a timestamp header (the same op lines).
+std::string WriteChangeSetText(const ChangeSet& ops);
+Result<ChangeSet> ParseChangeSetText(const std::string& text);
+
+}  // namespace doem
+
+#endif  // DOEM_OEM_HISTORY_TEXT_H_

@@ -1,0 +1,279 @@
+#include "oem/oem.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace doem {
+
+std::string Arc::ToString() const {
+  return "(" + std::to_string(parent) + ", " + label + ", " +
+         std::to_string(child) + ")";
+}
+
+std::string OemDatabase::ArcKey(const std::string& label, NodeId child) {
+  return label + "\x1f" + std::to_string(child);
+}
+
+NodeId OemDatabase::NewNode(const Value& value) {
+  while (burned_ids_.contains(next_id_)) ++next_id_;
+  NodeId id = next_id_++;
+  values_.emplace(id, value);
+  burned_ids_.insert(id);
+  return id;
+}
+
+Status OemDatabase::SetRoot(NodeId root) {
+  const Value* v = GetValue(root);
+  if (v == nullptr) {
+    return Status::NotFound("SetRoot: no node " + std::to_string(root));
+  }
+  if (!v->is_complex()) {
+    return Status::InvalidArgument("SetRoot: root must be a complex object");
+  }
+  root_ = root;
+  return Status::OK();
+}
+
+Status OemDatabase::CreNode(NodeId node, const Value& value) {
+  if (node == kInvalidNode) {
+    return Status::InvalidArgument("creNode: id 0 is reserved");
+  }
+  if (burned_ids_.contains(node)) {
+    return Status::InvalidChange("creNode: identifier " +
+                                 std::to_string(node) +
+                                 " already used (ids are never reused)");
+  }
+  values_.emplace(node, value);
+  burned_ids_.insert(node);
+  if (node >= next_id_) next_id_ = node + 1;
+  return Status::OK();
+}
+
+Status OemDatabase::UpdNode(NodeId node, const Value& value) {
+  auto it = values_.find(node);
+  if (it == values_.end()) {
+    return Status::NotFound("updNode: no node " + std::to_string(node));
+  }
+  if (!OutArcs(node).empty()) {
+    return Status::InvalidChange(
+        "updNode: node " + std::to_string(node) +
+        " has subobjects; remove them before updating its value");
+  }
+  it->second = value;
+  return Status::OK();
+}
+
+Status OemDatabase::SetValueForce(NodeId node, const Value& value) {
+  auto it = values_.find(node);
+  if (it == values_.end()) {
+    return Status::NotFound("SetValueForce: no node " + std::to_string(node));
+  }
+  it->second = value;
+  return Status::OK();
+}
+
+Status OemDatabase::EraseNodeForce(NodeId node) {
+  if (!values_.contains(node)) {
+    return Status::NotFound("EraseNodeForce: no node " +
+                            std::to_string(node));
+  }
+  if (!OutArcs(node).empty()) {
+    return Status::InvalidArgument("EraseNodeForce: node " +
+                                   std::to_string(node) + " has out-arcs");
+  }
+  out_.erase(node);
+  arc_keys_.erase(node);
+  values_.erase(node);
+  return Status::OK();
+}
+
+Status OemDatabase::AddArc(NodeId parent, const std::string& label,
+                           NodeId child) {
+  const Value* pv = GetValue(parent);
+  if (pv != nullptr && !pv->is_complex()) {
+    return Status::InvalidChange("addArc: parent " + std::to_string(parent) +
+                                 " is atomic");
+  }
+  return AddArcForce(parent, label, child);
+}
+
+Status OemDatabase::AddArcForce(NodeId parent, const std::string& label,
+                                NodeId child) {
+  if (!HasNode(parent)) {
+    return Status::NotFound("addArc: no parent node " +
+                            std::to_string(parent));
+  }
+  if (!HasNode(child)) {
+    return Status::NotFound("addArc: no child node " + std::to_string(child));
+  }
+  auto [it, inserted] = arc_keys_[parent].insert(ArcKey(label, child));
+  if (!inserted) {
+    return Status::InvalidChange("addArc: arc " +
+                                 Arc{parent, label, child}.ToString() +
+                                 " already exists");
+  }
+  out_[parent].push_back(OutArc{label, child});
+  ++arc_count_;
+  return Status::OK();
+}
+
+Status OemDatabase::RemArc(NodeId parent, const std::string& label,
+                           NodeId child) {
+  auto keys_it = arc_keys_.find(parent);
+  if (keys_it == arc_keys_.end() ||
+      keys_it->second.erase(ArcKey(label, child)) == 0) {
+    return Status::NotFound("remArc: no arc " +
+                            Arc{parent, label, child}.ToString());
+  }
+  auto& arcs = out_[parent];
+  arcs.erase(std::find(arcs.begin(), arcs.end(), OutArc{label, child}));
+  --arc_count_;
+  return Status::OK();
+}
+
+bool OemDatabase::HasArc(NodeId parent, const std::string& label,
+                         NodeId child) const {
+  auto it = arc_keys_.find(parent);
+  return it != arc_keys_.end() &&
+         it->second.contains(ArcKey(label, child));
+}
+
+const Value* OemDatabase::GetValue(NodeId node) const {
+  auto it = values_.find(node);
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+const std::vector<OutArc>& OemDatabase::OutArcs(NodeId node) const {
+  static const std::vector<OutArc> kEmpty;
+  auto it = out_.find(node);
+  return it == out_.end() ? kEmpty : it->second;
+}
+
+std::vector<NodeId> OemDatabase::Children(NodeId node,
+                                          const std::string& label) const {
+  std::vector<NodeId> out;
+  for (const OutArc& a : OutArcs(node)) {
+    if (a.label == label) out.push_back(a.child);
+  }
+  return out;
+}
+
+NodeId OemDatabase::Child(NodeId node, const std::string& label) const {
+  for (const OutArc& a : OutArcs(node)) {
+    if (a.label == label) return a.child;
+  }
+  return kInvalidNode;
+}
+
+std::vector<NodeId> OemDatabase::NodeIds() const {
+  std::vector<NodeId> ids;
+  ids.reserve(values_.size());
+  for (const auto& [id, v] : values_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<Arc> OemDatabase::AllArcs() const {
+  std::vector<Arc> arcs;
+  arcs.reserve(arc_count_);
+  for (NodeId p : NodeIds()) {
+    for (const OutArc& a : OutArcs(p)) {
+      arcs.push_back(Arc{p, a.label, a.child});
+    }
+  }
+  return arcs;
+}
+
+std::unordered_set<NodeId> OemDatabase::ReachableFromRoot() const {
+  std::unordered_set<NodeId> seen;
+  if (root_ == kInvalidNode || !HasNode(root_)) return seen;
+  std::deque<NodeId> queue{root_};
+  seen.insert(root_);
+  while (!queue.empty()) {
+    NodeId n = queue.front();
+    queue.pop_front();
+    for (const OutArc& a : OutArcs(n)) {
+      if (seen.insert(a.child).second) queue.push_back(a.child);
+    }
+  }
+  return seen;
+}
+
+std::vector<NodeId> OemDatabase::CollectGarbage() {
+  std::unordered_set<NodeId> live = ReachableFromRoot();
+  std::vector<NodeId> removed;
+  for (const auto& [id, v] : values_) {
+    if (!live.contains(id)) removed.push_back(id);
+  }
+  std::sort(removed.begin(), removed.end());
+  for (NodeId id : removed) {
+    auto it = out_.find(id);
+    if (it != out_.end()) {
+      arc_count_ -= it->second.size();
+      out_.erase(it);
+    }
+    arc_keys_.erase(id);
+    values_.erase(id);
+    // id stays in burned_ids_: deleted ids are never reused.
+  }
+  // Arcs from live nodes to dead nodes cannot exist: a dead target would
+  // make the target reachable. So only dead parents' arcs were removed.
+  return removed;
+}
+
+Status OemDatabase::Validate() const {
+  if (root_ == kInvalidNode || !HasNode(root_)) {
+    return Status::InvalidArgument("Validate: database has no root");
+  }
+  if (!GetValue(root_)->is_complex()) {
+    return Status::InvalidArgument("Validate: root is not complex");
+  }
+  for (const auto& [p, arcs] : out_) {
+    if (arcs.empty()) continue;
+    const Value* pv = GetValue(p);
+    if (pv == nullptr) {
+      return Status::Internal("Validate: arcs from unknown node " +
+                              std::to_string(p));
+    }
+    if (!pv->is_complex()) {
+      return Status::InvalidArgument("Validate: atomic node " +
+                                     std::to_string(p) + " has out-arcs");
+    }
+    for (const OutArc& a : arcs) {
+      if (!HasNode(a.child)) {
+        return Status::InvalidArgument(
+            "Validate: arc to unknown node " + std::to_string(a.child));
+      }
+    }
+  }
+  std::unordered_set<NodeId> live = ReachableFromRoot();
+  if (live.size() != values_.size()) {
+    return Status::InvalidArgument(
+        "Validate: " + std::to_string(values_.size() - live.size()) +
+        " node(s) unreachable from the root");
+  }
+  return Status::OK();
+}
+
+bool OemDatabase::Equals(const OemDatabase& other) const {
+  if (root_ != other.root_ || values_.size() != other.values_.size() ||
+      arc_count_ != other.arc_count_) {
+    return false;
+  }
+  for (const auto& [id, v] : values_) {
+    const Value* ov = other.GetValue(id);
+    if (ov == nullptr || !(*ov == v)) return false;
+  }
+  for (const auto& [p, arcs] : out_) {
+    for (const OutArc& a : arcs) {
+      if (!other.HasArc(p, a.label, a.child)) return false;
+    }
+  }
+  return true;
+}
+
+void OemDatabase::ReserveIdsBelow(NodeId floor) {
+  if (floor > next_id_) next_id_ = floor;
+}
+
+}  // namespace doem

@@ -1,0 +1,190 @@
+#ifndef DOEM_OEM_OEM_H_
+#define DOEM_OEM_OEM_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "oem/value.h"
+
+namespace doem {
+
+/// Opaque object identifier. Identifiers of deleted objects are never
+/// reused (paper Section 2.2). 0 is reserved as "invalid".
+using NodeId = uint64_t;
+constexpr NodeId kInvalidNode = 0;
+
+/// A labeled outgoing arc (l, c) of some parent object: "the object with
+/// identifier c is an l-labeled subobject of the parent".
+struct OutArc {
+  std::string label;
+  NodeId child = kInvalidNode;
+
+  bool operator==(const OutArc& o) const = default;
+};
+
+/// A fully qualified arc (p, l, c), as in Definition 2.1.
+struct Arc {
+  NodeId parent = kInvalidNode;
+  std::string label;
+  NodeId child = kInvalidNode;
+
+  bool operator==(const Arc& o) const = default;
+  std::string ToString() const;
+};
+
+/// An OEM database (Definition 2.1): a rooted, labeled, directed graph of
+/// objects. Nodes carry a Value; complex nodes (value C) may have outgoing
+/// labeled arcs; atomic nodes may not. The graph may contain cycles and
+/// nodes with multiple parents.
+///
+/// Mutations go through the four basic change operations of Section 2.1
+/// (CreNode / UpdNode / AddArc / RemArc) plus the convenience constructors
+/// NewNode/SetRoot used when building a database from scratch. All
+/// mutators validate their preconditions and return an error Status
+/// instead of corrupting the graph.
+///
+/// The paper's "persistence is by reachability" rule is *not* enforced
+/// eagerly — within a set of changes objects may be temporarily
+/// unreachable (Section 2.2). Call CollectGarbage() at change-set
+/// boundaries to delete unreachable objects, or Validate() to check full
+/// well-formedness including reachability.
+class OemDatabase {
+ public:
+  OemDatabase() = default;
+
+  // Copyable (snapshots are passed around by value in QSS) and movable.
+  OemDatabase(const OemDatabase&) = default;
+  OemDatabase& operator=(const OemDatabase&) = default;
+  OemDatabase(OemDatabase&&) = default;
+  OemDatabase& operator=(OemDatabase&&) = default;
+
+  // ---- Construction helpers ------------------------------------------
+
+  /// Creates a node with a fresh identifier and the given value.
+  NodeId NewNode(const Value& value);
+
+  /// Convenience wrappers for building literal databases in tests and
+  /// examples. NewComplex() then AddArc(...) mirrors the figures.
+  NodeId NewComplex() { return NewNode(Value::Complex()); }
+  NodeId NewString(std::string s) {
+    return NewNode(Value::String(std::move(s)));
+  }
+  NodeId NewInt(int64_t v) { return NewNode(Value::Int(v)); }
+
+  /// Designates `root` as the distinguished root object. The node must
+  /// exist and be complex.
+  Status SetRoot(NodeId root);
+
+  // ---- The four basic change operations (Section 2.1) ----------------
+
+  /// creNode(n, v): creates object n with value v. n must be fresh; fresh
+  /// means never used before in this database (deleted ids stay used).
+  Status CreNode(NodeId node, const Value& value);
+
+  /// updNode(n, v): changes the value of n. n must be atomic, or complex
+  /// with no outgoing arcs.
+  Status UpdNode(NodeId node, const Value& value);
+
+  /// addArc(p, l, c): adds arc (p, l, c). p and c must exist, p must be
+  /// complex, and the arc must not already exist.
+  Status AddArc(NodeId parent, const std::string& label, NodeId child);
+
+  /// remArc(p, l, c): removes arc (p, l, c), which must exist.
+  Status RemArc(NodeId parent, const std::string& label, NodeId child);
+
+  /// Sets the value of `node` without checking for outgoing arcs.
+  ///
+  /// For DoemDatabase only: a DOEM graph keeps removed arcs in place
+  /// (annotated `rem`), so a node whose *live* out-arcs are all removed is
+  /// a legal updNode target even though physical arcs remain. Plain OEM
+  /// code must use UpdNode.
+  Status SetValueForce(NodeId node, const Value& value);
+
+  /// Erases `node` outright, for DoemDatabase's stillborn-node pruning.
+  /// The node must have no incident arcs. The id stays burned.
+  Status EraseNodeForce(NodeId node);
+
+  /// Adds an arc without requiring the parent to be complex, for
+  /// reconstructing a raw DOEM graph where removed arcs may hang off a
+  /// node whose current value is atomic. Duplicate/endpoint checks still
+  /// apply. Plain OEM code must use AddArc.
+  Status AddArcForce(NodeId parent, const std::string& label, NodeId child);
+
+  // ---- Lookup ---------------------------------------------------------
+
+  NodeId root() const { return root_; }
+  bool HasNode(NodeId node) const { return values_.contains(node); }
+  bool HasArc(NodeId parent, const std::string& label, NodeId child) const;
+
+  /// Value of `node`; null if the node does not exist.
+  const Value* GetValue(NodeId node) const;
+
+  /// Outgoing arcs of `node` in insertion order; empty if none/unknown.
+  const std::vector<OutArc>& OutArcs(NodeId node) const;
+
+  /// Children of `node` reachable via arcs labeled `label`, in insertion
+  /// order.
+  std::vector<NodeId> Children(NodeId node, const std::string& label) const;
+
+  /// First child via `label`, or kInvalidNode. Convenience for tests.
+  NodeId Child(NodeId node, const std::string& label) const;
+
+  size_t node_count() const { return values_.size(); }
+  size_t arc_count() const { return arc_count_; }
+
+  /// All node ids, sorted ascending (deterministic iteration).
+  std::vector<NodeId> NodeIds() const;
+
+  /// All arcs, ordered by (parent id, insertion order). Deterministic.
+  std::vector<Arc> AllArcs() const;
+
+  // ---- Reachability & integrity ---------------------------------------
+
+  /// Set of nodes reachable from the root by directed paths.
+  std::unordered_set<NodeId> ReachableFromRoot() const;
+
+  /// Deletes all nodes unreachable from the root (and their arcs),
+  /// implementing "persistence by reachability". Returns the ids removed,
+  /// sorted. Removed ids remain burned: they can never be re-created.
+  std::vector<NodeId> CollectGarbage();
+
+  /// Checks full well-formedness: a complex root exists, every arc's
+  /// endpoints exist, only complex nodes have out-arcs, and every node is
+  /// reachable from the root (Definition 2.1).
+  Status Validate() const;
+
+  /// Exact equality: same root, same node ids with equal values, same
+  /// arcs (order-insensitive). See graph_compare.h for isomorphism.
+  bool Equals(const OemDatabase& other) const;
+
+  /// Ensures that identifiers >= `floor` are never handed out by NewNode
+  /// with a value below `floor`. Used when merging databases.
+  void ReserveIdsBelow(NodeId floor);
+
+  /// The next identifier NewNode would hand out.
+  NodeId PeekNextId() const { return next_id_; }
+
+ private:
+  static std::string ArcKey(const std::string& label, NodeId child);
+
+  std::unordered_map<NodeId, Value> values_;
+  std::unordered_map<NodeId, std::vector<OutArc>> out_;
+  // Fast (label, child) membership per parent, for AddArc/HasArc on
+  // high-fanout nodes.
+  std::unordered_map<NodeId, std::unordered_set<std::string>> arc_keys_;
+  // Ids ever used, including deleted ones: "identifiers of deleted nodes
+  // are not reused" (Section 2.2).
+  std::unordered_set<NodeId> burned_ids_;
+  NodeId root_ = kInvalidNode;
+  NodeId next_id_ = 1;
+  size_t arc_count_ = 0;
+};
+
+}  // namespace doem
+
+#endif  // DOEM_OEM_OEM_H_

@@ -1,0 +1,411 @@
+#include "oem/oem_text.h"
+
+#include <cctype>
+#include <charconv>
+#include <unordered_set>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace doem {
+
+namespace {
+
+// The parser recurses per nesting level; beyond this depth it reports an
+// error instead of risking the stack. (The writer below is iterative and
+// handles any depth.)
+constexpr int kMaxParseDepth = 5000;
+
+void WriteLabel(const std::string& label, std::string* out) {
+  if (IsBareIdentifier(label)) {
+    out->append(label);
+  } else {
+    out->append("\"").append(EscapeString(label)).append("\"");
+  }
+}
+
+// Iterative pre-order writer with an explicit stack, so arbitrarily deep
+// databases serialize without exhausting the call stack.
+void WriteGraph(const OemDatabase& db, NodeId root, std::string* out) {
+  struct Frame {
+    NodeId node;
+    size_t next_arc = 0;
+  };
+  std::unordered_set<NodeId> defined;
+  std::vector<Frame> stack;
+
+  // Emits "&id" plus the value head; returns true if a complex body was
+  // opened (caller pushes a frame).
+  auto emit_head = [&](NodeId n) {
+    out->append("&").append(std::to_string(n));
+    if (!defined.insert(n).second) return false;  // back-reference
+    const Value& v = *db.GetValue(n);
+    if (v.is_atomic()) {
+      out->append(" ").append(v.ToString());
+      return false;
+    }
+    if (db.OutArcs(n).empty()) {
+      out->append(" {}");
+      return false;
+    }
+    out->append(" {\n");
+    return true;
+  };
+  // After a child (inline or closed block) finishes: comma if the parent
+  // has more arcs, newline either way.
+  auto after_child = [&]() {
+    if (stack.empty()) {
+      out->append("\n");
+      return;
+    }
+    const Frame& p = stack.back();
+    out->append(p.next_arc < db.OutArcs(p.node).size() ? ",\n" : "\n");
+  };
+
+  if (emit_head(root)) {
+    stack.push_back(Frame{root});
+  } else {
+    after_child();
+  }
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto& arcs = db.OutArcs(f.node);
+    if (f.next_arc == arcs.size()) {
+      out->append(std::string((stack.size() - 1) * 2, ' ')).append("}");
+      stack.pop_back();
+      after_child();
+      continue;
+    }
+    const OutArc& a = arcs[f.next_arc++];
+    out->append(std::string(stack.size() * 2, ' '));
+    WriteLabel(a.label, out);
+    out->append(": ");
+    if (emit_head(a.child)) {
+      stack.push_back(Frame{a.child});
+    } else {
+      after_child();
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Value> ParseSingleValue() {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == 'C' &&
+        (pos_ + 1 == text_.size() ||
+         !std::isalnum(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      ++pos_;
+      SkipSpace();
+      if (pos_ != text_.size()) return Err("trailing input after value");
+      return Value::Complex();
+    }
+    Value v;
+    DOEM_RETURN_IF_ERROR(ParseAtomic(&v));
+    SkipSpace();
+    if (pos_ != text_.size()) return Err("trailing input after value");
+    return v;
+  }
+
+  Result<OemDatabase> Parse() {
+    OemDatabase db;
+    NodeId root;
+    Status s = ParseNode(&db, &root);
+    if (!s.ok()) return s;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Err("trailing input after root object");
+    }
+    // Undefined references are nodes we never gave a value.
+    for (NodeId n : pending_) {
+      if (!defined_.contains(n)) {
+        return Status::ParseError("node &" + std::to_string(n) +
+                                  " referenced but never defined");
+      }
+    }
+    DOEM_RETURN_IF_ERROR(db.SetRoot(root));
+    return db;
+  }
+
+ private:
+  Status Err(const std::string& msg) {
+    return Status::ParseError("line " + std::to_string(line_) + ": " + msg);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  Status ParseUInt(NodeId* out) {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected node id digits after '&'");
+    auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, *out);
+    (void)ptr;
+    if (ec != std::errc() || *out == kInvalidNode) {
+      return Err("bad node id");
+    }
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    // Assumes opening quote already consumed.
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\n') ++line_;
+      if (c == '\\' && pos_ < text_.size()) {
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '"':
+            out->push_back('"');
+            break;
+          default:
+            return Err(std::string("bad escape '\\") + e + "'");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  // Parses an atomic literal (number, string, bool, timestamp).
+  Status ParseAtomic(Value* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Err("expected a value");
+    char c = text_[pos_];
+    if (c == '"') {
+      ++pos_;
+      std::string s;
+      DOEM_RETURN_IF_ERROR(ParseString(&s));
+      *out = Value::String(std::move(s));
+      return Status::OK();
+    }
+    if (c == '@') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != ',' &&
+             text_[pos_] != '}' && text_[pos_] != '\n' &&
+             !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      Timestamp t;
+      if (!Timestamp::Parse(text_.substr(start, pos_ - start), &t)) {
+        return Err("bad timestamp literal");
+      }
+      *out = Value::Time(t);
+      return Status::OK();
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      if (c == '-') ++pos_;
+      bool is_real = false;
+      while (pos_ < text_.size()) {
+        char d = text_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++pos_;
+        } else if (d == '.' || d == 'e' || d == 'E' ||
+                   ((d == '+' || d == '-') && is_real)) {
+          is_real = true;
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      std::string num = text_.substr(start, pos_ - start);
+      if (is_real) {
+        try {
+          *out = Value::Real(std::stod(num));
+        } catch (...) {
+          return Err("bad real literal '" + num + "'");
+        }
+      } else {
+        int64_t v;
+        auto [p, ec] = std::from_chars(num.data(), num.data() + num.size(), v);
+        (void)p;
+        if (ec != std::errc()) return Err("bad integer literal '" + num + "'");
+        *out = Value::Int(v);
+      }
+      return Status::OK();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      std::string word = text_.substr(start, pos_ - start);
+      if (word == "true") {
+        *out = Value::Bool(true);
+        return Status::OK();
+      }
+      if (word == "false") {
+        *out = Value::Bool(false);
+        return Status::OK();
+      }
+      return Err("unexpected word '" + word + "' (expected a value)");
+    }
+    return Err(std::string("unexpected character '") + c + "'");
+  }
+
+  Status ParseLabel(std::string* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Err("expected a label");
+    if (text_[pos_] == '"') {
+      ++pos_;
+      return ParseString(out);
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected a label");
+    *out = text_.substr(start, pos_ - start);
+    return Status::OK();
+  }
+
+  Status ParseNode(OemDatabase* db, NodeId* out) {
+    if (depth_ > kMaxParseDepth) {
+      return Err("nesting deeper than " + std::to_string(kMaxParseDepth));
+    }
+    if (!Eat('&')) return Err("expected '&' starting a node");
+    NodeId id;
+    DOEM_RETURN_IF_ERROR(ParseUInt(&id));
+    *out = id;
+    char c = Peek();
+    if (c == '{') {
+      if (defined_.contains(id)) {
+        return Err("node &" + std::to_string(id) + " defined twice");
+      }
+      defined_.insert(id);
+      if (!pending_.contains(id)) {
+        DOEM_RETURN_IF_ERROR(db->CreNode(id, Value::Complex()));
+      } else {
+        // Forward-referenced node: already created as a placeholder.
+        DOEM_RETURN_IF_ERROR(db->UpdNode(id, Value::Complex()));
+      }
+      Eat('{');
+      if (Peek() == '}') {
+        Eat('}');
+        return Status::OK();
+      }
+      while (true) {
+        std::string label;
+        DOEM_RETURN_IF_ERROR(ParseLabel(&label));
+        if (!Eat(':')) return Err("expected ':' after label");
+        NodeId child;
+        DOEM_RETURN_IF_ERROR(ParseChild(db, &child));
+        DOEM_RETURN_IF_ERROR(db->AddArc(id, label, child));
+        if (Eat(',')) continue;
+        if (Eat('}')) break;
+        return Err("expected ',' or '}' in object body");
+      }
+      return Status::OK();
+    }
+    if (c == ',' || c == '}' || c == '\0') {
+      // Pure reference.
+      if (!defined_.contains(id) && !pending_.contains(id)) {
+        // Forward reference: create placeholder.
+        DOEM_RETURN_IF_ERROR(db->CreNode(id, Value::Complex()));
+        pending_.insert(id);
+      }
+      return Status::OK();
+    }
+    // Atomic definition.
+    if (defined_.contains(id)) {
+      return Err("node &" + std::to_string(id) + " defined twice");
+    }
+    Value v;
+    DOEM_RETURN_IF_ERROR(ParseAtomic(&v));
+    defined_.insert(id);
+    if (pending_.contains(id)) {
+      DOEM_RETURN_IF_ERROR(db->UpdNode(id, v));
+    } else {
+      DOEM_RETURN_IF_ERROR(db->CreNode(id, v));
+    }
+    return Status::OK();
+  }
+
+  // A child position: node, possibly a reference to a not-yet-defined id
+  // (cycles). Distinguishing reference from definition: a definition is
+  // followed by a value or '{'.
+  Status ParseChild(OemDatabase* db, NodeId* out) {
+    ++depth_;
+    Status s = ParseNode(db, out);
+    --depth_;
+    return s;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int depth_ = 0;
+  std::unordered_set<NodeId> defined_;
+  std::unordered_set<NodeId> pending_;
+};
+
+}  // namespace
+
+std::string WriteOemText(const OemDatabase& db) {
+  std::string out;
+  if (db.root() == kInvalidNode) return out;
+  WriteGraph(db, db.root(), &out);
+  return out;
+}
+
+Result<OemDatabase> ParseOemText(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+Result<Value> ParseValueLiteral(const std::string& text) {
+  return Parser(text).ParseSingleValue();
+}
+
+}  // namespace doem

@@ -1,0 +1,47 @@
+#ifndef DOEM_OEM_OEM_TEXT_H_
+#define DOEM_OEM_OEM_TEXT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "oem/oem.h"
+
+namespace doem {
+
+/// Human-readable text format for OEM databases, close to the Lore papers'
+/// notation. The first occurrence of a node defines it; later occurrences
+/// are references, which is how shared subobjects and cycles are written:
+///
+///   &1 {
+///     restaurant: &2 {
+///       name: &3 "Bangkok Cuisine",
+///       price: &4 10,
+///       parking: &7 "Lytton lot 2"
+///     },
+///     restaurant: &5 {
+///       parking: &7          # reference: shared subobject
+///     }
+///   }
+///
+/// Atomic literals are integers (10), reals (3.5), strings ("x"), booleans
+/// (true/false), and timestamps (@8Jan1997). Labels are bare identifiers or
+/// quoted strings. '#' starts a comment to end of line.
+///
+/// Round trip: ParseOemText(WriteOemText(db)) reproduces `db` exactly,
+/// including node identifiers, for any well-formed database.
+
+/// Serializes `db` (which must have a root) deterministically.
+std::string WriteOemText(const OemDatabase& db);
+
+/// Parses the text format. The outermost node becomes the root; it must be
+/// complex. All parse errors carry a line number.
+Result<OemDatabase> ParseOemText(const std::string& text);
+
+/// Parses a single value literal in the same syntax the node values use:
+/// 42, 3.5, "s", true, @8Jan1997, or C (the reserved complex marker).
+/// The whole string must be consumed.
+Result<Value> ParseValueLiteral(const std::string& text);
+
+}  // namespace doem
+
+#endif  // DOEM_OEM_OEM_TEXT_H_

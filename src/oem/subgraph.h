@@ -1,0 +1,30 @@
+#ifndef DOEM_OEM_SUBGRAPH_H_
+#define DOEM_OEM_SUBGRAPH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "oem/oem.h"
+
+namespace doem {
+
+/// Copies into `dst` the subgraph of `src` reachable from `roots`
+/// (recursively including all subobjects, preserving structure sharing and
+/// cycles). Returns the mapping from src ids to dst ids.
+///
+/// If `preserve_ids` is true the copied nodes keep their source
+/// identifiers; the copy fails if any such id is already used in `dst`.
+/// Otherwise fresh ids are allocated from `dst`.
+///
+/// This implements the paper's "the result of a polling query includes
+/// (recursively) all subobjects of the objects in the query answer"
+/// packaging (Section 6), and the deep-copy used when Lorel results are
+/// packaged as an OEM database.
+Result<std::unordered_map<NodeId, NodeId>> CopyReachable(
+    const OemDatabase& src, const std::vector<NodeId>& roots,
+    OemDatabase* dst, bool preserve_ids);
+
+}  // namespace doem
+
+#endif  // DOEM_OEM_SUBGRAPH_H_

@@ -1,0 +1,137 @@
+#include "oem/timestamp.h"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace doem {
+
+namespace {
+
+constexpr std::array<const char*, 12> kMonthNames = {
+    "jan", "feb", "mar", "apr", "may", "jun",
+    "jul", "aug", "sep", "oct", "nov", "dec"};
+
+constexpr std::array<const char*, 12> kMonthDisplay = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+// Howard Hinnant's days_from_civil algorithm (public domain).
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t z, int64_t* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = yy + (*m <= 2);
+}
+
+bool ParseInt(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+int MonthFromName(std::string_view name) {
+  std::string lower = ToLower(name);
+  for (size_t i = 0; i < kMonthNames.size(); ++i) {
+    if (lower == kMonthNames[i]) return static_cast<int>(i) + 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Timestamp Timestamp::FromDate(int year, int month, int day) {
+  return Timestamp(DaysFromCivil(year, static_cast<unsigned>(month),
+                                 static_cast<unsigned>(day)));
+}
+
+bool Timestamp::Parse(std::string_view text, Timestamp* out) {
+  text = StripWhitespace(text);
+  if (text.empty()) return false;
+
+  // Raw integer ticks.
+  int64_t ticks = 0;
+  if (ParseInt(text, &ticks)) {
+    *out = Timestamp(ticks);
+    return true;
+  }
+
+  // ISO date: YYYY-MM-DD.
+  {
+    std::vector<std::string> parts = Split(text, '-');
+    if (parts.size() == 3) {
+      int64_t y, m, d;
+      if (ParseInt(parts[0], &y) && ParseInt(parts[1], &m) &&
+          ParseInt(parts[2], &d) && m >= 1 && m <= 12 && d >= 1 && d <= 31) {
+        *out = FromDate(static_cast<int>(y), static_cast<int>(m),
+                        static_cast<int>(d));
+        return true;
+      }
+    }
+  }
+
+  // Compact form: <day><MonthName><2-or-4-digit-year>, e.g. 8Jan97.
+  {
+    size_t i = 0;
+    while (i < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    size_t j = i;
+    while (j < text.size() &&
+           std::isalpha(static_cast<unsigned char>(text[j]))) {
+      ++j;
+    }
+    if (i > 0 && j > i && j < text.size()) {
+      int64_t day = 0, year = 0;
+      int month = MonthFromName(text.substr(i, j - i));
+      if (month != 0 && ParseInt(text.substr(0, i), &day) &&
+          ParseInt(text.substr(j), &year) && day >= 1 && day <= 31) {
+        // Two-digit years are 19xx, matching the paper's 1Jan97 examples.
+        if (year < 100) year += 1900;
+        *out = FromDate(static_cast<int>(year), month,
+                        static_cast<int>(day));
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::string Timestamp::ToString() const {
+  if (ticks == INT64_MIN) return "-inf";
+  if (ticks == INT64_MAX) return "+inf";
+  // Render as a date only when in a window where dates are plausible
+  // (years 1800..2200); benchmark tick counters stay integers.
+  constexpr int64_t kLo = -62091;   // 1800-01-01
+  constexpr int64_t kHi = 84369;    // 2200-12-31
+  if (ticks < kLo || ticks > kHi) return std::to_string(ticks);
+  int64_t y;
+  unsigned m, d;
+  CivilFromDays(ticks, &y, &m, &d);
+  return std::to_string(d) + kMonthDisplay[m - 1] + std::to_string(y);
+}
+
+}  // namespace doem

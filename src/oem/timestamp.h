@@ -1,0 +1,54 @@
+#ifndef DOEM_OEM_TIMESTAMP_H_
+#define DOEM_OEM_TIMESTAMP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace doem {
+
+/// An element of the paper's discrete, totally ordered time domain
+/// (Section 2.2).
+///
+/// The representation is a count of days since 1970-01-01 when the
+/// timestamp was written as a calendar date, but any int64 tick value is
+/// permitted — QSS and the benchmarks use small integer ticks. In keeping
+/// with Lorel's "any recognizable format is allowed and converted
+/// automatically" (paper Section 4.2), Parse accepts:
+///   - the paper's compact form:  8Jan97, 30Dec1996
+///   - ISO dates:                 1997-01-08
+///   - raw tick integers:         42, -3
+struct Timestamp {
+  int64_t ticks = 0;
+
+  constexpr Timestamp() = default;
+  constexpr explicit Timestamp(int64_t t) : ticks(t) {}
+
+  /// The minimum representable time; QSS uses this for t[-i] before the
+  /// i-th poll ("negative infinity" in the paper's Section 6).
+  static constexpr Timestamp NegativeInfinity() {
+    return Timestamp(INT64_MIN);
+  }
+
+  /// The maximum representable time; SnapshotAt(PositiveInfinity())
+  /// yields the current snapshot.
+  static constexpr Timestamp PositiveInfinity() {
+    return Timestamp(INT64_MAX);
+  }
+
+  /// Builds a timestamp from a calendar date (proleptic Gregorian).
+  static Timestamp FromDate(int year, int month, int day);
+
+  /// Parses any recognized textual form; returns false on failure.
+  static bool Parse(std::string_view text, Timestamp* out);
+
+  /// Renders as a compact date (8Jan1997) when the tick count corresponds
+  /// to a plausible calendar date, otherwise as the raw integer.
+  std::string ToString() const;
+
+  auto operator<=>(const Timestamp&) const = default;
+};
+
+}  // namespace doem
+
+#endif  // DOEM_OEM_TIMESTAMP_H_

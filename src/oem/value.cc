@@ -1,0 +1,68 @@
+#include "oem/value.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace doem {
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case Kind::kComplex:
+      return "C";
+    case Kind::kInt:
+      return std::to_string(AsInt());
+    case Kind::kReal: {
+      std::ostringstream os;
+      double v = AsReal();
+      os << v;
+      std::string s = os.str();
+      // Ensure reals are distinguishable from ints in the text format.
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case Kind::kString:
+      return "\"" + EscapeString(AsString()) + "\"";
+    case Kind::kBool:
+      return AsBool() ? "true" : "false";
+    case Kind::kTimestamp:
+      return "@" + AsTime().ToString();
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(kind()) * 0x9e3779b97f4a7c15ull;
+  auto mix = [&seed](size_t h) {
+    seed ^= h + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+  };
+  switch (kind()) {
+    case Kind::kComplex:
+      break;
+    case Kind::kInt:
+      mix(std::hash<int64_t>()(AsInt()));
+      break;
+    case Kind::kReal:
+      mix(std::hash<double>()(AsReal()));
+      break;
+    case Kind::kString:
+      mix(std::hash<std::string>()(AsString()));
+      break;
+    case Kind::kBool:
+      mix(std::hash<bool>()(AsBool()));
+      break;
+    case Kind::kTimestamp:
+      mix(std::hash<int64_t>()(AsTime().ticks));
+      break;
+  }
+  return seed;
+}
+
+}  // namespace doem

@@ -1,0 +1,77 @@
+#ifndef DOEM_OEM_VALUE_H_
+#define DOEM_OEM_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "oem/timestamp.h"
+
+namespace doem {
+
+/// The value of an OEM object (Definition 2.1 of the paper).
+///
+/// A node's value is either an atomic value — integer, real, string,
+/// boolean, or timestamp — or the reserved value C ("complex"), meaning the
+/// node is a complex object whose content is given by its outgoing arcs.
+/// Timestamps appear as first-class atomic values because Chorel binds
+/// annotation timestamps to variables that then flow through ordinary Lorel
+/// comparisons and select clauses (paper Examples 4.3-4.4).
+class Value {
+ public:
+  enum class Kind { kComplex, kInt, kReal, kString, kBool, kTimestamp };
+
+  /// Default-constructed value is the reserved complex marker C.
+  Value() : rep_(ComplexTag{}) {}
+
+  static Value Complex() { return Value(); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Real(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value Time(Timestamp t) { return Value(Rep(t)); }
+
+  Kind kind() const { return static_cast<Kind>(rep_.index()); }
+  bool is_complex() const { return kind() == Kind::kComplex; }
+  bool is_atomic() const { return !is_complex(); }
+
+  /// Accessors; calling the wrong one is a programming error (asserts via
+  /// std::get in debug builds, undefined otherwise).
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsReal() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  bool AsBool() const { return std::get<bool>(rep_); }
+  Timestamp AsTime() const { return std::get<Timestamp>(rep_); }
+
+  /// Exact (same kind, same content) equality. Note this is *storage*
+  /// equality: Int(1) != Real(1.0). Query-level comparisons use the coercing
+  /// comparators in lorel/coerce.h instead.
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Deterministic total order across kinds (kind index first); used to
+  /// canonicalize structures in tests and the isomorphism check.
+  bool operator<(const Value& other) const { return rep_ < other.rep_; }
+
+  /// Renders the value in OEM text syntax: C, 42, 3.5, "s", true,
+  /// @1Jan1997.
+  std::string ToString() const;
+
+  /// Hash compatible with operator==.
+  size_t Hash() const;
+
+ private:
+  struct ComplexTag {
+    bool operator==(const ComplexTag&) const { return true; }
+    bool operator<(const ComplexTag&) const { return false; }
+  };
+  using Rep = std::variant<ComplexTag, int64_t, double, std::string, bool,
+                           Timestamp>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+}  // namespace doem
+
+#endif  // DOEM_OEM_VALUE_H_

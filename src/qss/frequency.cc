@@ -1,0 +1,91 @@
+#include "qss/frequency.h"
+
+#include <charconv>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace doem {
+namespace qss {
+
+namespace {
+
+// Ticks per unit word, per tick granularity. -1 = not representable.
+int64_t UnitTicks(const std::string& word, TickUnit unit) {
+  auto is = [&word](const char* singular, const char* plural) {
+    return word == singular || word == plural;
+  };
+  if (is("tick", "ticks")) return 1;
+  if (unit == TickUnit::kMinute) {
+    if (is("minute", "minutes")) return 1;
+    if (is("hour", "hours")) return 60;
+    if (is("day", "days") || is("night", "nights")) return 24 * 60;
+    if (is("week", "weeks")) return 7 * 24 * 60;
+  } else {
+    if (is("day", "days") || is("night", "nights")) return 1;
+    if (is("week", "weeks")) return 7;
+    if (is("minute", "minutes") || is("hour", "hours")) return -1;
+  }
+  return 0;  // unknown word
+}
+
+}  // namespace
+
+Result<FrequencySpec> FrequencySpec::Parse(const std::string& text,
+                                           TickUnit unit) {
+  FrequencySpec spec;
+  spec.display = std::string(StripWhitespace(text));
+  std::string lower = ToLower(spec.display);
+  std::vector<std::string> words;
+  for (const std::string& w : Split(lower, ' ')) {
+    if (!w.empty()) words.push_back(w);
+  }
+  size_t i = 0;
+  if (i >= words.size() || words[i] != "every") {
+    return Status::ParseError("frequency specification must start with "
+                              "'every': '" +
+                              text + "'");
+  }
+  ++i;
+  int64_t count = 1;
+  if (i < words.size()) {
+    int64_t parsed;
+    auto [p, ec] = std::from_chars(
+        words[i].data(), words[i].data() + words[i].size(), parsed);
+    if (ec == std::errc() && p == words[i].data() + words[i].size()) {
+      if (parsed <= 0) {
+        return Status::ParseError("frequency count must be positive");
+      }
+      count = parsed;
+      ++i;
+    }
+  }
+  int64_t per_unit = 1;
+  if (i < words.size() && words[i] != "at") {
+    per_unit = UnitTicks(words[i], unit);
+    if (per_unit == 0) {
+      return Status::ParseError("unknown frequency unit '" + words[i] + "'");
+    }
+    if (per_unit < 0) {
+      return Status::ParseError(
+          "unit '" + words[i] +
+          "' is finer than the source's day-tick granularity");
+    }
+    ++i;
+  }
+  // Optional "at hh:mm[am|pm]" clause: display-only under day ticks.
+  if (i < words.size()) {
+    if (words[i] != "at") {
+      return Status::ParseError("unexpected word '" + words[i] +
+                                "' in frequency specification");
+    }
+    if (i + 1 >= words.size()) {
+      return Status::ParseError("'at' needs a time of day");
+    }
+  }
+  spec.interval_ticks = count * per_unit;
+  return spec;
+}
+
+}  // namespace qss
+}  // namespace doem

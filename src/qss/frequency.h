@@ -1,0 +1,45 @@
+#ifndef DOEM_QSS_FREQUENCY_H_
+#define DOEM_QSS_FREQUENCY_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "oem/timestamp.h"
+
+namespace doem {
+namespace qss {
+
+/// The tick granularity a frequency specification is interpreted against.
+/// The paper's time domain is abstract ("discrete and totally ordered",
+/// Section 2.2); sources that poll daily use day ticks (dates parse
+/// directly into them), high-frequency sources use minute ticks.
+enum class TickUnit { kMinute, kDay };
+
+/// A subscription's frequency specification f (Section 6): how often QSS
+/// polls the source. Parsed from natural phrasings like the paper's
+/// examples:
+///
+///   "every 10 minutes"            (minute ticks)
+///   "every day", "every night at 11:30pm", "every 2 weeks"  (day ticks)
+///   "every 5 ticks"               (unit-agnostic)
+///
+/// A trailing "at ..." clause selects the time of day; with day ticks it
+/// does not change tick arithmetic and is kept for display only.
+struct FrequencySpec {
+  int64_t interval_ticks = 1;
+  std::string display;  // original text
+
+  static Result<FrequencySpec> Parse(const std::string& text,
+                                     TickUnit unit = TickUnit::kDay);
+
+  /// The polling times are t_1 = start, t_{k+1} = t_k + interval.
+  Timestamp FirstPoll(Timestamp start) const { return start; }
+  Timestamp NextPoll(Timestamp previous) const {
+    return Timestamp(previous.ticks + interval_ticks);
+  }
+};
+
+}  // namespace qss
+}  // namespace doem
+
+#endif  // DOEM_QSS_FREQUENCY_H_

@@ -1,0 +1,254 @@
+#include "qss/qss.h"
+
+#include <algorithm>
+
+#include "lorel/lorel.h"
+
+namespace doem {
+namespace qss {
+
+namespace {
+
+// Fixed identifiers for the canonical wrapper nodes, far above any id a
+// source will produce. Keeping them stable across polls is what makes
+// keyed diffs of successive results well-defined.
+constexpr NodeId kQssRoot = NodeId{1} << 62;
+constexpr NodeId kQssContainer = kQssRoot + 1;
+
+// A polling query must be plain Lorel: it runs against the autonomous
+// source, which has no annotations.
+Status ValidatePollingQuery(const std::string& text) {
+  auto nq = lorel::ParseAndNormalize(text);
+  if (!nq.ok()) {
+    return Status(nq.status().code(),
+                  "polling query: " + nq.status().message());
+  }
+  for (const lorel::RangeDef& def : nq->defs) {
+    if (def.step.arc_annot || def.step.node_annot) {
+      return Status::InvalidArgument(
+          "polling query must be plain Lorel; annotation expressions "
+          "belong in the filter query");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+QuerySubscriptionService::QuerySubscriptionService(InformationSource* source,
+                                                   Timestamp start,
+                                                   QssOptions options)
+    : source_(source),
+      now_(start),
+      options_(options),
+      diff_mode_(source->PreservesIds() ? DiffMode::kKeyed
+                                        : DiffMode::kStructural) {}
+
+std::string QuerySubscriptionService::GroupKey(const Subscription& sub) const {
+  if (!options_.merge_similar_polls) return "sub:" + sub.name;
+  return sub.polling_query + "\x1f" +
+         std::to_string(sub.frequency.interval_ticks);
+}
+
+Result<QuerySubscriptionService::PollGroup*>
+QuerySubscriptionService::GroupFor(const Subscription& sub) {
+  std::string key = GroupKey(sub);
+  auto it = groups_.find(key);
+  if (it != groups_.end()) {
+    it->second->members.push_back(sub.name);
+    return it->second.get();
+  }
+  auto group = std::make_unique<PollGroup>();
+  group->polling_query = sub.polling_query;
+  group->frequency = sub.frequency;
+  group->next_poll = sub.frequency.FirstPoll(now_);
+  group->members.push_back(sub.name);
+  // R_0: the canonical wrapper with an empty container (the "empty OEM
+  // database" of Section 6, anchored so reachability-deletion works).
+  OemDatabase base;
+  DOEM_RETURN_IF_ERROR(base.CreNode(kQssRoot, Value::Complex()));
+  DOEM_RETURN_IF_ERROR(base.CreNode(kQssContainer, Value::Complex()));
+  DOEM_RETURN_IF_ERROR(base.SetRoot(kQssRoot));
+  DOEM_RETURN_IF_ERROR(base.AddArc(kQssRoot, sub.name, kQssContainer));
+  auto doem = DoemDatabase::FromSnapshot(std::move(base));
+  if (!doem.ok()) return doem.status();
+  group->doem = std::move(doem).value();
+  PollGroup* out = group.get();
+  groups_.emplace(std::move(key), std::move(group));
+  return out;
+}
+
+Status QuerySubscriptionService::Subscribe(const Subscription& sub,
+                                           NotificationCallback callback) {
+  if (subs_.contains(sub.name)) {
+    return Status::AlreadyExists("subscription '" + sub.name + "' exists");
+  }
+  DOEM_RETURN_IF_ERROR(ValidatePollingQuery(sub.polling_query));
+  auto filter = lorel::ParseAndNormalize(sub.filter_query);
+  if (!filter.ok()) {
+    return Status(filter.status().code(),
+                  "filter query: " + filter.status().message());
+  }
+  auto group = GroupFor(sub);
+  if (!group.ok()) return group.status();
+  SubState state;
+  state.sub = sub;
+  state.callback = std::move(callback);
+  state.group_key = GroupKey(sub);
+  subs_.emplace(sub.name, std::move(state));
+  return Status::OK();
+}
+
+Status QuerySubscriptionService::Unsubscribe(const std::string& name) {
+  auto it = subs_.find(name);
+  if (it == subs_.end()) {
+    return Status::NotFound("no subscription '" + name + "'");
+  }
+  auto git = groups_.find(it->second.group_key);
+  if (git != groups_.end()) {
+    auto& members = git->second->members;
+    members.erase(std::find(members.begin(), members.end(), name));
+    if (members.empty()) groups_.erase(git);
+  }
+  subs_.erase(it);
+  return Status::OK();
+}
+
+Result<OemDatabase> QuerySubscriptionService::CanonicalWrap(
+    const OemDatabase& answer, const PollGroup& group) const {
+  if (answer.HasNode(kQssRoot) || answer.HasNode(kQssContainer)) {
+    return Status::Internal("source id space collides with QSS wrapper ids");
+  }
+  OemDatabase out;
+  DOEM_RETURN_IF_ERROR(out.CreNode(kQssRoot, Value::Complex()));
+  DOEM_RETURN_IF_ERROR(out.CreNode(kQssContainer, Value::Complex()));
+  DOEM_RETURN_IF_ERROR(out.SetRoot(kQssRoot));
+  for (const std::string& member : group.members) {
+    DOEM_RETURN_IF_ERROR(out.AddArc(kQssRoot, member, kQssContainer));
+  }
+  // Copy the answer's nodes (ids preserved) and re-source the answer
+  // root's arcs onto the container.
+  NodeId ans_root = answer.root();
+  for (NodeId n : answer.NodeIds()) {
+    if (n == ans_root) continue;
+    DOEM_RETURN_IF_ERROR(out.CreNode(n, *answer.GetValue(n)));
+  }
+  for (const Arc& a : answer.AllArcs()) {
+    NodeId p = a.parent == ans_root ? kQssContainer : a.parent;
+    DOEM_RETURN_IF_ERROR(out.AddArc(p, a.label, a.child));
+  }
+  return out;
+}
+
+Status QuerySubscriptionService::PollGroupAt(PollGroup* group, Timestamp t) {
+  // 1. Query manager: send Q_l to the wrapper, get R_k.
+  auto answer = source_->Poll(group->polling_query, t);
+  if (!answer.ok()) return answer.status();
+  auto wrapped = CanonicalWrap(*answer, *group);
+  if (!wrapped.ok()) return wrapped.status();
+
+  // 2. R_{k-1} is the current snapshot of the DOEM database.
+  OemDatabase previous = group->doem.CurrentSnapshot();
+
+  // 3. OEMdiff.
+  auto delta = DiffSnapshots(previous, *wrapped, diff_mode_);
+  if (!delta.ok()) return delta.status();
+
+  // 4. DOEM manager: incorporate (t, U_k).
+  if (options_.retention == HistoryRetention::kTwoSnapshots) {
+    auto rebased = DoemDatabase::FromSnapshot(std::move(previous));
+    if (!rebased.ok()) return rebased.status();
+    group->doem = std::move(rebased).value();
+  }
+  DOEM_RETURN_IF_ERROR(group->doem.ApplyChangeSet(t, *delta));
+  group->polls.push_back(t);
+
+  // 5. Chorel engine: evaluate each member's filter query.
+  chorel::ChorelEngine engine(group->doem);
+  for (const std::string& member : group->members) {
+    const SubState& state = subs_.at(member);
+    lorel::EvalOptions opts;
+    opts.polling_times = &group->polls;
+    auto result = engine.Run(state.sub.filter_query, options_.strategy, opts);
+    if (!result.ok()) {
+      return Status(result.status().code(), "filter query of '" + member +
+                                                "': " +
+                                                result.status().message());
+    }
+    // 6. Notify.
+    if (!result->rows.empty() || options_.notify_empty) {
+      if (state.callback) {
+        Notification n;
+        n.subscription = member;
+        n.poll_time = t;
+        n.poll_index = group->polls.size();
+        n.result = std::move(result).value();
+        state.callback(n);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status QuerySubscriptionService::AdvanceTo(Timestamp t) {
+  if (t < now_) {
+    return Status::InvalidArgument("clock cannot run backwards");
+  }
+  // Execute all due polls across groups in time order.
+  while (true) {
+    PollGroup* due = nullptr;
+    for (auto& [key, group] : groups_) {
+      if (group->next_poll <= t &&
+          (due == nullptr || group->next_poll < due->next_poll)) {
+        due = group.get();
+      }
+    }
+    if (due == nullptr) break;
+    Timestamp poll_time = due->next_poll;
+    due->next_poll = due->frequency.NextPoll(poll_time);
+    DOEM_RETURN_IF_ERROR(PollGroupAt(due, poll_time));
+  }
+  now_ = t;
+  return Status::OK();
+}
+
+Status QuerySubscriptionService::PollNow(const std::string& name) {
+  auto it = subs_.find(name);
+  if (it == subs_.end()) {
+    return Status::NotFound("no subscription '" + name + "'");
+  }
+  PollGroup* group = groups_.at(it->second.group_key).get();
+  if (!group->polls.empty() && group->polls.back() >= now_) {
+    return Status::InvalidArgument(
+        "already polled at tick " + now_.ToString() +
+        "; advance the clock first");
+  }
+  return PollGroupAt(group, now_);
+}
+
+Status QuerySubscriptionService::NotifySourceChanged() {
+  for (auto& [key, group] : groups_) {
+    if (!group->polls.empty() && group->polls.back() >= now_) {
+      continue;  // this tick is already covered
+    }
+    DOEM_RETURN_IF_ERROR(PollGroupAt(group.get(), now_));
+  }
+  return Status::OK();
+}
+
+const DoemDatabase* QuerySubscriptionService::History(
+    const std::string& name) const {
+  auto it = subs_.find(name);
+  if (it == subs_.end()) return nullptr;
+  return &groups_.at(it->second.group_key)->doem;
+}
+
+std::vector<Timestamp> QuerySubscriptionService::PollingTimes(
+    const std::string& name) const {
+  auto it = subs_.find(name);
+  if (it == subs_.end()) return {};
+  return groups_.at(it->second.group_key)->polls;
+}
+
+}  // namespace qss
+}  // namespace doem

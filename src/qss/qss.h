@@ -1,0 +1,152 @@
+#ifndef DOEM_QSS_QSS_H_
+#define DOEM_QSS_QSS_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chorel/chorel.h"
+#include "common/result.h"
+#include "diff/diff.h"
+#include "doem/doem.h"
+#include "qss/frequency.h"
+#include "qss/source.h"
+
+namespace doem {
+namespace qss {
+
+/// A subscription S = <f, Q_l, Q_c> (paper Section 6): a frequency
+/// specification, a Lorel polling query, and a Chorel filter query. The
+/// name identifies the subscription and doubles as the name of its DOEM
+/// database — the filter query's paths start with it
+/// (LyttonRestaurants.restaurant<cre at T> ...).
+struct Subscription {
+  std::string name;
+  FrequencySpec frequency;
+  std::string polling_query;
+  std::string filter_query;
+};
+
+/// What a Query Subscription Client receives when a filter query produces
+/// results at a polling time.
+struct Notification {
+  std::string subscription;
+  Timestamp poll_time;
+  size_t poll_index = 0;  // 1-based k of t_k
+  lorel::QueryResult result;
+};
+
+using NotificationCallback = std::function<void(const Notification&)>;
+
+/// How much history each subscription's DOEM database retains — the
+/// space-saving spectrum of Section 6.1.
+enum class HistoryRetention {
+  /// The full DOEM history since subscription time.
+  kFull,
+  /// Only the previous snapshot plus the latest delta, like the paper's
+  /// first prototype ("supports only two snapshots ... per subscription").
+  /// Filter queries can then only see the most recent changes.
+  kTwoSnapshots,
+};
+
+struct QssOptions {
+  /// Evaluation strategy for filter queries.
+  chorel::Strategy strategy = chorel::Strategy::kDirect;
+  HistoryRetention retention = HistoryRetention::kFull;
+  /// Merge subscriptions with identical polling query and frequency into
+  /// one shared DOEM database (Section 6.1, proposal (1)).
+  bool merge_similar_polls = true;
+  /// Deliver notifications with empty results too (default: only
+  /// non-empty, as in Example 6.1 where the unchanged poll at t2
+  /// notifies nobody).
+  bool notify_empty = false;
+};
+
+/// The QSS server (Figure 7): subscription manager, query manager,
+/// OEMdiff, DOEM manager, and Chorel engine, wired over one information
+/// source and a simulated clock.
+///
+/// The polling pipeline per subscription and polling time t_k
+/// (Figure 6):
+///   1. send Q_l to the source, receive the snapshot R_k;
+///   2. take R_{k-1} as the current snapshot of the DOEM database;
+///   3. U_k = OEMdiff(R_{k-1}, R_k)  (keyed or structural, by source);
+///   4. apply (t_k, U_k) to the DOEM database;
+///   5. evaluate Q_c with t[0] = t_k, t[-1] = t_{k-1}, ... ;
+///   6. notify the client if the result is non-empty.
+class QuerySubscriptionService {
+ public:
+  QuerySubscriptionService(InformationSource* source, Timestamp start,
+                           QssOptions options = {});
+
+  /// Registers a subscription; its first poll is due at the current
+  /// clock. Validates both queries. Fails if the name is taken.
+  Status Subscribe(const Subscription& sub, NotificationCallback callback);
+
+  /// Removes a subscription.
+  Status Unsubscribe(const std::string& name);
+
+  /// Advances the simulated clock, executing every poll that falls due,
+  /// in time order, delivering notifications synchronously.
+  Status AdvanceTo(Timestamp t);
+
+  /// Explicit-request mode (Section 6): polls one subscription now,
+  /// regardless of its schedule.
+  Status PollNow(const std::string& name);
+
+  /// Source-trigger mode (Section 6): the source signals that it changed,
+  /// e.g. from a database trigger it does support. Every poll group that
+  /// has not already polled at the current tick polls immediately.
+  Status NotifySourceChanged();
+
+  Timestamp now() const { return now_; }
+
+  /// The DOEM database backing a subscription (null if unknown).
+  const DoemDatabase* History(const std::string& name) const;
+  /// The polling times t_1..t_k so far.
+  std::vector<Timestamp> PollingTimes(const std::string& name) const;
+  /// Number of distinct DOEM databases maintained (see
+  /// QssOptions::merge_similar_polls).
+  size_t GroupCount() const { return groups_.size(); }
+
+ private:
+  // Subscriptions sharing a polling query + frequency share one poll
+  // group: one DOEM database, one diff pipeline (Section 6.1).
+  struct PollGroup {
+    std::string polling_query;
+    FrequencySpec frequency;
+    DoemDatabase doem;
+    std::vector<Timestamp> polls;
+    Timestamp next_poll;
+    std::vector<std::string> members;
+  };
+  struct SubState {
+    Subscription sub;
+    NotificationCallback callback;
+    std::string group_key;
+  };
+
+  std::string GroupKey(const Subscription& sub) const;
+  Result<PollGroup*> GroupFor(const Subscription& sub);
+  Status PollGroupAt(PollGroup* group, Timestamp t);
+
+  /// Wraps a polled answer database into canonical form: a fixed root
+  /// with one arc per group entry name to a fixed container whose arcs
+  /// are the answer's. Fixed ids make keyed diffs stable across polls.
+  Result<OemDatabase> CanonicalWrap(const OemDatabase& answer,
+                                    const PollGroup& group) const;
+
+  InformationSource* source_;
+  Timestamp now_;
+  QssOptions options_;
+  DiffMode diff_mode_;
+  std::map<std::string, SubState> subs_;
+  std::map<std::string, std::unique_ptr<PollGroup>> groups_;
+};
+
+}  // namespace qss
+}  // namespace doem
+
+#endif  // DOEM_QSS_QSS_H_

@@ -1,0 +1,42 @@
+#include "qss/source.h"
+
+#include "lorel/lorel.h"
+#include "oem/subgraph.h"
+
+namespace doem {
+namespace qss {
+
+Status ScriptedSource::AdvanceTo(Timestamp now) {
+  while (next_step_ < script_.size() &&
+         script_.steps()[next_step_].time <= now) {
+    DOEM_RETURN_IF_ERROR(
+        ApplyChangeSet(&db_, script_.steps()[next_step_].changes));
+    ++next_step_;
+  }
+  return Status::OK();
+}
+
+Result<OemDatabase> ScriptedSource::Poll(const std::string& lorel_query,
+                                         Timestamp now) {
+  DOEM_RETURN_IF_ERROR(AdvanceTo(now));
+  lorel::OemView view(db_);
+  auto result = lorel::RunQuery(lorel_query, view);
+  if (!result.ok()) return result.status();
+  if (preserve_ids_) {
+    return std::move(result->answer);
+  }
+  // Re-package with fresh identifiers: every poll shifts the id space, so
+  // no id is comparable across polls.
+  const OemDatabase& ans = result->answer;
+  OemDatabase remapped;
+  fresh_offset_ += ans.PeekNextId() + 1;
+  remapped.ReserveIdsBelow(fresh_offset_);
+  auto map = CopyReachable(ans, {ans.root()}, &remapped,
+                           /*preserve_ids=*/false);
+  if (!map.ok()) return map.status();
+  DOEM_RETURN_IF_ERROR(remapped.SetRoot(map->at(ans.root())));
+  return remapped;
+}
+
+}  // namespace qss
+}  // namespace doem

@@ -1,0 +1,68 @@
+#ifndef DOEM_QSS_SOURCE_H_
+#define DOEM_QSS_SOURCE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "oem/history.h"
+#include "oem/oem.h"
+
+namespace doem {
+namespace qss {
+
+/// An autonomous information source behind a Tsimmis-style wrapper
+/// (paper Section 6, Figure 7): QSS can only send it a Lorel polling
+/// query and get back a snapshot of the result, packaged as an OEM
+/// database whose root's arcs carry the select labels and which
+/// recursively includes all subobjects. No triggers, no history — exactly
+/// the paper's legacy-source assumption.
+class InformationSource {
+ public:
+  virtual ~InformationSource() = default;
+
+  /// Evaluates the polling query against the source state at time `now`.
+  virtual Result<OemDatabase> Poll(const std::string& lorel_query,
+                                   Timestamp now) = 0;
+
+  /// Whether object identifiers are stable across polls (a wrapper that
+  /// exports persistent OIDs) — selects keyed vs. structural differencing
+  /// in QSS.
+  virtual bool PreservesIds() const = 0;
+};
+
+/// A deterministic source for tests, examples, and benchmarks: an OEM
+/// database plus a scripted history. Polling at time t first applies all
+/// script steps with timestamp <= t, then evaluates the query.
+///
+/// With `preserve_ids` false, each poll re-packages the result with fresh
+/// identifiers (shifted id space), simulating a wrapper without
+/// persistent OIDs.
+class ScriptedSource : public InformationSource {
+ public:
+  ScriptedSource(OemDatabase initial, OemHistory script,
+                 bool preserve_ids = true)
+      : db_(std::move(initial)),
+        script_(std::move(script)),
+        preserve_ids_(preserve_ids) {}
+
+  Result<OemDatabase> Poll(const std::string& lorel_query,
+                           Timestamp now) override;
+  bool PreservesIds() const override { return preserve_ids_; }
+
+  /// The source's current state (for tests).
+  const OemDatabase& db() const { return db_; }
+
+ private:
+  Status AdvanceTo(Timestamp now);
+
+  OemDatabase db_;
+  OemHistory script_;
+  size_t next_step_ = 0;
+  bool preserve_ids_;
+  NodeId fresh_offset_ = 0;
+};
+
+}  // namespace qss
+}  // namespace doem
+
+#endif  // DOEM_QSS_SOURCE_H_

@@ -1,0 +1,343 @@
+#include "testing/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace doem {
+namespace testing {
+
+namespace {
+
+void Must(const Status& s) {
+  assert(s.ok());
+  (void)s;
+}
+
+std::string Label(size_t i) { return "l" + std::to_string(i); }
+
+Value RandomAtomicValue(std::mt19937* rng) {
+  switch ((*rng)() % 4) {
+    case 0:
+      return Value::Int(static_cast<int64_t>((*rng)() % 1000));
+    case 1:
+      return Value::Real(static_cast<double>((*rng)() % 1000) / 4.0);
+    case 2:
+      return Value::String("s" + std::to_string((*rng)() % 1000));
+    default:
+      return Value::Bool((*rng)() % 2 == 0);
+  }
+}
+
+template <typename T>
+const T& Pick(const std::vector<T>& v, std::mt19937* rng) {
+  return v[(*rng)() % v.size()];
+}
+
+}  // namespace
+
+OemDatabase RandomDatabase(const DatabaseOptions& opts) {
+  std::mt19937 rng(opts.seed);
+  OemDatabase db;
+  NodeId root = db.NewComplex();
+  Must(db.SetRoot(root));
+  std::vector<NodeId> complexes{root};
+  std::vector<NodeId> all{root};
+
+  auto label = [&]() { return Label(rng() % opts.label_alphabet); };
+
+  for (size_t i = 1; i < opts.node_count; ++i) {
+    bool atomic =
+        std::uniform_real_distribution<>(0, 1)(rng) < opts.atomic_fraction;
+    NodeId n = db.NewNode(atomic ? RandomAtomicValue(&rng) : Value::Complex());
+    Must(db.AddArc(Pick(complexes, &rng), label(), n));
+    all.push_back(n);
+    if (!atomic) complexes.push_back(n);
+  }
+  // Extra arcs: sharing and cycles.
+  size_t extras = static_cast<size_t>(complexes.size() * opts.extra_arc_rate);
+  for (size_t i = 0; i < extras; ++i) {
+    NodeId p = Pick(complexes, &rng);
+    NodeId c = Pick(all, &rng);
+    std::string l = label();
+    if (!db.HasArc(p, l, c)) Must(db.AddArc(p, l, c));
+  }
+  assert(db.Validate().ok());
+  return db;
+}
+
+OemHistory RandomHistory(const OemDatabase& base,
+                         const HistoryOptions& opts) {
+  std::mt19937 rng(opts.seed);
+  OemDatabase scratch = base;
+  OemHistory history;
+  // Labels seen in the base, for plausible arcs.
+  std::set<std::string> label_set;
+  for (const Arc& a : scratch.AllArcs()) label_set.insert(a.label);
+  if (label_set.empty()) label_set.insert("l0");
+  std::vector<std::string> labels(label_set.begin(), label_set.end());
+
+  for (size_t step = 0; step < opts.steps; ++step) {
+    Timestamp t(opts.start.ticks + opts.stride * static_cast<int64_t>(step));
+    ChangeSet ops;
+    // Per-step conflict bookkeeping.
+    std::set<NodeId> upd_targets;
+    std::set<std::tuple<NodeId, std::string, NodeId>> touched_arcs;
+
+    std::vector<NodeId> complexes, atomics, all;
+    for (NodeId n : scratch.NodeIds()) {
+      all.push_back(n);
+      if (scratch.GetValue(n)->is_complex()) {
+        complexes.push_back(n);
+      } else {
+        atomics.push_back(n);
+      }
+    }
+    std::vector<Arc> arcs = scratch.AllArcs();
+
+    NodeId next_new = std::max<NodeId>(scratch.PeekNextId(), 1);
+    std::vector<NodeId> created_this_step;
+
+    for (size_t k = 0; k < opts.ops_per_step; ++k) {
+      switch (rng() % 10) {
+        case 0:
+        case 1:
+        case 2: {  // create a leaf under an existing complex node
+          if (complexes.empty()) break;
+          NodeId n = next_new++;
+          NodeId p = Pick(complexes, &rng);
+          std::string l = Pick(labels, &rng);
+          if (touched_arcs.contains({p, l, n})) break;
+          ops.push_back(ChangeOp::CreNode(n, RandomAtomicValue(&rng)));
+          ops.push_back(ChangeOp::AddArc(p, l, n));
+          touched_arcs.insert({p, l, n});
+          created_this_step.push_back(n);
+          break;
+        }
+        case 3: {  // create a complex node with one leaf child
+          if (complexes.empty()) break;
+          NodeId n = next_new++;
+          NodeId leaf = next_new++;
+          NodeId p = Pick(complexes, &rng);
+          std::string l = Pick(labels, &rng);
+          if (touched_arcs.contains({p, l, n})) break;
+          ops.push_back(ChangeOp::CreNode(n, Value::Complex()));
+          ops.push_back(ChangeOp::CreNode(leaf, RandomAtomicValue(&rng)));
+          ops.push_back(ChangeOp::AddArc(p, l, n));
+          ops.push_back(
+              ChangeOp::AddArc(n, Pick(labels, &rng), leaf));
+          touched_arcs.insert({p, l, n});
+          break;
+        }
+        case 4:
+        case 5:
+        case 6: {  // update an atomic node
+          if (atomics.empty()) break;
+          NodeId n = Pick(atomics, &rng);
+          if (!upd_targets.insert(n).second) break;
+          ops.push_back(ChangeOp::UpdNode(n, RandomAtomicValue(&rng)));
+          break;
+        }
+        case 7: {  // add a sharing arc between existing nodes
+          if (complexes.empty() || all.empty()) break;
+          NodeId p = Pick(complexes, &rng);
+          NodeId c = Pick(all, &rng);
+          std::string l = Pick(labels, &rng);
+          if (scratch.HasArc(p, l, c) || touched_arcs.contains({p, l, c})) {
+            break;
+          }
+          ops.push_back(ChangeOp::AddArc(p, l, c));
+          touched_arcs.insert({p, l, c});
+          break;
+        }
+        default: {  // remove an existing arc
+          if (arcs.empty()) break;
+          const Arc& a = arcs[rng() % arcs.size()];
+          if (touched_arcs.contains({a.parent, a.label, a.child})) break;
+          ops.push_back(ChangeOp::RemArc(a.parent, a.label, a.child));
+          touched_arcs.insert({a.parent, a.label, a.child});
+          break;
+        }
+      }
+    }
+    (void)created_this_step;
+    Status s = ApplyChangeSet(&scratch, ops);
+    assert(s.ok());
+    (void)s;
+    Must(history.Append(t, std::move(ops)));
+  }
+  return history;
+}
+
+std::vector<std::string> ChorelQueryCorpus(size_t label_alphabet) {
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < std::min<size_t>(label_alphabet, 4); ++i) {
+    std::string a = Label(i);
+    std::string b = Label((i + 1) % label_alphabet);
+    queries.push_back("select " + a);
+    queries.push_back("select " + a + "." + b);
+    queries.push_back("select " + a + ".#." + b);
+    queries.push_back("select " + a + ".%");
+    queries.push_back("select " + a + ".<add>" + b);
+    queries.push_back("select " + a + ".<add at T>" + b +
+                      " where T > 120");
+    queries.push_back("select X from " + a + ".<rem at T>" + b +
+                      " X where T > 0");
+    queries.push_back("select " + a + "." + b + "<cre at T> where T > 110");
+    queries.push_back("select T, OV, NV from " + a + "." + b +
+                      "<upd at T from OV to NV> where T >= 100");
+    queries.push_back("select X from " + a + " X where X." + b + " = 5");
+    queries.push_back("select X from " + a + " X where exists Y in X." + b +
+                      " : Y = Y");
+    queries.push_back("select X, T from " + a + " X, X.<add at T>" + b +
+                      " Y where not T < 100");
+  }
+  return queries;
+}
+
+OemDatabase SyntheticGuide(size_t restaurants, uint32_t seed) {
+  std::mt19937 rng(seed);
+  OemDatabase db;
+  NodeId root = db.NewComplex();
+  Must(db.SetRoot(root));
+  NodeId guide = db.NewComplex();
+  Must(db.AddArc(root, "guide", guide));
+
+  static const char* kCuisines[] = {"Indian",  "Thai",    "Italian",
+                                    "Mexican", "Chinese", "French"};
+  static const char* kStreets[] = {"Lytton", "Castro", "University",
+                                   "Hamilton", "Emerson"};
+  std::vector<NodeId> parkings;
+  std::vector<NodeId> entries;
+  for (size_t i = 0; i < restaurants; ++i) {
+    NodeId r = db.NewComplex();
+    Must(db.AddArc(guide, "restaurant", r));
+    entries.push_back(r);
+    Must(db.AddArc(r, "name", db.NewString("Restaurant " +
+                                           std::to_string(i))));
+    // Irregular price: int, string, or absent.
+    switch (rng() % 3) {
+      case 0:
+        Must(db.AddArc(r, "price",
+                       db.NewInt(static_cast<int64_t>(5 + rng() % 40))));
+        break;
+      case 1:
+        Must(db.AddArc(r, "price",
+                       db.NewString(rng() % 2 ? "moderate" : "cheap")));
+        break;
+      default:
+        break;  // no price subobject
+    }
+    // Irregular address: plain string or complex.
+    const char* street = kStreets[rng() % 5];
+    if (rng() % 2 == 0) {
+      Must(db.AddArc(r, "address",
+                     db.NewString(std::to_string(100 + rng() % 900) + " " +
+                                  street)));
+    } else {
+      NodeId addr = db.NewComplex();
+      Must(db.AddArc(r, "address", addr));
+      Must(db.AddArc(addr, "street", db.NewString(street)));
+      Must(db.AddArc(addr, "city", db.NewString("Palo Alto")));
+    }
+    Must(db.AddArc(r, "cuisine", db.NewString(kCuisines[rng() % 6])));
+    // Shared parking objects with a nearby-eats cycle back to a
+    // restaurant. A new parking object is always linked to the current
+    // restaurant (reachability); otherwise an existing one is shared.
+    NodeId p;
+    if (parkings.empty() || rng() % 3 == 0) {
+      p = db.NewComplex();
+      Must(db.AddArc(p, "lot",
+                     db.NewString(std::string(street) + " lot " +
+                                  std::to_string(parkings.size()))));
+      Must(db.AddArc(p, "nearby-eats", r));
+      parkings.push_back(p);
+    } else {
+      p = parkings[rng() % parkings.size()];
+    }
+    if (!db.HasArc(r, "parking", p)) {
+      Must(db.AddArc(r, "parking", p));
+    }
+  }
+  assert(db.Validate().ok());
+  return db;
+}
+
+OemHistory SyntheticGuideHistory(const OemDatabase& guide, size_t steps,
+                                 size_t ops_per_step, uint32_t seed) {
+  std::mt19937 rng(seed);
+  OemDatabase scratch = guide;
+  OemHistory history;
+  NodeId groot = scratch.Child(scratch.root(), "guide");
+  size_t serial = 0;
+
+  for (size_t step = 0; step < steps; ++step) {
+    Timestamp t = Timestamp(Timestamp::FromDate(1997, 1, 1).ticks +
+                            static_cast<int64_t>(step));
+    ChangeSet ops;
+    std::set<NodeId> upd_targets;
+    std::set<std::tuple<NodeId, std::string, NodeId>> touched;
+    std::vector<NodeId> entries = scratch.Children(groot, "restaurant");
+    NodeId next_new = scratch.PeekNextId();
+
+    for (size_t k = 0; k < ops_per_step && !entries.empty(); ++k) {
+      NodeId r = entries[rng() % entries.size()];
+      switch (rng() % 5) {
+        case 0: {  // price change
+          NodeId price = scratch.Child(r, "price");
+          if (price == kInvalidNode || !upd_targets.insert(price).second) {
+            break;
+          }
+          ops.push_back(ChangeOp::UpdNode(
+              price, Value::Int(static_cast<int64_t>(5 + rng() % 40))));
+          break;
+        }
+        case 1: {  // new restaurant with a name
+          NodeId nr = next_new++;
+          NodeId nm = next_new++;
+          ops.push_back(ChangeOp::CreNode(nr, Value::Complex()));
+          ops.push_back(ChangeOp::CreNode(
+              nm, Value::String("New Place " + std::to_string(serial++))));
+          ops.push_back(ChangeOp::AddArc(groot, "restaurant", nr));
+          ops.push_back(ChangeOp::AddArc(nr, "name", nm));
+          touched.insert({groot, "restaurant", nr});
+          break;
+        }
+        case 2: {  // comment added
+          NodeId c = next_new++;
+          if (touched.contains({r, "comment", c})) break;
+          ops.push_back(ChangeOp::CreNode(
+              c, Value::String("comment " + std::to_string(serial++))));
+          ops.push_back(ChangeOp::AddArc(r, "comment", c));
+          touched.insert({r, "comment", c});
+          break;
+        }
+        case 3: {  // parking arc removed
+          NodeId p = scratch.Child(r, "parking");
+          if (p == kInvalidNode || touched.contains({r, "parking", p})) {
+            break;
+          }
+          ops.push_back(ChangeOp::RemArc(r, "parking", p));
+          touched.insert({r, "parking", p});
+          break;
+        }
+        default: {  // restaurant delisted
+          if (entries.size() < 4) break;  // keep the guide populated
+          if (touched.contains({groot, "restaurant", r})) break;
+          ops.push_back(ChangeOp::RemArc(groot, "restaurant", r));
+          touched.insert({groot, "restaurant", r});
+          entries.erase(std::find(entries.begin(), entries.end(), r));
+          break;
+        }
+      }
+    }
+    Status s = ApplyChangeSet(&scratch, ops);
+    assert(s.ok());
+    (void)s;
+    Must(history.Append(t, std::move(ops)));
+  }
+  return history;
+}
+
+}  // namespace testing
+}  // namespace doem

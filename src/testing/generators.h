@@ -1,0 +1,67 @@
+#ifndef DOEM_TESTING_GENERATORS_H_
+#define DOEM_TESTING_GENERATORS_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "oem/history.h"
+#include "oem/oem.h"
+
+namespace doem {
+namespace testing {
+
+/// Parameters for random OEM database generation. The generated databases
+/// exhibit the paper's semistructured irregularities: mixed atomic value
+/// types under the same label, shared subobjects, and cycles.
+struct DatabaseOptions {
+  uint32_t seed = 42;
+  size_t node_count = 100;
+  /// Labels are drawn from l0..l<alphabet-1>.
+  size_t label_alphabet = 8;
+  /// Fraction of nodes that are atomic.
+  double atomic_fraction = 0.6;
+  /// Expected number of extra arcs (sharing/cycles) per complex node.
+  double extra_arc_rate = 0.15;
+};
+
+/// Builds a random well-formed database (Validate() passes).
+OemDatabase RandomDatabase(const DatabaseOptions& opts);
+
+/// Parameters for random valid history generation.
+struct HistoryOptions {
+  uint32_t seed = 43;
+  size_t steps = 10;
+  size_t ops_per_step = 8;
+  Timestamp start = Timestamp(100);
+  int64_t stride = 10;
+};
+
+/// Generates a history valid for `base` (and for DOEM application: every
+/// created node is linked within its change set, deleted objects are
+/// never touched again, and change sets are conflict-free).
+OemHistory RandomHistory(const OemDatabase& base, const HistoryOptions& opts);
+
+/// A deterministic batch of Chorel queries over the generated label
+/// alphabet, exercising plain paths, wildcards, each annotation kind, and
+/// where-clause filters. Used by the direct-vs-translated differential
+/// property test and the strategy benchmarks.
+std::vector<std::string> ChorelQueryCorpus(size_t label_alphabet);
+
+/// A scaled-up restaurant guide in the shape of Figure 2 (entry name
+/// "guide", restaurants with name/price/address/parking irregularities,
+/// shared parking objects and nearby-eats cycles). Used by examples and
+/// benchmarks.
+OemDatabase SyntheticGuide(size_t restaurants, uint32_t seed = 7);
+
+/// A history of realistic guide edits (price updates, new restaurants,
+/// removed parking arcs) valid for SyntheticGuide(restaurants, seed).
+OemHistory SyntheticGuideHistory(const OemDatabase& guide, size_t steps,
+                                 size_t ops_per_step, uint32_t seed = 11);
+
+}  // namespace testing
+}  // namespace doem
+
+#endif  // DOEM_TESTING_GENERATORS_H_

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace doem {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::NotFound("thing missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "thing missing");
+  EXPECT_EQ(s.ToString(), "NotFound: thing missing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kInvalidChange,
+        StatusCode::kParseError, StatusCode::kUnsupported,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(c), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto inner = [](bool fail) {
+    return fail ? Status::Internal("boom") : Status::OK();
+  };
+  auto outer = [&](bool fail) -> Status {
+    DOEM_RETURN_IF_ERROR(inner(fail));
+    return Status::InvalidArgument("reached end");
+  };
+  EXPECT_EQ(outer(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(outer(false).code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = Status::NotFound("no int");
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto make = [](bool fail) -> Result<std::string> {
+    if (fail) return Status::ParseError("nope");
+    return std::string("hi");
+  };
+  auto outer = [&](bool fail) -> Result<size_t> {
+    DOEM_ASSIGN_OR_RETURN(std::string s, make(fail));
+    return s.size();
+  };
+  ASSERT_TRUE(outer(false).ok());
+  EXPECT_EQ(*outer(false), 2u);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kParseError);
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(StringsTest, SplitAndJoin) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), std::vector<std::string>{""});
+  EXPECT_EQ(Join({"x", "y", "z"}, "--"), "x--y--z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_TRUE(EqualsIgnoreCase("SeLeCt", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("selec", "select"));
+  EXPECT_EQ(ToLower("AbC-9"), "abc-9");
+}
+
+TEST(StringsTest, LikeMatch) {
+  EXPECT_TRUE(LikeMatch("120 Lytton", "%Lytton%"));
+  EXPECT_TRUE(LikeMatch("Lytton", "%Lytton%"));
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_TRUE(LikeMatch("anything", "%%"));
+  EXPECT_FALSE(LikeMatch("abc", "a_d"));
+  EXPECT_FALSE(LikeMatch("abc", "abcd"));
+  EXPECT_FALSE(LikeMatch("abc", ""));
+  EXPECT_TRUE(LikeMatch("aXbXc", "a%b%c"));
+  EXPECT_TRUE(LikeMatch("mississippi", "%ss%ss%"));
+  EXPECT_FALSE(LikeMatch("mississippi", "%ss%xx%"));
+  // '%' backtracking across overlapping candidates.
+  EXPECT_TRUE(LikeMatch("aaab", "%ab"));
+}
+
+TEST(StringsTest, EscapeString) {
+  EXPECT_EQ(EscapeString("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(EscapeString("plain"), "plain");
+}
+
+TEST(StringsTest, BareIdentifier) {
+  EXPECT_TRUE(IsBareIdentifier("nearby-eats"));
+  EXPECT_TRUE(IsBareIdentifier("_x9"));
+  EXPECT_FALSE(IsBareIdentifier(""));
+  EXPECT_FALSE(IsBareIdentifier("9lives"));
+  EXPECT_FALSE(IsBareIdentifier("&val"));
+  EXPECT_FALSE(IsBareIdentifier("has space"));
+}
+
+}  // namespace
+}  // namespace doem

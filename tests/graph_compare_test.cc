@@ -1,0 +1,128 @@
+// Adversarial cases for the isomorphism checker and refinement hashes —
+// the predicate underpinning the structural-diff contract.
+
+#include <gtest/gtest.h>
+
+#include "oem/graph_compare.h"
+#include "oem/oem.h"
+
+namespace doem {
+namespace {
+
+OemDatabase Chain(int n, int64_t leaf) {
+  OemDatabase db;
+  NodeId root = db.NewComplex();
+  (void)db.SetRoot(root);
+  NodeId cur = root;
+  for (int i = 0; i < n; ++i) {
+    NodeId next = i + 1 < n ? db.NewComplex() : db.NewInt(leaf);
+    (void)db.AddArc(cur, "next", next);
+    cur = next;
+  }
+  return db;
+}
+
+TEST(GraphCompareTest, ChainsOfDifferentLengths) {
+  EXPECT_TRUE(Isomorphic(Chain(5, 1), Chain(5, 1)));
+  EXPECT_FALSE(Isomorphic(Chain(5, 1), Chain(6, 1)));
+  EXPECT_FALSE(Isomorphic(Chain(5, 1), Chain(5, 2)))
+      << "same shape, different leaf value";
+}
+
+TEST(GraphCompareTest, SymmetricSiblingsWithEqualSubtrees) {
+  // Two structurally identical siblings: any pairing works; the checker
+  // must succeed (hash ties with genuinely interchangeable children).
+  auto make = [](int x, int y) {
+    OemDatabase db;
+    NodeId root = db.NewComplex();
+    (void)db.SetRoot(root);
+    for (int v : {x, y}) {
+      NodeId c = db.NewComplex();
+      (void)db.AddArc(root, "child", c);
+      (void)db.AddArc(c, "v", db.NewInt(v));
+    }
+    return db;
+  };
+  EXPECT_TRUE(Isomorphic(make(7, 7), make(7, 7)));
+  EXPECT_TRUE(Isomorphic(make(7, 9), make(9, 7)))
+      << "sibling order must not matter";
+  EXPECT_FALSE(Isomorphic(make(7, 7), make(7, 9)));
+}
+
+TEST(GraphCompareTest, CycleLengthsDistinguished) {
+  auto ring = [](int n) {
+    OemDatabase db;
+    NodeId root = db.NewComplex();
+    (void)db.SetRoot(root);
+    std::vector<NodeId> nodes;
+    for (int i = 0; i < n; ++i) nodes.push_back(db.NewComplex());
+    for (int i = 0; i < n; ++i) {
+      (void)db.AddArc(nodes[i], "next", nodes[(i + 1) % n]);
+    }
+    (void)db.AddArc(root, "entry", nodes[0]);
+    return db;
+  };
+  EXPECT_TRUE(Isomorphic(ring(4), ring(4)));
+  EXPECT_FALSE(Isomorphic(ring(4), ring(5)));
+}
+
+TEST(GraphCompareTest, SelfLoopVsTwoCycle) {
+  OemDatabase a;
+  NodeId ra = a.NewComplex();
+  (void)a.SetRoot(ra);
+  NodeId x = a.NewComplex();
+  (void)a.AddArc(ra, "e", x);
+  (void)a.AddArc(x, "n", x);  // self loop
+
+  OemDatabase b;
+  NodeId rb = b.NewComplex();
+  (void)b.SetRoot(rb);
+  NodeId y = b.NewComplex();
+  NodeId z = b.NewComplex();
+  (void)b.AddArc(rb, "e", y);
+  (void)b.AddArc(y, "n", z);
+  (void)b.AddArc(z, "n", y);  // two-cycle
+
+  EXPECT_FALSE(Isomorphic(a, b)) << "node counts differ";
+}
+
+TEST(GraphCompareTest, LabelPermutationDetected) {
+  auto make = [](const char* l1, const char* l2) {
+    OemDatabase db;
+    NodeId root = db.NewComplex();
+    (void)db.SetRoot(root);
+    (void)db.AddArc(root, l1, db.NewInt(1));
+    (void)db.AddArc(root, l2, db.NewInt(2));
+    return db;
+  };
+  EXPECT_TRUE(Isomorphic(make("a", "b"), make("a", "b")));
+  EXPECT_FALSE(Isomorphic(make("a", "b"), make("b", "a")))
+      << "values travel with their labels";
+}
+
+TEST(GraphCompareTest, MappingIsConsistentBijection) {
+  OemDatabase a = Chain(4, 9);
+  OemDatabase b = Chain(4, 9);
+  std::unordered_map<NodeId, NodeId> map;
+  ASSERT_TRUE(FindIsomorphism(a, b, &map));
+  EXPECT_EQ(map.size(), a.node_count());
+  // Injective.
+  std::unordered_set<NodeId> targets;
+  for (const auto& [from, to] : map) {
+    EXPECT_TRUE(targets.insert(to).second);
+    EXPECT_EQ(*a.GetValue(from), *b.GetValue(to));
+  }
+}
+
+TEST(GraphCompareTest, RefinementHashesSeparateDepths) {
+  OemDatabase db = Chain(6, 1);
+  auto h = RefinementHashes(db, 8);
+  // All complex chain nodes end up with distinct hashes (each is a
+  // different distance from the leaf).
+  std::unordered_set<uint64_t> distinct;
+  for (const auto& [n, hash] : h) distinct.insert(hash);
+  EXPECT_EQ(distinct.size(), db.node_count());
+}
+
+}  // namespace
+}  // namespace doem

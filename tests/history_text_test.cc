@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "oem/history_text.h"
+#include "testing/generators.h"
+#include "testing/guide.h"
+
+namespace doem {
+namespace {
+
+TEST(HistoryTextTest, WritesGuideHistoryReadably) {
+  std::string text = WriteHistoryText(testing::GuideHistory());
+  EXPECT_NE(text.find("@1Jan1997"), std::string::npos);
+  EXPECT_NE(text.find("upd 1 20"), std::string::npos);
+  EXPECT_NE(text.find("cre 3 \"Hakata\""), std::string::npos);
+  EXPECT_NE(text.find("rem 6 parking 7"), std::string::npos);
+}
+
+TEST(HistoryTextTest, RoundTripsGuideHistory) {
+  OemHistory h = testing::GuideHistory();
+  auto parsed = ParseHistoryText(WriteHistoryText(h));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->Equals(h));
+}
+
+TEST(HistoryTextTest, RoundTripsRandomHistories) {
+  for (uint32_t seed = 1; seed <= 10; ++seed) {
+    testing::DatabaseOptions dbo;
+    dbo.seed = seed;
+    OemDatabase base = testing::RandomDatabase(dbo);
+    testing::HistoryOptions ho;
+    ho.seed = seed + 50;
+    OemHistory h = testing::RandomHistory(base, ho);
+    auto parsed = ParseHistoryText(WriteHistoryText(h));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_TRUE(parsed->Equals(h)) << "seed " << seed;
+  }
+}
+
+TEST(HistoryTextTest, ParsesHandWrittenScript) {
+  auto h = ParseHistoryText(R"(
+# the Example 2.2 modifications
+@1Jan97
+upd 1 20
+cre 2 C
+cre 3 "Hakata"
+add 4 restaurant 2
+add 2 name 3
+@5Jan97
+cre 5 "need info"
+add 2 comment 5
+@8Jan97
+rem 6 parking 7
+)");
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_TRUE(h->Equals(testing::GuideHistory()));
+  // And it really applies.
+  OemDatabase db = testing::BuildGuide().db;
+  EXPECT_TRUE(h->ApplyTo(&db).ok());
+}
+
+TEST(HistoryTextTest, QuotedLabels) {
+  ChangeSet ops = {ChangeOp::AddArc(1, "has space", 2),
+                   ChangeOp::RemArc(3, "x\"y", 4)};
+  auto parsed = ParseChangeSetText(WriteChangeSetText(ops));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(ChangeSetEquals(*parsed, ops));
+}
+
+TEST(HistoryTextTest, Errors) {
+  EXPECT_FALSE(ParseHistoryText("upd 1 2").ok())
+      << "op before the first @time";
+  EXPECT_FALSE(ParseHistoryText("@notatime\nupd 1 2").ok());
+  EXPECT_FALSE(ParseHistoryText("@10\nfrob 1 2").ok());
+  EXPECT_FALSE(ParseHistoryText("@10\nadd 1 x").ok()) << "missing child";
+  EXPECT_FALSE(ParseHistoryText("@10\nupd 1").ok()) << "missing value";
+  EXPECT_FALSE(ParseHistoryText("@10\nadd 1 x 2 extra").ok());
+  EXPECT_FALSE(ParseHistoryText("@10\n@5\n").ok())
+      << "timestamps must increase";
+  EXPECT_FALSE(ParseChangeSetText("@10\nupd 1 2").ok())
+      << "no headers in bare change sets";
+  // Empty inputs are fine.
+  EXPECT_TRUE(ParseHistoryText("").ok());
+  EXPECT_TRUE(ParseChangeSetText("# only a comment\n").ok());
+}
+
+}  // namespace
+}  // namespace doem

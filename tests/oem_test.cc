@@ -1,0 +1,533 @@
+#include <gtest/gtest.h>
+
+#include "oem/change.h"
+#include "oem/graph_compare.h"
+#include "oem/history.h"
+#include "oem/oem.h"
+#include "oem/subgraph.h"
+#include "oem/timestamp.h"
+#include "oem/value.h"
+#include "testing/guide.h"
+
+namespace doem {
+namespace {
+
+using testing::BuildGuide;
+using testing::Guide;
+using testing::GuideHistory;
+
+// ---------------------------------------------------------------- Value
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Complex().is_complex());
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_EQ(Value::Real(2.5).AsReal(), 2.5);
+  EXPECT_EQ(Value::String("x").AsString(), "x");
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::Time(Timestamp(7)).AsTime().ticks, 7);
+}
+
+TEST(ValueTest, StorageEqualityDistinguishesKinds) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Real(1.0));
+  EXPECT_NE(Value::Int(1), Value::String("1"));
+  EXPECT_NE(Value::Complex(), Value::Int(0));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Complex().ToString(), "C");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Real(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value::String("a\"b").ToString(), "\"a\\\"b\"");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_NE(Value::Int(1).Hash(), Value::Real(1.0).Hash());
+}
+
+// ------------------------------------------------------------ Timestamp
+
+TEST(TimestampTest, ParsePaperFormat) {
+  Timestamp t;
+  ASSERT_TRUE(Timestamp::Parse("1Jan97", &t));
+  EXPECT_EQ(t, Timestamp::FromDate(1997, 1, 1));
+  ASSERT_TRUE(Timestamp::Parse("30Dec96", &t));
+  EXPECT_EQ(t, Timestamp::FromDate(1996, 12, 30));
+  ASSERT_TRUE(Timestamp::Parse("8jan1997", &t));
+  EXPECT_EQ(t, Timestamp::FromDate(1997, 1, 8));
+}
+
+TEST(TimestampTest, ParseIsoAndTicks) {
+  Timestamp t;
+  ASSERT_TRUE(Timestamp::Parse("1997-01-08", &t));
+  EXPECT_EQ(t, Timestamp::FromDate(1997, 1, 8));
+  ASSERT_TRUE(Timestamp::Parse("  42 ", &t));
+  EXPECT_EQ(t.ticks, 42);
+  ASSERT_TRUE(Timestamp::Parse("-3", &t));
+  EXPECT_EQ(t.ticks, -3);
+}
+
+TEST(TimestampTest, ParseRejectsGarbage) {
+  Timestamp t;
+  EXPECT_FALSE(Timestamp::Parse("", &t));
+  EXPECT_FALSE(Timestamp::Parse("Jannuary", &t));
+  EXPECT_FALSE(Timestamp::Parse("32Foo97", &t));
+  EXPECT_FALSE(Timestamp::Parse("1997-13-01", &t));
+}
+
+TEST(TimestampTest, OrderingAndFormatting) {
+  EXPECT_LT(Timestamp::FromDate(1997, 1, 1), Timestamp::FromDate(1997, 1, 5));
+  EXPECT_LT(Timestamp::NegativeInfinity(), Timestamp::FromDate(1900, 1, 1));
+  EXPECT_EQ(Timestamp::FromDate(1997, 1, 8).ToString(), "8Jan1997");
+  EXPECT_EQ(Timestamp(12345678).ToString(), "12345678");
+  EXPECT_EQ(Timestamp::NegativeInfinity().ToString(), "-inf");
+}
+
+TEST(TimestampTest, DateRoundTrip) {
+  for (int m = 1; m <= 12; ++m) {
+    Timestamp t = Timestamp::FromDate(1996, m, 15);
+    Timestamp parsed;
+    ASSERT_TRUE(Timestamp::Parse(t.ToString(), &parsed)) << t.ToString();
+    EXPECT_EQ(parsed, t);
+  }
+}
+
+// -------------------------------------------------------------- OemDatabase
+
+TEST(OemDatabaseTest, BuildAndLookup) {
+  OemDatabase db;
+  NodeId root = db.NewComplex();
+  ASSERT_TRUE(db.SetRoot(root).ok());
+  NodeId a = db.NewString("hello");
+  ASSERT_TRUE(db.AddArc(root, "greeting", a).ok());
+
+  EXPECT_TRUE(db.HasNode(a));
+  EXPECT_TRUE(db.HasArc(root, "greeting", a));
+  EXPECT_FALSE(db.HasArc(root, "other", a));
+  EXPECT_EQ(db.GetValue(a)->AsString(), "hello");
+  EXPECT_EQ(db.Child(root, "greeting"), a);
+  EXPECT_EQ(db.node_count(), 2u);
+  EXPECT_EQ(db.arc_count(), 1u);
+  EXPECT_TRUE(db.Validate().ok());
+}
+
+TEST(OemDatabaseTest, GuideMatchesFigure2) {
+  Guide g = BuildGuide();
+  const OemDatabase& db = g.db;
+  EXPECT_TRUE(db.Validate().ok());
+  EXPECT_EQ(db.Child(db.root(), "guide"), g.guide)
+      << "'guide' is the entry name on the anonymous root";
+
+  std::vector<NodeId> restaurants = db.Children(g.guide, "restaurant");
+  ASSERT_EQ(restaurants.size(), 2u);
+
+  // Irregularity: integer vs string price.
+  EXPECT_EQ(db.GetValue(db.Child(g.bangkok, "price"))->AsInt(), 10);
+  EXPECT_EQ(db.GetValue(db.Child(g.janta, "price"))->AsString(), "moderate");
+
+  // Irregularity: string vs complex address.
+  EXPECT_TRUE(db.GetValue(db.Child(g.bangkok, "address"))->is_atomic());
+  EXPECT_TRUE(db.GetValue(db.Child(g.janta, "address"))->is_complex());
+
+  // Shared node: both restaurants' parking arcs point at n7.
+  EXPECT_EQ(db.Child(g.bangkok, "parking"), g.parking);
+  EXPECT_EQ(db.Child(g.janta, "parking"), g.parking);
+
+  // Cycle: parking --nearby-eats--> bangkok --parking--> parking.
+  EXPECT_EQ(db.Child(g.parking, "nearby-eats"), g.bangkok);
+}
+
+TEST(OemDatabaseTest, CreNodeRejectsReusedIds) {
+  OemDatabase db;
+  ASSERT_TRUE(db.CreNode(10, Value::Int(1)).ok());
+  Status s = db.CreNode(10, Value::Int(2));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidChange);
+  EXPECT_EQ(db.CreNode(0, Value::Int(1)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OemDatabaseTest, UpdNodeRequiresNoSubobjects) {
+  OemDatabase db;
+  NodeId root = db.NewComplex();
+  ASSERT_TRUE(db.SetRoot(root).ok());
+  NodeId c = db.NewString("x");
+  ASSERT_TRUE(db.AddArc(root, "a", c).ok());
+
+  // Root has a subobject: updating its value must fail.
+  EXPECT_EQ(db.UpdNode(root, Value::Int(1)).code(),
+            StatusCode::kInvalidChange);
+  // Removing the arc first makes the update legal (paper Section 2.1).
+  ASSERT_TRUE(db.RemArc(root, "a", c).ok());
+  EXPECT_TRUE(db.UpdNode(root, Value::Int(1)).ok());
+  EXPECT_EQ(db.UpdNode(999, Value::Int(1)).code(), StatusCode::kNotFound);
+}
+
+TEST(OemDatabaseTest, AddArcPreconditions) {
+  OemDatabase db;
+  NodeId root = db.NewComplex();
+  ASSERT_TRUE(db.SetRoot(root).ok());
+  NodeId atom = db.NewInt(5);
+  ASSERT_TRUE(db.AddArc(root, "n", atom).ok());
+
+  EXPECT_EQ(db.AddArc(root, "n", atom).code(), StatusCode::kInvalidChange)
+      << "duplicate arc";
+  EXPECT_EQ(db.AddArc(atom, "x", root).code(), StatusCode::kInvalidChange)
+      << "atomic parent";
+  EXPECT_EQ(db.AddArc(root, "x", 999).code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.AddArc(999, "x", atom).code(), StatusCode::kNotFound);
+}
+
+TEST(OemDatabaseTest, RemArcPreconditions) {
+  OemDatabase db;
+  NodeId root = db.NewComplex();
+  ASSERT_TRUE(db.SetRoot(root).ok());
+  NodeId atom = db.NewInt(5);
+  ASSERT_TRUE(db.AddArc(root, "n", atom).ok());
+
+  EXPECT_EQ(db.RemArc(root, "other", atom).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(db.RemArc(root, "n", atom).ok());
+  EXPECT_EQ(db.RemArc(root, "n", atom).code(), StatusCode::kNotFound);
+}
+
+TEST(OemDatabaseTest, SameLabelMultipleChildren) {
+  OemDatabase db;
+  NodeId root = db.NewComplex();
+  ASSERT_TRUE(db.SetRoot(root).ok());
+  NodeId a = db.NewInt(1);
+  NodeId b = db.NewInt(2);
+  ASSERT_TRUE(db.AddArc(root, "x", a).ok());
+  ASSERT_TRUE(db.AddArc(root, "x", b).ok());
+  EXPECT_EQ(db.Children(root, "x"), (std::vector<NodeId>{a, b}));
+}
+
+TEST(OemDatabaseTest, CollectGarbageRemovesUnreachable) {
+  Guide g = BuildGuide();
+  // Cut Janta loose: guide -restaurant-> janta is its only incoming arc.
+  ASSERT_TRUE(g.db.RemArc(g.guide, "restaurant", g.janta).ok());
+  size_t before = g.db.node_count();
+  std::vector<NodeId> removed = g.db.CollectGarbage();
+  // Janta, its name/price, and its address subtree die. The shared
+  // parking object n7 survives (still reachable via Bangkok), as does
+  // everything under it.
+  EXPECT_EQ(removed.size(), 6u);
+  EXPECT_TRUE(g.db.HasNode(g.parking));
+  EXPECT_FALSE(g.db.HasNode(g.janta));
+  EXPECT_EQ(g.db.node_count(), before - 6);
+  EXPECT_TRUE(g.db.Validate().ok());
+}
+
+TEST(OemDatabaseTest, GarbageCollectedIdsAreNeverReused) {
+  OemDatabase db;
+  NodeId root = db.NewComplex();
+  ASSERT_TRUE(db.SetRoot(root).ok());
+  NodeId a = db.NewInt(1);
+  ASSERT_TRUE(db.AddArc(root, "x", a).ok());
+  ASSERT_TRUE(db.RemArc(root, "x", a).ok());
+  db.CollectGarbage();
+  EXPECT_FALSE(db.HasNode(a));
+  EXPECT_EQ(db.CreNode(a, Value::Int(9)).code(), StatusCode::kInvalidChange);
+  EXPECT_NE(db.NewInt(7), a);
+}
+
+TEST(OemDatabaseTest, CycleKeepsNodesAliveOnlyViaRoot) {
+  OemDatabase db;
+  NodeId root = db.NewComplex();
+  ASSERT_TRUE(db.SetRoot(root).ok());
+  // Two nodes in a cycle, attached to root.
+  NodeId a = db.NewComplex();
+  NodeId b = db.NewComplex();
+  ASSERT_TRUE(db.AddArc(a, "next", b).ok());
+  ASSERT_TRUE(db.AddArc(b, "next", a).ok());
+  ASSERT_TRUE(db.AddArc(root, "cycle", a).ok());
+  EXPECT_TRUE(db.CollectGarbage().empty());
+  // Detach: the cycle keeps a and b pointing at each other, but
+  // reachability from the root is what counts.
+  ASSERT_TRUE(db.RemArc(root, "cycle", a).ok());
+  EXPECT_EQ(db.CollectGarbage().size(), 2u);
+}
+
+TEST(OemDatabaseTest, ValidateDetectsUnreachable) {
+  OemDatabase db;
+  NodeId root = db.NewComplex();
+  ASSERT_TRUE(db.SetRoot(root).ok());
+  db.NewInt(1);  // never linked
+  EXPECT_FALSE(db.Validate().ok());
+}
+
+TEST(OemDatabaseTest, EqualsIsExact) {
+  Guide a = BuildGuide();
+  Guide b = BuildGuide();
+  EXPECT_TRUE(a.db.Equals(b.db));
+  ASSERT_TRUE(b.db.UpdNode(b.bangkok_price, Value::Int(11)).ok());
+  EXPECT_FALSE(a.db.Equals(b.db));
+}
+
+// ------------------------------------------------------------- ChangeOps
+
+TEST(ChangeSetTest, ConflictDetection) {
+  EXPECT_TRUE(CheckChangeSetConflicts({}).ok());
+  EXPECT_TRUE(CheckChangeSetConflicts(
+                  {ChangeOp::CreNode(1, Value::Int(1)),
+                   ChangeOp::UpdNode(2, Value::Int(2))})
+                  .ok());
+  EXPECT_FALSE(CheckChangeSetConflicts({ChangeOp::CreNode(1, Value::Int(1)),
+                                        ChangeOp::CreNode(1, Value::Int(2))})
+                   .ok());
+  EXPECT_FALSE(CheckChangeSetConflicts({ChangeOp::UpdNode(1, Value::Int(1)),
+                                        ChangeOp::UpdNode(1, Value::Int(2))})
+                   .ok());
+  EXPECT_FALSE(CheckChangeSetConflicts({ChangeOp::CreNode(1, Value::Int(1)),
+                                        ChangeOp::UpdNode(1, Value::Int(2))})
+                   .ok());
+  EXPECT_FALSE(CheckChangeSetConflicts({ChangeOp::AddArc(1, "x", 2),
+                                        ChangeOp::RemArc(1, "x", 2)})
+                   .ok())
+      << "Definition 2.2 condition (3)";
+  EXPECT_FALSE(CheckChangeSetConflicts({ChangeOp::AddArc(1, "x", 2),
+                                        ChangeOp::AddArc(1, "x", 2)})
+                   .ok());
+}
+
+TEST(ChangeSetTest, CanonicalOrderPhases) {
+  ChangeSet ops = {ChangeOp::AddArc(1, "a", 2),
+                   ChangeOp::UpdNode(3, Value::Int(1)),
+                   ChangeOp::RemArc(4, "b", 5),
+                   ChangeOp::CreNode(6, Value::Complex())};
+  ChangeSet ordered = CanonicalOrder(ops);
+  EXPECT_EQ(ordered[0].kind, ChangeOp::Kind::kCreNode);
+  EXPECT_EQ(ordered[1].kind, ChangeOp::Kind::kRemArc);
+  EXPECT_EQ(ordered[2].kind, ChangeOp::Kind::kUpdNode);
+  EXPECT_EQ(ordered[3].kind, ChangeOp::Kind::kAddArc);
+}
+
+TEST(ChangeSetTest, ApplyIsOrderIndependent) {
+  // The Example 2.3 U1 set in several presentation orders must produce
+  // identical databases (Definition 2.2 condition (2)).
+  ChangeSet u1 = {ChangeOp::UpdNode(1, Value::Int(20)),
+                  ChangeOp::CreNode(2, Value::Complex()),
+                  ChangeOp::CreNode(3, Value::String("Hakata")),
+                  ChangeOp::AddArc(4, "restaurant", 2),
+                  ChangeOp::AddArc(2, "name", 3)};
+  OemDatabase expected;
+  {
+    Guide g = BuildGuide();
+    ASSERT_TRUE(ApplyChangeSet(&g.db, u1).ok());
+    expected = g.db;
+  }
+  ChangeSet shuffled = {u1[4], u1[2], u1[0], u1[3], u1[1]};
+  Guide g = BuildGuide();
+  ASSERT_TRUE(ApplyChangeSet(&g.db, shuffled).ok());
+  EXPECT_TRUE(g.db.Equals(expected));
+}
+
+TEST(ChangeSetTest, ComplexToAtomicRequiresArcRemoval) {
+  // remArc + updNode in one set: only the rem-before-upd order is valid;
+  // ApplyChangeSet must find it.
+  OemDatabase db;
+  NodeId root = db.NewComplex();
+  ASSERT_TRUE(db.SetRoot(root).ok());
+  NodeId box = db.NewComplex();
+  NodeId leaf = db.NewInt(1);
+  ASSERT_TRUE(db.AddArc(root, "box", box).ok());
+  ASSERT_TRUE(db.AddArc(box, "leaf", leaf).ok());
+
+  ChangeSet u = {ChangeOp::UpdNode(box, Value::String("now atomic")),
+                 ChangeOp::RemArc(box, "leaf", leaf)};
+  ASSERT_TRUE(ApplyChangeSet(&db, u).ok());
+  EXPECT_EQ(db.GetValue(box)->AsString(), "now atomic");
+  EXPECT_FALSE(db.HasNode(leaf)) << "leaf became unreachable";
+}
+
+TEST(ChangeSetTest, AtomicToComplexAllowsArcAdds) {
+  OemDatabase db;
+  NodeId root = db.NewComplex();
+  ASSERT_TRUE(db.SetRoot(root).ok());
+  NodeId atom = db.NewInt(5);
+  ASSERT_TRUE(db.AddArc(root, "x", atom).ok());
+
+  ChangeSet u = {ChangeOp::AddArc(atom, "child", root),
+                 ChangeOp::UpdNode(atom, Value::Complex())};
+  ASSERT_TRUE(ApplyChangeSet(&db, u).ok());
+  EXPECT_TRUE(db.GetValue(atom)->is_complex());
+  EXPECT_TRUE(db.HasArc(atom, "child", root));
+}
+
+TEST(ChangeSetTest, FailureLeavesDatabaseUnchanged) {
+  Guide g = BuildGuide();
+  OemDatabase before = g.db;
+  ChangeSet bad = {ChangeOp::UpdNode(1, Value::Int(20)),
+                   ChangeOp::AddArc(999, "x", 1)};
+  EXPECT_FALSE(ApplyChangeSet(&g.db, bad).ok());
+  EXPECT_TRUE(g.db.Equals(before)) << "transactional application";
+}
+
+TEST(ChangeSetTest, CreateWithoutLinkIsDeletedAtBoundary) {
+  // A created node left unreachable at the end of the set is considered
+  // deleted (Section 2.2).
+  Guide g = BuildGuide();
+  std::vector<NodeId> deleted;
+  ChangeSet u = {ChangeOp::CreNode(100, Value::Int(1))};
+  ASSERT_TRUE(ApplyChangeSet(&g.db, u, &deleted).ok());
+  EXPECT_EQ(deleted, std::vector<NodeId>{100});
+  EXPECT_FALSE(g.db.HasNode(100));
+}
+
+TEST(ChangeSetTest, EqualsIsOrderInsensitiveMultiset) {
+  ChangeSet a = {ChangeOp::CreNode(1, Value::Int(1)),
+                 ChangeOp::AddArc(2, "x", 1)};
+  ChangeSet b = {ChangeOp::AddArc(2, "x", 1),
+                 ChangeOp::CreNode(1, Value::Int(1))};
+  EXPECT_TRUE(ChangeSetEquals(a, b));
+  b.push_back(ChangeOp::CreNode(9, Value::Int(1)));
+  EXPECT_FALSE(ChangeSetEquals(a, b));
+}
+
+// --------------------------------------------------------------- History
+
+TEST(HistoryTest, GuideHistoryProducesFigure3) {
+  Guide g = BuildGuide();
+  OemHistory h = GuideHistory();
+  ASSERT_TRUE(h.ValidateFor(g.db).ok());
+  ASSERT_TRUE(h.ApplyTo(&g.db).ok());
+  const OemDatabase& db = g.db;
+
+  // Price changed 10 -> 20.
+  EXPECT_EQ(db.GetValue(1)->AsInt(), 20);
+  // Hakata added with name and comment.
+  std::vector<NodeId> restaurants = db.Children(4, "restaurant");
+  ASSERT_EQ(restaurants.size(), 3u);
+  EXPECT_EQ(db.GetValue(db.Child(2, "name"))->AsString(), "Hakata");
+  EXPECT_EQ(db.GetValue(db.Child(2, "comment"))->AsString(), "need info");
+  // Janta's parking arc removed; n7 still reachable through Bangkok.
+  EXPECT_FALSE(db.HasArc(6, "parking", 7));
+  EXPECT_TRUE(db.HasNode(7));
+  EXPECT_TRUE(db.Validate().ok());
+}
+
+TEST(HistoryTest, TimestampsMustIncrease) {
+  OemHistory h;
+  ASSERT_TRUE(h.Append(Timestamp(5), {}).ok());
+  EXPECT_FALSE(h.Append(Timestamp(5), {}).ok());
+  EXPECT_FALSE(h.Append(Timestamp(4), {}).ok());
+  EXPECT_TRUE(h.Append(Timestamp(6), {}).ok());
+}
+
+TEST(HistoryTest, OperatingOnDeletedNodeIsInvalid) {
+  Guide g = BuildGuide();
+  OemHistory h;
+  // Delete Janta at t1, then try to touch it at t2.
+  ASSERT_TRUE(
+      h.Append(Timestamp(100), {ChangeOp::RemArc(4, "restaurant", 6)}).ok());
+  ASSERT_TRUE(
+      h.Append(Timestamp(200),
+               {ChangeOp::UpdNode(6, Value::String("zombie"))})
+          .ok());
+  EXPECT_FALSE(h.ValidateFor(g.db).ok());
+}
+
+TEST(HistoryTest, HistoryEquality) {
+  EXPECT_TRUE(GuideHistory().Equals(GuideHistory()));
+  OemHistory h = GuideHistory();
+  OemHistory h2;
+  ASSERT_TRUE(h2.Append(Timestamp(1), {}).ok());
+  EXPECT_FALSE(h.Equals(h2));
+}
+
+// ------------------------------------------------------------ Isomorphism
+
+TEST(IsomorphismTest, GuideIsIsomorphicToRelabeledGuide) {
+  Guide a = BuildGuide();
+  // Rebuild the same structure with different ids by round-tripping
+  // through a fresh database with fresh ids.
+  OemDatabase b;
+  b.ReserveIdsBelow(1000);
+  auto map = CopyReachable(a.db, {a.db.root()}, &b, /*preserve_ids=*/false);
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE(b.SetRoot(map->at(a.db.root())).ok());
+
+  std::unordered_map<NodeId, NodeId> iso;
+  EXPECT_TRUE(FindIsomorphism(a.db, b, &iso));
+  EXPECT_EQ(iso.at(a.db.root()), b.root());
+  EXPECT_EQ(iso.size(), a.db.node_count());
+}
+
+TEST(IsomorphismTest, DetectsValueDifference) {
+  Guide a = BuildGuide();
+  Guide b = BuildGuide();
+  ASSERT_TRUE(b.db.UpdNode(b.bangkok_price, Value::Int(11)).ok());
+  EXPECT_FALSE(Isomorphic(a.db, b.db));
+}
+
+TEST(IsomorphismTest, DetectsStructureDifference) {
+  Guide a = BuildGuide();
+  Guide b = BuildGuide();
+  ASSERT_TRUE(b.db.RemArc(b.parking, "nearby-eats", b.bangkok).ok());
+  EXPECT_FALSE(Isomorphic(a.db, b.db));
+  // Same counts, different wiring.
+  ASSERT_TRUE(b.db.AddArc(b.parking, "nearby-eats", b.janta).ok());
+  EXPECT_FALSE(Isomorphic(a.db, b.db));
+}
+
+TEST(IsomorphismTest, SharingVsCopies) {
+  // a: two arcs to ONE shared child; b: two arcs to TWO equal children.
+  OemDatabase a;
+  NodeId ra = a.NewComplex();
+  ASSERT_TRUE(a.SetRoot(ra).ok());
+  NodeId shared = a.NewInt(7);
+  ASSERT_TRUE(a.AddArc(ra, "x", shared).ok());
+  ASSERT_TRUE(a.AddArc(ra, "y", shared).ok());
+
+  OemDatabase b;
+  NodeId rb = b.NewComplex();
+  ASSERT_TRUE(b.SetRoot(rb).ok());
+  ASSERT_TRUE(b.AddArc(rb, "x", b.NewInt(7)).ok());
+  ASSERT_TRUE(b.AddArc(rb, "y", b.NewInt(7)).ok());
+
+  EXPECT_FALSE(Isomorphic(a, b)) << "node counts differ";
+}
+
+// --------------------------------------------------------------- Subgraph
+
+TEST(SubgraphTest, CopyPreservesSharingAndCycles) {
+  Guide g = BuildGuide();
+  OemDatabase dst;
+  dst.ReserveIdsBelow(g.db.PeekNextId());
+  NodeId answer = dst.NewComplex();
+  ASSERT_TRUE(dst.SetRoot(answer).ok());
+
+  auto map =
+      CopyReachable(g.db, {g.bangkok, g.janta}, &dst, /*preserve_ids=*/true);
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE(dst.AddArc(answer, "restaurant", map->at(g.bangkok)).ok());
+  ASSERT_TRUE(dst.AddArc(answer, "restaurant", map->at(g.janta)).ok());
+
+  // Ids preserved; shared parking node copied once; cycle intact.
+  EXPECT_EQ(map->at(g.bangkok), g.bangkok);
+  EXPECT_EQ(dst.Child(g.bangkok, "parking"), g.parking);
+  EXPECT_EQ(dst.Child(g.janta, "parking"), g.parking);
+  EXPECT_EQ(dst.Child(g.parking, "nearby-eats"), g.bangkok);
+  EXPECT_TRUE(dst.Validate().ok());
+  // The guide root itself was not copied.
+  EXPECT_FALSE(dst.HasNode(g.guide));
+}
+
+TEST(SubgraphTest, PreserveIdsCollisionFails) {
+  Guide g = BuildGuide();
+  OemDatabase dst;
+  NodeId clash = dst.NewComplex();  // id 1 == g.bangkok_price
+  ASSERT_EQ(clash, g.bangkok_price);
+  auto map =
+      CopyReachable(g.db, {g.bangkok}, &dst, /*preserve_ids=*/true);
+  EXPECT_FALSE(map.ok());
+}
+
+TEST(SubgraphTest, MissingRootFails) {
+  Guide g = BuildGuide();
+  OemDatabase dst;
+  EXPECT_FALSE(CopyReachable(g.db, {9999}, &dst, false).ok());
+}
+
+}  // namespace
+}  // namespace doem

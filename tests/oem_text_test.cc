@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "oem/oem_text.h"
+#include "testing/guide.h"
+
+namespace doem {
+namespace {
+
+TEST(OemTextTest, WriteGuideMentionsEverything) {
+  std::string text = WriteOemText(testing::BuildGuide().db);
+  EXPECT_NE(text.find("restaurant"), std::string::npos);
+  EXPECT_NE(text.find("\"Bangkok Cuisine\""), std::string::npos);
+  EXPECT_NE(text.find("10"), std::string::npos);
+  EXPECT_NE(text.find("\"moderate\""), std::string::npos);
+  EXPECT_NE(text.find("&7"), std::string::npos);
+}
+
+TEST(OemTextTest, RoundTripGuideExactly) {
+  OemDatabase db = testing::BuildGuide().db;
+  auto parsed = ParseOemText(WriteOemText(db));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->Equals(db));
+}
+
+TEST(OemTextTest, ParseHandwritten) {
+  auto db = ParseOemText(R"(
+    # a comment
+    &1 {
+      title: &2 "hello",
+      count: &3 42,
+      ratio: &4 2.5,
+      flag: &5 true,
+      when: &6 @8Jan1997,
+      empty: &7 {}
+    }
+  )");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->node_count(), 7u);
+  EXPECT_EQ(db->GetValue(db->Child(1, "title"))->AsString(), "hello");
+  EXPECT_EQ(db->GetValue(db->Child(1, "count"))->AsInt(), 42);
+  EXPECT_EQ(db->GetValue(db->Child(1, "ratio"))->AsReal(), 2.5);
+  EXPECT_TRUE(db->GetValue(db->Child(1, "flag"))->AsBool());
+  EXPECT_EQ(db->GetValue(db->Child(1, "when"))->AsTime(),
+            Timestamp::FromDate(1997, 1, 8));
+  EXPECT_TRUE(db->GetValue(db->Child(1, "empty"))->is_complex());
+}
+
+TEST(OemTextTest, ParseSharingAndCycle) {
+  auto db = ParseOemText(R"(
+    &1 {
+      a: &2 { back: &1, friend: &3 "shared" },
+      b: &3,
+      c: &2
+    }
+  )");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->Child(2, "back"), NodeId{1});
+  EXPECT_EQ(db->Child(1, "b"), NodeId{3});
+  EXPECT_EQ(db->Child(1, "c"), NodeId{2});
+  EXPECT_EQ(db->node_count(), 3u);
+}
+
+TEST(OemTextTest, QuotedLabels) {
+  auto db = ParseOemText(R"(&1 { "&val": &2 5, "weird label": &3 "x" })");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->Child(1, "&val"), NodeId{2});
+  EXPECT_EQ(db->Child(1, "weird label"), NodeId{3});
+  // Round-trips through quoting.
+  auto again = ParseOemText(WriteOemText(*db));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->Equals(*db));
+}
+
+TEST(OemTextTest, ErrorsCarryLineNumbers) {
+  auto r = ParseOemText("&1 {\n  a: &2 \"unterminated\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(OemTextTest, RejectsUndefinedReference) {
+  auto r = ParseOemText("&1 { a: &99 }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("never defined"), std::string::npos);
+}
+
+TEST(OemTextTest, RejectsDoubleDefinition) {
+  auto r = ParseOemText("&1 { a: &2 5, b: &2 6 }");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(OemTextTest, RejectsAtomicRoot) {
+  auto r = ParseOemText("&1 42");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(OemTextTest, RejectsTrailingInput) {
+  auto r = ParseOemText("&1 {} &2 {}");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(OemTextTest, EscapesRoundTrip) {
+  OemDatabase db;
+  NodeId root = db.NewComplex();
+  ASSERT_TRUE(db.SetRoot(root).ok());
+  ASSERT_TRUE(db.AddArc(root, "s", db.NewString("a\"b\\c\nd\te")).ok());
+  auto again = ParseOemText(WriteOemText(db));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(again->Equals(db));
+}
+
+}  // namespace
+}  // namespace doem
+namespace doem {
+namespace {
+
+TEST(ValueLiteralTest, ParsesAllKinds) {
+  EXPECT_EQ(*ParseValueLiteral("42"), Value::Int(42));
+  EXPECT_EQ(*ParseValueLiteral("-7"), Value::Int(-7));
+  EXPECT_EQ(*ParseValueLiteral("2.5"), Value::Real(2.5));
+  EXPECT_EQ(*ParseValueLiteral("\"x y\""), Value::String("x y"));
+  EXPECT_EQ(*ParseValueLiteral("true"), Value::Bool(true));
+  EXPECT_EQ(*ParseValueLiteral(" C "), Value::Complex());
+  EXPECT_EQ(*ParseValueLiteral("@8Jan1997"),
+            Value::Time(Timestamp::FromDate(1997, 1, 8)));
+  EXPECT_FALSE(ParseValueLiteral("").ok());
+  EXPECT_FALSE(ParseValueLiteral("42 garbage").ok());
+  EXPECT_FALSE(ParseValueLiteral("Cx").ok());
+}
+
+TEST(ValueLiteralTest, RoundTripsValueToString) {
+  for (const Value& v :
+       {Value::Int(-3), Value::Real(0.25), Value::String("a\"b"),
+        Value::Bool(false), Value::Time(Timestamp::FromDate(1996, 2, 29)),
+        Value::Complex()}) {
+    auto parsed = ParseValueLiteral(v.ToString());
+    ASSERT_TRUE(parsed.ok()) << v.ToString();
+    EXPECT_EQ(*parsed, v) << v.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace doem

@@ -1,0 +1,434 @@
+#include <gtest/gtest.h>
+
+#include "qss/qss.h"
+#include "testing/guide.h"
+
+namespace doem {
+namespace qss {
+namespace {
+
+using doem::testing::BuildGuide;
+using doem::testing::GuideHistory;
+using doem::testing::GuideT1;
+
+// ------------------------------------------------------------- Frequency
+
+TEST(FrequencyTest, PaperExamples) {
+  auto f1 = FrequencySpec::Parse("every 10 minutes", TickUnit::kMinute);
+  ASSERT_TRUE(f1.ok()) << f1.status().ToString();
+  EXPECT_EQ(f1->interval_ticks, 10);
+
+  auto f2 = FrequencySpec::Parse("every night at 11:30pm");
+  ASSERT_TRUE(f2.ok()) << f2.status().ToString();
+  EXPECT_EQ(f2->interval_ticks, 1);
+
+  auto f3 = FrequencySpec::Parse("every 2 weeks");
+  ASSERT_TRUE(f3.ok());
+  EXPECT_EQ(f3->interval_ticks, 14);
+
+  auto f4 = FrequencySpec::Parse("every 3 ticks", TickUnit::kMinute);
+  ASSERT_TRUE(f4.ok());
+  EXPECT_EQ(f4->interval_ticks, 3);
+
+  auto f5 = FrequencySpec::Parse("every hour", TickUnit::kMinute);
+  ASSERT_TRUE(f5.ok());
+  EXPECT_EQ(f5->interval_ticks, 60);
+}
+
+TEST(FrequencyTest, Errors) {
+  EXPECT_FALSE(FrequencySpec::Parse("daily").ok());
+  EXPECT_FALSE(FrequencySpec::Parse("every 0 days").ok());
+  EXPECT_FALSE(FrequencySpec::Parse("every fortnight").ok());
+  EXPECT_FALSE(FrequencySpec::Parse("every 10 minutes", TickUnit::kDay).ok())
+      << "minutes are finer than day ticks";
+  EXPECT_FALSE(FrequencySpec::Parse("every day at").ok());
+}
+
+TEST(FrequencyTest, PollingTimes) {
+  auto f = FrequencySpec::Parse("every 2 days");
+  ASSERT_TRUE(f.ok());
+  Timestamp start = Timestamp::FromDate(1996, 12, 30);
+  EXPECT_EQ(f->FirstPoll(start), start);
+  EXPECT_EQ(f->NextPoll(start).ticks, start.ticks + 2);
+}
+
+// ------------------------------------------------------------- Source
+
+TEST(ScriptedSourceTest, AppliesScriptUpToPollTime) {
+  ScriptedSource source(BuildGuide().db, GuideHistory());
+  auto r1 = source.Poll("select guide.restaurant",
+                        Timestamp::FromDate(1996, 12, 31));
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(r1->Children(r1->root(), "restaurant").size(), 2u);
+
+  auto r2 = source.Poll("select guide.restaurant", GuideT1());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->Children(r2->root(), "restaurant").size(), 3u)
+      << "Hakata appears at t1";
+}
+
+TEST(ScriptedSourceTest, FreshIdsWhenNotPreserving) {
+  ScriptedSource source(BuildGuide().db, OemHistory(), false);
+  auto r1 = source.Poll("select guide.restaurant", Timestamp(0));
+  auto r2 = source.Poll("select guide.restaurant", Timestamp(1));
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  // Disjoint id spaces.
+  for (NodeId n : r1->NodeIds()) {
+    EXPECT_FALSE(r2->HasNode(n));
+  }
+}
+
+// ----------------------------------------------- Example 6.1 end-to-end
+
+class QssExample61 : public ::testing::TestWithParam<bool> {};
+INSTANTIATE_TEST_SUITE_P(IdModes, QssExample61, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "KeyedSource"
+                                             : "StructuralSource";
+                         });
+
+TEST_P(QssExample61, NewRestaurantNotifications) {
+  // Example 6.1: subscription created Dec 30 1996; polls nightly; the
+  // source changes per Example 2.2 on Jan 1.
+  ScriptedSource source(BuildGuide().db, GuideHistory(),
+                        /*preserve_ids=*/GetParam());
+  Timestamp t1 = Timestamp::FromDate(1996, 12, 30);
+  QuerySubscriptionService qss(&source, t1);
+
+  std::vector<Notification> log;
+  Subscription sub;
+  sub.name = "Restaurants";
+  auto freq = FrequencySpec::Parse("every night at 11:30pm");
+  ASSERT_TRUE(freq.ok());
+  sub.frequency = *freq;
+  sub.polling_query = "select guide.restaurant";
+  sub.filter_query =
+      "select Restaurants.restaurant<cre at T> where T > t[-1]";
+  ASSERT_TRUE(qss.Subscribe(sub, [&](const Notification& n) {
+                   log.push_back(n);
+                 })
+                  .ok());
+
+  // Poll t1 = 30Dec96: both initial restaurants are "created" relative to
+  // the empty R0, and t[-1] is negative infinity, so the user gets both.
+  ASSERT_TRUE(qss.AdvanceTo(t1).ok());
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].poll_index, 1u);
+  EXPECT_EQ(log[0].result.rows.size(), 2u);
+
+  // Poll t2 = 31Dec96: source unchanged; annotations now fail T > t[-1];
+  // no notification (the paper's t2 step).
+  ASSERT_TRUE(qss.AdvanceTo(Timestamp::FromDate(1996, 12, 31)).ok());
+  EXPECT_EQ(log.size(), 1u);
+
+  // Poll t3 = 1Jan97: Hakata was added; exactly one new restaurant.
+  ASSERT_TRUE(qss.AdvanceTo(Timestamp::FromDate(1997, 1, 1)).ok());
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[1].poll_index, 3u);
+  ASSERT_EQ(log[1].result.rows.size(), 1u);
+
+  // Poll t4: quiet again.
+  ASSERT_TRUE(qss.AdvanceTo(Timestamp::FromDate(1997, 1, 2)).ok());
+  EXPECT_EQ(log.size(), 2u);
+
+  // The subscription's DOEM database has a full history.
+  const DoemDatabase* d = qss.History("Restaurants");
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->IsFeasible());
+  EXPECT_EQ(qss.PollingTimes("Restaurants").size(), 4u);
+}
+
+TEST(QssTest, LyttonFilterOnContent) {
+  // The Section 6 polling query with a content filter: only restaurants
+  // with Lytton in their address are tracked at all.
+  ScriptedSource source(BuildGuide().db, GuideHistory());
+  Timestamp t0 = Timestamp::FromDate(1996, 12, 30);
+  QuerySubscriptionService qss(&source, t0);
+
+  std::vector<Notification> log;
+  Subscription sub;
+  sub.name = "LyttonRestaurants";
+  sub.frequency = *FrequencySpec::Parse("every day");
+  sub.polling_query =
+      "define polling query is plain text";  // placeholder replaced below
+  sub.polling_query =
+      "select guide.restaurant "
+      "where guide.restaurant.address.# like \"%Lytton%\"";
+  sub.filter_query =
+      "select LyttonRestaurants.restaurant<cre at T> where T > t[-1]";
+  ASSERT_TRUE(qss.Subscribe(sub, [&](const Notification& n) {
+                   log.push_back(n);
+                 })
+                  .ok());
+  ASSERT_TRUE(qss.AdvanceTo(Timestamp::FromDate(1997, 1, 2)).ok());
+  // First poll: the two Lytton restaurants. Hakata (no address) never
+  // enters the polling result, so no further notifications.
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].result.rows.size(), 2u);
+}
+
+TEST(QssTest, UpdateNotificationWithOldAndNewValue) {
+  ScriptedSource source(BuildGuide().db, GuideHistory());
+  Timestamp t0 = Timestamp::FromDate(1996, 12, 30);
+  QuerySubscriptionService qss(&source, t0);
+
+  std::vector<Notification> log;
+  Subscription sub;
+  sub.name = "Prices";
+  sub.frequency = *FrequencySpec::Parse("every day");
+  sub.polling_query = "select guide.restaurant";
+  sub.filter_query =
+      "select N, OV, NV from Prices.restaurant R, R.name N, "
+      "R.price<upd at T from OV to NV> where T > t[-1]";
+  ASSERT_TRUE(qss.Subscribe(sub, [&](const Notification& n) {
+                   log.push_back(n);
+                 })
+                  .ok());
+  ASSERT_TRUE(qss.AdvanceTo(Timestamp::FromDate(1997, 1, 3)).ok());
+  // Only the Jan 1 price change triggers (10 -> 20 detected by the diff).
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].poll_time, GuideT1());
+  ASSERT_EQ(log[0].result.rows.size(), 1u);
+  EXPECT_EQ(log[0].result.rows[0][1].value, Value::Int(10));
+  EXPECT_EQ(log[0].result.rows[0][2].value, Value::Int(20));
+}
+
+TEST(QssTest, DeletionVisibleViaRemAnnotation) {
+  ScriptedSource source(BuildGuide().db, GuideHistory());
+  Timestamp t0 = Timestamp::FromDate(1996, 12, 30);
+  QuerySubscriptionService qss(&source, t0);
+
+  std::vector<Notification> log;
+  Subscription sub;
+  sub.name = "Parking";
+  sub.frequency = *FrequencySpec::Parse("every day");
+  sub.polling_query = "select guide.restaurant";
+  sub.filter_query =
+      "select R from Parking.restaurant R, R.<rem at T>parking P "
+      "where T > t[-1]";
+  ASSERT_TRUE(qss.Subscribe(sub, [&](const Notification& n) {
+                   log.push_back(n);
+                 })
+                  .ok());
+  ASSERT_TRUE(qss.AdvanceTo(Timestamp::FromDate(1997, 1, 10)).ok());
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].poll_time, testing::GuideT3());
+}
+
+// ------------------------------------------------------ Service mechanics
+
+TEST(QssTest, SubscribeValidation) {
+  ScriptedSource source(BuildGuide().db, OemHistory());
+  QuerySubscriptionService qss(&source, Timestamp(0));
+  Subscription sub;
+  sub.name = "S";
+  sub.frequency = *FrequencySpec::Parse("every day");
+  sub.polling_query = "select guide.restaurant";
+  sub.filter_query = "select S.restaurant";
+  ASSERT_TRUE(qss.Subscribe(sub, nullptr).ok());
+  EXPECT_EQ(qss.Subscribe(sub, nullptr).code(), StatusCode::kAlreadyExists);
+
+  Subscription bad = sub;
+  bad.name = "T";
+  bad.polling_query = "select guide.<add>restaurant";
+  EXPECT_FALSE(qss.Subscribe(bad, nullptr).ok())
+      << "polling queries must be plain Lorel";
+
+  bad.polling_query = "select guide.restaurant";
+  bad.filter_query = "this is not a query";
+  EXPECT_FALSE(qss.Subscribe(bad, nullptr).ok());
+
+  EXPECT_EQ(qss.Unsubscribe("nope").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(qss.Unsubscribe("S").ok());
+}
+
+TEST(QssTest, MergedPollGroups) {
+  ScriptedSource source(BuildGuide().db, OemHistory());
+  QuerySubscriptionService qss(&source, Timestamp(0));
+  auto make = [&](const std::string& name, const std::string& poll) {
+    Subscription s;
+    s.name = name;
+    s.frequency = *FrequencySpec::Parse("every day");
+    s.polling_query = poll;
+    s.filter_query = "select " + name + ".restaurant<cre at T> "
+                     "where T > t[-1]";
+    return s;
+  };
+  int notified_a = 0, notified_b = 0, notified_c = 0;
+  ASSERT_TRUE(qss.Subscribe(make("A", "select guide.restaurant"),
+                            [&](const Notification&) { ++notified_a; })
+                  .ok());
+  ASSERT_TRUE(qss.Subscribe(make("B", "select guide.restaurant"),
+                            [&](const Notification&) { ++notified_b; })
+                  .ok());
+  Subscription c = make("C", "select guide.restaurant.name");
+  c.filter_query = "select C.name<cre at T> where T > t[-1]";
+  ASSERT_TRUE(qss.Subscribe(c, [&](const Notification&) { ++notified_c; })
+                  .ok());
+  EXPECT_EQ(qss.GroupCount(), 2u)
+      << "A and B share a poll group (Section 6.1 proposal (1))";
+  ASSERT_TRUE(qss.AdvanceTo(Timestamp(0)).ok());
+  EXPECT_EQ(notified_a, 1);
+  EXPECT_EQ(notified_b, 1);
+  EXPECT_EQ(notified_c, 1);
+  EXPECT_EQ(qss.History("A"), qss.History("B"));
+  EXPECT_NE(qss.History("A"), qss.History("C"));
+}
+
+TEST(QssTest, UnmergedWhenDisabled) {
+  ScriptedSource source(BuildGuide().db, OemHistory());
+  QssOptions opts;
+  opts.merge_similar_polls = false;
+  QuerySubscriptionService qss(&source, Timestamp(0), opts);
+  Subscription a;
+  a.name = "A";
+  a.frequency = *FrequencySpec::Parse("every day");
+  a.polling_query = "select guide.restaurant";
+  a.filter_query = "select A.restaurant";
+  Subscription b = a;
+  b.name = "B";
+  b.filter_query = "select B.restaurant";
+  ASSERT_TRUE(qss.Subscribe(a, nullptr).ok());
+  ASSERT_TRUE(qss.Subscribe(b, nullptr).ok());
+  EXPECT_EQ(qss.GroupCount(), 2u);
+}
+
+TEST(QssTest, TwoSnapshotRetentionForgetsOldHistory) {
+  ScriptedSource source(BuildGuide().db, GuideHistory());
+  QssOptions opts;
+  opts.retention = HistoryRetention::kTwoSnapshots;
+  Timestamp t0 = Timestamp::FromDate(1996, 12, 30);
+  QuerySubscriptionService qss(&source, t0, opts);
+  Subscription sub;
+  sub.name = "R";
+  sub.frequency = *FrequencySpec::Parse("every day");
+  sub.polling_query = "select guide.restaurant";
+  sub.filter_query = "select R.restaurant";
+  ASSERT_TRUE(qss.Subscribe(sub, nullptr).ok());
+  ASSERT_TRUE(qss.AdvanceTo(Timestamp::FromDate(1997, 1, 10)).ok());
+  const DoemDatabase* d = qss.History("R");
+  ASSERT_NE(d, nullptr);
+  // Only the final (empty) delta's timestamps remain — older annotations
+  // were compacted away.
+  EXPECT_LE(d->AllTimestamps().size(), 1u);
+  // Full retention keeps everything for comparison.
+  ScriptedSource source2(BuildGuide().db, GuideHistory());
+  QuerySubscriptionService qss2(&source2, t0);
+  ASSERT_TRUE(qss2.Subscribe(sub, nullptr).ok());
+  ASSERT_TRUE(qss2.AdvanceTo(Timestamp::FromDate(1997, 1, 10)).ok());
+  EXPECT_GT(qss2.History("R")->AllTimestamps().size(), 1u);
+}
+
+TEST(QssTest, PollNowAndClockRules) {
+  ScriptedSource source(BuildGuide().db, OemHistory());
+  QuerySubscriptionService qss(&source, Timestamp(10));
+  EXPECT_FALSE(qss.AdvanceTo(Timestamp(5)).ok()) << "no time travel";
+  Subscription sub;
+  sub.name = "R";
+  sub.frequency = *FrequencySpec::Parse("every 5 days");
+  sub.polling_query = "select guide.restaurant";
+  sub.filter_query = "select R.restaurant";
+  ASSERT_TRUE(qss.Subscribe(sub, nullptr).ok());
+  EXPECT_EQ(qss.PollNow("none").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(qss.PollNow("R").ok());
+  EXPECT_EQ(qss.PollingTimes("R").size(), 1u);
+  EXPECT_FALSE(qss.PollNow("R").ok()) << "same tick twice";
+}
+
+}  // namespace
+}  // namespace qss
+}  // namespace doem
+namespace doem {
+namespace qss {
+namespace {
+
+TEST(QssTest, SourceTriggerMode) {
+  // Section 6's third snapshot-acquisition mode: the source fires a
+  // trigger and QSS polls immediately instead of waiting for the
+  // schedule.
+  ScriptedSource source(doem::testing::BuildGuide().db,
+                        doem::testing::GuideHistory());
+  Timestamp t0 = Timestamp::FromDate(1996, 12, 30);
+  QuerySubscriptionService qss(&source, t0);
+  int notified = 0;
+  Subscription sub;
+  sub.name = "R";
+  sub.frequency = *FrequencySpec::Parse("every 2 weeks");  // slow schedule
+  sub.polling_query = "select guide.restaurant";
+  sub.filter_query = "select R.restaurant<cre at T> where T > t[-1]";
+  ASSERT_TRUE(qss.Subscribe(sub, [&](const Notification&) { ++notified; })
+                  .ok());
+  ASSERT_TRUE(qss.AdvanceTo(t0).ok());  // scheduled poll 1
+  EXPECT_EQ(notified, 1);
+
+  // The source changes on Jan 1; its trigger fires the same day — QSS
+  // picks it up without waiting for the next scheduled poll (Jan 13).
+  ASSERT_TRUE(qss.AdvanceTo(Timestamp::FromDate(1997, 1, 1)).ok());
+  EXPECT_EQ(notified, 1) << "nothing scheduled between the two weeks";
+  ASSERT_TRUE(qss.NotifySourceChanged().ok());
+  EXPECT_EQ(notified, 2) << "Hakata reported on the trigger-driven poll";
+  // Idempotent within one tick.
+  ASSERT_TRUE(qss.NotifySourceChanged().ok());
+  EXPECT_EQ(notified, 2);
+}
+
+}  // namespace
+}  // namespace qss
+}  // namespace doem
+namespace doem {
+namespace qss {
+namespace {
+
+TEST(QssTest, KeyedSourceObjectResurrectionIsReportedNotCorrupted) {
+  // Documented limitation (DESIGN.md / EXPERIMENTS.md): a keyed source
+  // whose polling result drops an OID and later brings the SAME OID back
+  // violates OEM's id-freshness rule; QSS reports an error rather than
+  // corrupting the DOEM database. Structural sources handle such data.
+  // The source hides Janta (id 6) on the middle poll only, so QSS sees
+  // the OID disappear and then return.
+  OemDatabase base = doem::testing::BuildGuide().db;
+  class ResurrectingSource : public InformationSource {
+   public:
+    explicit ResurrectingSource(OemDatabase full) : full_(std::move(full)) {}
+    Result<OemDatabase> Poll(const std::string& query,
+                             Timestamp now) override {
+      OemDatabase state = full_;
+      if (now.ticks == Timestamp::FromDate(1996, 12, 31).ticks) {
+        // Middle poll: Janta missing.
+        Status s = state.RemArc(4, "restaurant", 6);
+        (void)s;
+        state.CollectGarbage();
+      }
+      lorel::OemView view(state);
+      auto r = lorel::RunQuery(query, view);
+      if (!r.ok()) return r.status();
+      return std::move(r->answer);
+    }
+    bool PreservesIds() const override { return true; }
+
+   private:
+    OemDatabase full_;
+  };
+
+  ResurrectingSource source(base);
+  QuerySubscriptionService qss(&source, Timestamp::FromDate(1996, 12, 30));
+  Subscription sub;
+  sub.name = "R";
+  sub.frequency = *FrequencySpec::Parse("every day");
+  sub.polling_query = "select guide.restaurant";
+  sub.filter_query = "select R.restaurant";
+  ASSERT_TRUE(qss.Subscribe(sub, nullptr).ok());
+  ASSERT_TRUE(qss.AdvanceTo(Timestamp::FromDate(1996, 12, 31)).ok());
+  // Day 3: Janta (id 6) re-appears -> creNode on a burned id -> clean
+  // error, database intact.
+  Status s = qss.AdvanceTo(Timestamp::FromDate(1997, 1, 1));
+  EXPECT_FALSE(s.ok());
+  const DoemDatabase* d = qss.History("R");
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->IsFeasible()) << "failed poll left the DOEM db intact";
+  EXPECT_EQ(qss.PollingTimes("R").size(), 2u);
+}
+
+}  // namespace
+}  // namespace qss
+}  // namespace doem

@@ -1,0 +1,178 @@
+// Failure-injection and resource-safety tests: deep nesting, hostile
+// inputs, and operations on the boundaries of the supported subset must
+// produce clean errors, never crashes or corruption.
+
+#include <gtest/gtest.h>
+
+#include "chorel/chorel.h"
+#include "htmldiff/html.h"
+#include "lorel/lorel.h"
+#include "oem/oem_text.h"
+#include "qss/qss.h"
+#include "testing/guide.h"
+
+namespace doem {
+namespace {
+
+using testing::BuildGuide;
+using testing::GuideHistory;
+
+TEST(RobustnessTest, DeepChainSerializesIteratively) {
+  // A 50,000-deep chain: the recursive writer would overflow the stack;
+  // the iterative one must not.
+  OemDatabase db;
+  NodeId root = db.NewComplex();
+  ASSERT_TRUE(db.SetRoot(root).ok());
+  NodeId cur = root;
+  for (int i = 0; i < 50000; ++i) {
+    NodeId next = i + 1 < 50000 ? db.NewComplex() : db.NewInt(7);
+    ASSERT_TRUE(db.AddArc(cur, "next", next).ok());
+    cur = next;
+  }
+  std::string text = WriteOemText(db);
+  EXPECT_GT(text.size(), 100000u);
+  // Parsing refuses beyond its depth limit with a clean error.
+  auto parsed = ParseOemText(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  EXPECT_NE(parsed.status().message().find("nesting"), std::string::npos);
+}
+
+TEST(RobustnessTest, ModeratelyDeepChainRoundTrips) {
+  OemDatabase db;
+  NodeId root = db.NewComplex();
+  ASSERT_TRUE(db.SetRoot(root).ok());
+  NodeId cur = root;
+  for (int i = 0; i < 2000; ++i) {
+    NodeId next = i + 1 < 2000 ? db.NewComplex() : db.NewInt(7);
+    ASSERT_TRUE(db.AddArc(cur, "next", next).ok());
+    cur = next;
+  }
+  auto parsed = ParseOemText(WriteOemText(db));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->Equals(db));
+}
+
+TEST(RobustnessTest, DeeplyNestedHtmlRejected) {
+  std::string html;
+  for (int i = 0; i < 3000; ++i) html += "<div>";
+  html += "x";
+  for (int i = 0; i < 3000; ++i) html += "</div>";
+  auto r = htmldiff::ParseHtml(html);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(RobustnessTest, HostileQueryStrings) {
+  testing::Guide g = BuildGuide();
+  lorel::OemView view(g.db);
+  const char* hostile[] = {
+      "select",
+      "select .",
+      "select ..",
+      "select a..b",
+      "select a.<",
+      "select a.<add",
+      "select a.<add at>",
+      "select a where b <",
+      "select a where (b = 1",
+      "select a where exists x in : 1=1",
+      "select a from",
+      "select a as",
+      "select t[",
+      "select t[0",
+      "select t[999999999999999999999]",
+      "select \"unterminated",
+      "select a where a like",
+  };
+  for (const char* q : hostile) {
+    auto r = lorel::RunQuery(q, view);
+    EXPECT_FALSE(r.ok()) << q;
+    EXPECT_TRUE(r.status().code() == StatusCode::kParseError ||
+                r.status().code() == StatusCode::kUnsupported)
+        << q << " -> " << r.status().ToString();
+  }
+}
+
+TEST(RobustnessTest, UnaryMinusLiterals) {
+  testing::Guide g = BuildGuide();
+  lorel::OemView view(g.db);
+  auto r = lorel::RunQuery(
+      "select guide.restaurant where guide.restaurant.price > -5", view);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 1u) << "10 > -5; 'moderate' fails coercion";
+  auto r2 = lorel::RunQuery("select -2.5 as v", view);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->rows[0][0].value, Value::Real(-2.5));
+  EXPECT_FALSE(lorel::RunQuery("select - \"x\"", view).ok());
+}
+
+TEST(RobustnessTest, GiantChangeSetStaysTransactional) {
+  testing::Guide g = BuildGuide();
+  auto d = DoemDatabase::FromSnapshot(g.db);
+  ASSERT_TRUE(d.ok());
+  DoemDatabase before = *d;
+  // 10k creations, then one invalid op at the end.
+  ChangeSet ops;
+  NodeId base = 1000;
+  for (NodeId i = 0; i < 10000; ++i) {
+    ops.push_back(ChangeOp::CreNode(base + i, Value::Int(1)));
+    ops.push_back(ChangeOp::AddArc(4, "bulk", base + i));
+  }
+  ops.push_back(ChangeOp::AddArc(999999, "x", base));
+  Status s = d->ApplyChangeSet(Timestamp(10), ops);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(d->Equals(before));
+}
+
+TEST(RobustnessTest, QssSurvivesSourceErrors) {
+  // A source whose polling query is valid Lorel but matches nothing:
+  // polls succeed with empty results forever.
+  qss::ScriptedSource source(BuildGuide().db, GuideHistory());
+  qss::QuerySubscriptionService service(&source,
+                                        Timestamp::FromDate(1996, 12, 30));
+  qss::Subscription sub;
+  sub.name = "Ghost";
+  sub.frequency = *qss::FrequencySpec::Parse("every day");
+  sub.polling_query = "select nonexistent.entry";
+  sub.filter_query = "select Ghost.entry<cre at T> where T > t[-1]";
+  int notified = 0;
+  ASSERT_TRUE(service
+                  .Subscribe(sub, [&](const qss::Notification&) {
+                    ++notified;
+                  })
+                  .ok());
+  ASSERT_TRUE(
+      service.AdvanceTo(Timestamp::FromDate(1997, 1, 10)).ok());
+  EXPECT_EQ(notified, 0);
+  EXPECT_EQ(service.PollingTimes("Ghost").size(), 12u);
+}
+
+TEST(RobustnessTest, ChorelExistsWithAnnotatedRange) {
+  // Annotated exists ranges work in the direct strategy and are cleanly
+  // rejected by the translated one (no linear Lorel form, see
+  // translate.h).
+  auto d = DoemDatabase::Build(BuildGuide().db, GuideHistory());
+  ASSERT_TRUE(d.ok());
+  const char* q =
+      "select R from guide.restaurant R where "
+      "exists C in R.<add>comment : C = \"need info\"";
+  auto direct = chorel::RunChorel(*d, q, chorel::Strategy::kDirect);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  EXPECT_EQ(direct->rows.size(), 1u);
+  auto translated = chorel::RunChorel(*d, q, chorel::Strategy::kTranslated);
+  ASSERT_FALSE(translated.ok());
+  EXPECT_EQ(translated.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(RobustnessTest, EmptySelectResultPackagesCleanly) {
+  testing::Guide g = BuildGuide();
+  lorel::OemView view(g.db);
+  auto r = lorel::RunQuery("select guide.nothing", view);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows.empty());
+  EXPECT_TRUE(r->answer.Validate().ok()) << "empty answer is still rooted";
+}
+
+}  // namespace
+}  // namespace doem

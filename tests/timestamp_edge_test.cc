@@ -1,0 +1,63 @@
+// Calendar-edge tests for the timestamp domain: leap years, month
+// boundaries, century rules, and ordering across them.
+
+#include <gtest/gtest.h>
+
+#include "oem/timestamp.h"
+
+namespace doem {
+namespace {
+
+TEST(TimestampEdgeTest, LeapYears) {
+  // 1996 is a leap year; Feb 29 exists and sits between Feb 28 and Mar 1.
+  Timestamp feb28 = Timestamp::FromDate(1996, 2, 28);
+  Timestamp feb29 = Timestamp::FromDate(1996, 2, 29);
+  Timestamp mar01 = Timestamp::FromDate(1996, 3, 1);
+  EXPECT_EQ(feb29.ticks, feb28.ticks + 1);
+  EXPECT_EQ(mar01.ticks, feb29.ticks + 1);
+  EXPECT_EQ(feb29.ToString(), "29Feb1996");
+
+  // 1900 is NOT a leap year (century rule); 2000 IS (400 rule).
+  EXPECT_EQ(Timestamp::FromDate(1900, 3, 1).ticks,
+            Timestamp::FromDate(1900, 2, 28).ticks + 1);
+  EXPECT_EQ(Timestamp::FromDate(2000, 3, 1).ticks,
+            Timestamp::FromDate(2000, 2, 29).ticks + 1);
+}
+
+TEST(TimestampEdgeTest, EpochAnchors) {
+  EXPECT_EQ(Timestamp::FromDate(1970, 1, 1).ticks, 0);
+  EXPECT_EQ(Timestamp::FromDate(1970, 1, 2).ticks, 1);
+  EXPECT_EQ(Timestamp::FromDate(1969, 12, 31).ticks, -1);
+}
+
+TEST(TimestampEdgeTest, YearBoundaryOrdering) {
+  // The Example 6.1 polling times straddle a year boundary.
+  Timestamp dec30 = Timestamp::FromDate(1996, 12, 30);
+  Timestamp dec31 = Timestamp::FromDate(1996, 12, 31);
+  Timestamp jan01 = Timestamp::FromDate(1997, 1, 1);
+  EXPECT_LT(dec30, dec31);
+  EXPECT_LT(dec31, jan01);
+  EXPECT_EQ(jan01.ticks, dec31.ticks + 1);
+}
+
+TEST(TimestampEdgeTest, RoundTripAcrossYears) {
+  for (int year : {1900, 1970, 1996, 1997, 2000, 2026, 2100}) {
+    for (int month : {1, 2, 6, 12}) {
+      Timestamp t = Timestamp::FromDate(year, month, 28);
+      Timestamp parsed;
+      ASSERT_TRUE(Timestamp::Parse(t.ToString(), &parsed)) << t.ToString();
+      EXPECT_EQ(parsed, t) << t.ToString();
+    }
+  }
+}
+
+TEST(TimestampEdgeTest, TwoDigitYearsAre1900s) {
+  // The paper's "1Jan97" means 1997; "1Jan03" therefore means 1903 under
+  // the same rule — documented, deterministic behavior.
+  Timestamp t;
+  ASSERT_TRUE(Timestamp::Parse("1Jan03", &t));
+  EXPECT_EQ(t, Timestamp::FromDate(1903, 1, 1));
+}
+
+}  // namespace
+}  // namespace doem

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "chorel/triggers.h"
+#include "testing/guide.h"
+
+namespace doem {
+namespace chorel {
+namespace {
+
+using doem::testing::BuildGuide;
+using doem::testing::GuideHistory;
+using doem::testing::GuideT1;
+using doem::testing::GuideT3;
+
+TEST(TriggersTest, FiresOnMatchingChanges) {
+  auto t = TriggeredDatabase::Create(BuildGuide().db);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  std::vector<TriggerFiring> firings;
+  ASSERT_TRUE(t->AddTrigger("new-restaurants",
+                            "select guide.restaurant<cre at T> "
+                            "where T > t[-1]",
+                            [&](const TriggerFiring& f) {
+                              firings.push_back(f);
+                            })
+                  .ok());
+  // Replay the Example 2.3 history through the trigger facility.
+  OemHistory h = GuideHistory();
+  for (const HistoryStep& step : h.steps()) {
+    ASSERT_TRUE(t->ApplyChangeSet(step.time, step.changes).ok());
+  }
+  // Only the first step creates a restaurant (Hakata).
+  ASSERT_EQ(firings.size(), 1u);
+  EXPECT_EQ(firings[0].trigger, "new-restaurants");
+  EXPECT_EQ(firings[0].time, GuideT1());
+  EXPECT_EQ(firings[0].result.rows.size(), 1u);
+}
+
+TEST(TriggersTest, SinceLastEventSemantics) {
+  auto t = TriggeredDatabase::Create(BuildGuide().db);
+  ASSERT_TRUE(t.ok());
+  int fired = 0;
+  ASSERT_TRUE(t->AddTrigger("price-watch",
+                            "select NV from "
+                            "guide.restaurant.price<upd at T to NV> "
+                            "where T > t[-1] and NV > 15",
+                            [&](const TriggerFiring&) { ++fired; })
+                  .ok());
+  // First event: price to 20 -> fires.
+  ASSERT_TRUE(t->ApplyChangeSet(Timestamp(100),
+                                {ChangeOp::UpdNode(1, Value::Int(20))})
+                  .ok());
+  EXPECT_EQ(fired, 1);
+  // Unrelated event: the old update no longer satisfies T > t[-1].
+  ASSERT_TRUE(t->ApplyChangeSet(
+                   Timestamp(200),
+                   {ChangeOp::RemArc(6, "parking", 7)})
+                  .ok());
+  EXPECT_EQ(fired, 1);
+  // Price drops below the threshold: no firing.
+  ASSERT_TRUE(t->ApplyChangeSet(Timestamp(300),
+                                {ChangeOp::UpdNode(1, Value::Int(12))})
+                  .ok());
+  EXPECT_EQ(fired, 1);
+  // And up again.
+  ASSERT_TRUE(t->ApplyChangeSet(Timestamp(400),
+                                {ChangeOp::UpdNode(1, Value::Int(30))})
+                  .ok());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TriggersTest, MultipleTriggersAndRemoval) {
+  auto t = TriggeredDatabase::Create(BuildGuide().db);
+  ASSERT_TRUE(t.ok());
+  int a = 0, b = 0;
+  ASSERT_TRUE(t->AddTrigger("a", "select guide.<add at T>restaurant "
+                                 "where T > t[-1]",
+                            [&](const TriggerFiring&) { ++a; })
+                  .ok());
+  ASSERT_TRUE(t->AddTrigger("b",
+                            "select R from guide.restaurant R, "
+                            "R.<rem at T>parking P where T > t[-1]",
+                            [&](const TriggerFiring&) { ++b; })
+                  .ok());
+  EXPECT_EQ(t->AddTrigger("a", "select x", nullptr).code(),
+            StatusCode::kAlreadyExists);
+
+  OemHistory h = GuideHistory();
+  for (const HistoryStep& step : h.steps()) {
+    ASSERT_TRUE(t->ApplyChangeSet(step.time, step.changes).ok());
+  }
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+
+  ASSERT_TRUE(t->RemoveTrigger("a").ok());
+  EXPECT_EQ(t->RemoveTrigger("a").code(), StatusCode::kNotFound);
+  EXPECT_EQ(t->trigger_count(), 1u);
+}
+
+TEST(TriggersTest, RejectsBadConditions) {
+  auto t = TriggeredDatabase::Create(BuildGuide().db);
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE(t->AddTrigger("bad", "not a query", nullptr).ok());
+}
+
+TEST(TriggersTest, ChangeRemainsAppliedIfNoTriggerMatches) {
+  auto t = TriggeredDatabase::Create(BuildGuide().db);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->ApplyChangeSet(Timestamp(100),
+                                {ChangeOp::UpdNode(1, Value::Int(11))})
+                  .ok());
+  EXPECT_EQ(t->doem().CurrentValue(1), Value::Int(11));
+  EXPECT_TRUE(t->doem().IsFeasible());
+}
+
+}  // namespace
+}  // namespace chorel
+}  // namespace doem

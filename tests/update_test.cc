@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "chorel/chorel.h"
+#include "chorel/update.h"
+#include "testing/guide.h"
+
+namespace doem {
+namespace chorel {
+namespace {
+
+using doem::testing::BuildGuide;
+
+DoemDatabase FreshGuide() {
+  auto d = DoemDatabase::FromSnapshot(BuildGuide().db);
+  EXPECT_TRUE(d.ok());
+  return std::move(d).value();
+}
+
+TEST(UpdateTest, InsertObjectLiteralCompilesToBasicOps) {
+  DoemDatabase d = FreshGuide();
+  auto ops = CompileUpdate(
+      d, "insert guide.restaurant := {name: \"Hakata\", price: 15}");
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  // creNode x3 (restaurant, name, price) + addArc x3 — the Section 2.1
+  // decomposition of a higher-level insert.
+  size_t cre = 0, add = 0;
+  for (const ChangeOp& op : *ops) {
+    cre += op.kind == ChangeOp::Kind::kCreNode;
+    add += op.kind == ChangeOp::Kind::kAddArc;
+  }
+  EXPECT_EQ(cre, 3u);
+  EXPECT_EQ(add, 3u);
+  ASSERT_TRUE(d.ApplyChangeSet(Timestamp(100), *ops).ok());
+  auto q = RunChorel(d, "select R from guide.restaurant R, R.name N "
+                        "where N = \"Hakata\"",
+                     Strategy::kDirect);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->rows.size(), 1u);
+}
+
+TEST(UpdateTest, InsertWithConditionTargetsMatchingParents) {
+  DoemDatabase d = FreshGuide();
+  ASSERT_TRUE(ApplyUpdate(&d, Timestamp(100),
+                          "insert guide.restaurant.comment := \"great naan\""
+                          " where guide.restaurant.name = \"Janta\"")
+                  .ok());
+  auto q = RunChorel(d,
+                     "select C from guide.restaurant R, R.comment C, "
+                     "R.name N where N = \"Janta\"",
+                     Strategy::kDirect);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->rows.size(), 1u);
+  auto q2 = RunChorel(d,
+                      "select C from guide.restaurant R, R.comment C, "
+                      "R.name N where N = \"Bangkok Cuisine\"",
+                      Strategy::kDirect);
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(q2->rows.empty()) << "only Janta got the comment";
+}
+
+TEST(UpdateTest, SetUpdatesMatchingAtoms) {
+  DoemDatabase d = FreshGuide();
+  ASSERT_TRUE(ApplyUpdate(&d, Timestamp(100),
+                          "set guide.restaurant.price := 20 "
+                          "where guide.restaurant.name = \"Bangkok Cuisine\"")
+                  .ok());
+  EXPECT_EQ(d.CurrentValue(1), Value::Int(20));
+  // The update left a proper upd annotation.
+  auto recs = d.UpdRecords(1);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].old_value, Value::Int(10));
+  // Janta's "moderate" price untouched.
+  auto q = RunChorel(d, "select P from guide.restaurant.price P "
+                        "where P = \"moderate\"",
+                     Strategy::kDirect);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->rows.size(), 1u);
+}
+
+TEST(UpdateTest, SetWithoutConditionHitsAllMatches) {
+  DoemDatabase d = FreshGuide();
+  ASSERT_TRUE(
+      ApplyUpdate(&d, Timestamp(100), "set guide.restaurant.price := 99")
+          .ok());
+  auto q = RunChorel(d, "select P from guide.restaurant.price P "
+                        "where P = 99",
+                     Strategy::kDirect);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->rows.size(), 2u) << "both prices set";
+}
+
+TEST(UpdateTest, RemoveDeletesByUnreachability) {
+  DoemDatabase d = FreshGuide();
+  ASSERT_TRUE(ApplyUpdate(&d, Timestamp(100),
+                          "remove guide.restaurant "
+                          "where guide.restaurant.name = \"Janta\"")
+                  .ok());
+  EXPECT_TRUE(d.IsDeleted(6));
+  EXPECT_FALSE(d.IsDeleted(7)) << "shared parking survives via Bangkok";
+  // The arc is rem-annotated, so change queries can still see it.
+  auto q = RunChorel(d, "select guide.<rem at T>restaurant",
+                     Strategy::kDirect);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->rows.size(), 1u);
+}
+
+TEST(UpdateTest, NoMatchesIsANoOp) {
+  DoemDatabase d = FreshGuide();
+  auto ops = CompileUpdate(d, "set guide.restaurant.rating := 5");
+  ASSERT_TRUE(ops.ok());
+  EXPECT_TRUE(ops->empty());
+  ASSERT_TRUE(ApplyUpdate(&d, Timestamp(100),
+                          "remove guide.cinema")
+                  .ok());
+}
+
+TEST(UpdateTest, CompileDoesNotMutate) {
+  DoemDatabase d = FreshGuide();
+  DoemDatabase before = d;
+  auto ops = CompileUpdate(
+      d, "insert guide.restaurant := {name: \"Hakata\"}");
+  ASSERT_TRUE(ops.ok());
+  EXPECT_TRUE(d.Equals(before));
+}
+
+TEST(UpdateTest, ParseErrors) {
+  DoemDatabase d = FreshGuide();
+  const char* bad[] = {
+      "frobnicate guide.x := 1",
+      "insert guide.restaurant",
+      "insert guide.restaurant := ",
+      "insert guide.restaurant := {name \"x\"}",
+      "insert guide.restaurant := {name: }",
+      "set guide.restaurant.price := {a: 1}",
+      "set guide.# := 1",
+      "remove",
+      "insert guide.restaurant := 1 garbage",
+      "set guide.price := 1 where",
+  };
+  for (const char* stmt : bad) {
+    EXPECT_FALSE(CompileUpdate(d, stmt).ok()) << stmt;
+  }
+}
+
+TEST(UpdateTest, RootLevelInsertAndRemove) {
+  DoemDatabase d = FreshGuide();
+  ASSERT_TRUE(ApplyUpdate(&d, Timestamp(100),
+                          "insert bulletin := {headline: \"new section\"}")
+                  .ok());
+  auto q = RunChorel(d, "select bulletin.headline", Strategy::kDirect);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->rows.size(), 1u);
+  ASSERT_TRUE(ApplyUpdate(&d, Timestamp(200), "remove bulletin").ok());
+  auto q2 = RunChorel(d, "select bulletin.headline", Strategy::kDirect);
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(q2->rows.empty());
+}
+
+TEST(UpdateTest, WholeHistoryStaysFeasible) {
+  DoemDatabase d = FreshGuide();
+  ASSERT_TRUE(ApplyUpdate(&d, Timestamp(100),
+                          "insert guide.restaurant := {name: \"Hakata\"}")
+                  .ok());
+  ASSERT_TRUE(ApplyUpdate(&d, Timestamp(200),
+                          "set guide.restaurant.price := 21 "
+                          "where guide.restaurant.name = \"Bangkok Cuisine\"")
+                  .ok());
+  ASSERT_TRUE(ApplyUpdate(&d, Timestamp(300),
+                          "remove guide.restaurant "
+                          "where guide.restaurant.name = \"Janta\"")
+                  .ok());
+  EXPECT_TRUE(d.IsFeasible());
+  EXPECT_EQ(d.AllTimestamps().size(), 3u);
+}
+
+}  // namespace
+}  // namespace chorel
+}  // namespace doem
