@@ -1,0 +1,154 @@
+// Fault-tolerance overhead in the QSS polling pipeline: what the
+// health/retry bookkeeping costs on the steady-state (fault-free) poll
+// cycle, what a retrying transient fault costs, and how cheap a
+// quarantined (circuit-open) group is per skipped poll. The fault-free
+// numbers should track bench_qss_cycle's BM_QssKeyedSource.
+
+#include <benchmark/benchmark.h>
+
+#include "qss/fault.h"
+#include "qss/qss.h"
+#include "testing/generators.h"
+
+namespace doem {
+namespace {
+
+constexpr int64_t kPolls = 10;
+
+qss::Subscription MakeSub(int i) {
+  qss::Subscription sub;
+  sub.name = "S" + std::to_string(i);
+  sub.frequency = *qss::FrequencySpec::Parse("every day");
+  sub.polling_query = "select guide.restaurant";
+  sub.filter_query =
+      "select " + sub.name + ".restaurant<cre at T> where T > t[-1]";
+  return sub;
+}
+
+// Steady state, no decorator: the health/report bookkeeping alone. The
+// baseline to compare against bench_qss_cycle (which predates the
+// fault-tolerance layer).
+void BM_QssFaultFreeBaseline(benchmark::State& state) {
+  OemDatabase base =
+      testing::SyntheticGuide(static_cast<size_t>(state.range(0)));
+  OemHistory script = testing::SyntheticGuideHistory(base, kPolls, 5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    qss::ScriptedSource source(base, script);
+    qss::QuerySubscriptionService service(
+        &source, Timestamp(Timestamp::FromDate(1997, 1, 1).ticks));
+    Status st = service.Subscribe(MakeSub(0), nullptr);
+    assert(st.ok());
+    (void)st;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        service
+            .AdvanceTo(Timestamp(Timestamp::FromDate(1997, 1, 1).ticks +
+                                 kPolls - 1))
+            .ok());
+  }
+  state.SetItemsProcessed(state.iterations() * kPolls);
+}
+BENCHMARK(BM_QssFaultFreeBaseline)
+    ->Arg(50)
+    ->Arg(200)
+    ->ArgNames({"restaurants"})
+    ->Unit(benchmark::kMillisecond);
+
+// The decorator in passthrough mode plus an armed (but never triggered)
+// retry/deadline policy: the full fault-tolerance plumbing on the hot
+// path with zero faults.
+void BM_QssFaultInjectorPassthrough(benchmark::State& state) {
+  OemDatabase base =
+      testing::SyntheticGuide(static_cast<size_t>(state.range(0)));
+  OemHistory script = testing::SyntheticGuideHistory(base, kPolls, 5);
+  qss::QssOptions opts;
+  opts.retry.max_attempts = 3;
+  opts.retry.backoff_base_ticks = 1;
+  opts.retry.poll_deadline_ticks = 1000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    qss::ScriptedSource inner(base, script);
+    qss::FaultInjectingSource source(&inner);
+    qss::QuerySubscriptionService service(
+        &source, Timestamp(Timestamp::FromDate(1997, 1, 1).ticks), opts);
+    Status st = service.Subscribe(MakeSub(0), nullptr);
+    assert(st.ok());
+    (void)st;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        service
+            .AdvanceTo(Timestamp(Timestamp::FromDate(1997, 1, 1).ticks +
+                                 kPolls - 1))
+            .ok());
+  }
+  state.SetItemsProcessed(state.iterations() * kPolls);
+}
+BENCHMARK(BM_QssFaultInjectorPassthrough)
+    ->Arg(50)
+    ->Arg(200)
+    ->ArgNames({"restaurants"})
+    ->Unit(benchmark::kMillisecond);
+
+// Every other poll fails transiently and is recovered by one retry.
+void BM_QssTransientFaultRetry(benchmark::State& state) {
+  OemDatabase base = testing::SyntheticGuide(200);
+  OemHistory script = testing::SyntheticGuideHistory(base, kPolls, 5);
+  qss::QssOptions opts;
+  opts.retry.max_attempts = 2;
+  for (auto _ : state) {
+    state.PauseTiming();
+    qss::ScriptedSource inner(base, script);
+    qss::FaultInjectingSource source(&inner);
+    // Alternating: fail call 1, pass 2, fail 3 (the retry of poll 2's
+    // schedule shifts parity, so just fail every third call).
+    for (int64_t c = 0; c < 3 * kPolls; c += 3) {
+      source.FailPolls(static_cast<size_t>(c), 1);
+    }
+    state.ResumeTiming();
+    qss::PollReport report;
+    qss::QuerySubscriptionService service(
+        &source, Timestamp(Timestamp::FromDate(1997, 1, 1).ticks), opts);
+    Status st = service.Subscribe(MakeSub(0), nullptr);
+    assert(st.ok());
+    (void)st;
+    benchmark::DoNotOptimize(
+        service
+            .AdvanceTo(Timestamp(Timestamp::FromDate(1997, 1, 1).ticks +
+                                 kPolls - 1),
+                       &report)
+            .ok());
+  }
+  state.SetItemsProcessed(state.iterations() * kPolls);
+}
+BENCHMARK(BM_QssTransientFaultRetry)->Unit(benchmark::kMillisecond);
+
+// A quarantined group: after the breaker opens, every scheduled poll is
+// a cheap MissedPoll record. Measures the per-skip cost of an outage.
+void BM_QssQuarantinedGroupSkips(benchmark::State& state) {
+  OemDatabase base = testing::SyntheticGuide(200);
+  qss::QssOptions opts;
+  opts.quarantine_after = 2;
+  opts.quarantine_cooldown_ticks = 1000000;  // stay dark for the whole run
+  opts.on_error = [](const qss::PollError&) {};
+  constexpr int64_t kDays = 1000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    qss::ScriptedSource inner(base, OemHistory());
+    qss::FaultInjectingSource source(&inner);
+    source.FailPolls(0, 0);
+    qss::QuerySubscriptionService service(&source, Timestamp(0), opts);
+    Status st = service.Subscribe(MakeSub(0), nullptr);
+    assert(st.ok());
+    (void)st;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(service.AdvanceTo(Timestamp(kDays)).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * kDays);
+}
+BENCHMARK(BM_QssQuarantinedGroupSkips)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace doem
+
+BENCHMARK_MAIN();

@@ -231,8 +231,9 @@ bench-build/CMakeFiles/bench_qss_cycle.dir/bench_qss_cycle.cc.o: \
  /root/repo/src/lorel/eval.h /root/repo/src/lorel/normalize.h \
  /root/repo/src/lorel/ast.h /root/repo/src/lorel/parser.h \
  /root/repo/src/diff/diff.h /root/repo/src/qss/frequency.h \
- /root/repo/src/qss/source.h /root/repo/src/testing/generators.h \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/qss/health.h /root/repo/src/qss/source.h \
+ /root/repo/src/testing/generators.h /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

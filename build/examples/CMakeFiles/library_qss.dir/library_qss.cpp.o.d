@@ -224,4 +224,4 @@ examples/CMakeFiles/library_qss.dir/library_qss.cpp.o: \
  /root/repo/src/lorel/eval.h /root/repo/src/lorel/normalize.h \
  /root/repo/src/lorel/ast.h /root/repo/src/lorel/parser.h \
  /root/repo/src/diff/diff.h /root/repo/src/qss/frequency.h \
- /root/repo/src/qss/source.h
+ /root/repo/src/qss/health.h /root/repo/src/qss/source.h

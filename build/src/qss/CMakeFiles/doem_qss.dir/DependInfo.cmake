@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qss/fault.cc" "src/qss/CMakeFiles/doem_qss.dir/fault.cc.o" "gcc" "src/qss/CMakeFiles/doem_qss.dir/fault.cc.o.d"
   "/root/repo/src/qss/frequency.cc" "src/qss/CMakeFiles/doem_qss.dir/frequency.cc.o" "gcc" "src/qss/CMakeFiles/doem_qss.dir/frequency.cc.o.d"
   "/root/repo/src/qss/qss.cc" "src/qss/CMakeFiles/doem_qss.dir/qss.cc.o" "gcc" "src/qss/CMakeFiles/doem_qss.dir/qss.cc.o.d"
   "/root/repo/src/qss/source.cc" "src/qss/CMakeFiles/doem_qss.dir/source.cc.o" "gcc" "src/qss/CMakeFiles/doem_qss.dir/source.cc.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/doem_qss.dir/fault.cc.o"
+  "CMakeFiles/doem_qss.dir/fault.cc.o.d"
   "CMakeFiles/doem_qss.dir/frequency.cc.o"
   "CMakeFiles/doem_qss.dir/frequency.cc.o.d"
   "CMakeFiles/doem_qss.dir/qss.cc.o"

@@ -224,7 +224,7 @@ src/qss/CMakeFiles/doem_qss.dir/qss.cc.o: /root/repo/src/qss/qss.cc \
  /root/repo/src/lorel/eval.h /root/repo/src/lorel/normalize.h \
  /root/repo/src/lorel/ast.h /root/repo/src/lorel/parser.h \
  /root/repo/src/diff/diff.h /root/repo/src/qss/frequency.h \
- /root/repo/src/qss/source.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/qss/health.h /root/repo/src/qss/source.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -292,16 +292,17 @@ tests/CMakeFiles/qss_test.dir/qss_test.cc.o: /root/repo/tests/qss_test.cc \
  /root/miniconda/include/gtest/gtest-test-part.h \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
- /root/miniconda/include/gtest/gtest_pred_impl.h /root/repo/src/qss/qss.h \
- /root/repo/src/chorel/chorel.h /root/repo/src/common/result.h \
- /root/repo/src/common/status.h /root/repo/src/chorel/doem_view.h \
- /root/repo/src/doem/doem.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/doem/annotation.h /root/repo/src/oem/timestamp.h \
- /root/repo/src/oem/value.h /root/repo/src/oem/change.h \
- /root/repo/src/oem/oem.h /root/repo/src/oem/history.h \
+ /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /root/repo/src/qss/fault.h /root/repo/src/common/result.h \
+ /root/repo/src/common/status.h /root/repo/src/qss/source.h \
+ /root/repo/src/oem/history.h /root/repo/src/oem/change.h \
+ /root/repo/src/oem/oem.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/oem/value.h \
+ /root/repo/src/oem/timestamp.h /root/repo/src/qss/qss.h \
+ /root/repo/src/chorel/chorel.h /root/repo/src/chorel/doem_view.h \
+ /root/repo/src/doem/doem.h /root/repo/src/doem/annotation.h \
  /root/repo/src/lorel/view.h /root/repo/src/lorel/lorel.h \
  /root/repo/src/lorel/eval.h /root/repo/src/lorel/normalize.h \
  /root/repo/src/lorel/ast.h /root/repo/src/lorel/parser.h \
  /root/repo/src/diff/diff.h /root/repo/src/qss/frequency.h \
- /root/repo/src/qss/source.h /root/repo/src/testing/guide.h
+ /root/repo/src/qss/health.h /root/repo/src/testing/guide.h

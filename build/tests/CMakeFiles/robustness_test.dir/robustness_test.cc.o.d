@@ -304,6 +304,7 @@ tests/CMakeFiles/robustness_test.dir/robustness_test.cc.o: \
  /root/repo/src/lorel/eval.h /root/repo/src/lorel/normalize.h \
  /root/repo/src/lorel/ast.h /root/repo/src/lorel/parser.h \
  /root/repo/src/htmldiff/html.h /root/repo/src/oem/oem_text.h \
+ /root/repo/src/qss/fault.h /root/repo/src/qss/source.h \
  /root/repo/src/qss/qss.h /root/repo/src/diff/diff.h \
- /root/repo/src/qss/frequency.h /root/repo/src/qss/source.h \
+ /root/repo/src/qss/frequency.h /root/repo/src/qss/health.h \
  /root/repo/src/testing/guide.h

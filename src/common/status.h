@@ -26,6 +26,12 @@ enum class StatusCode {
   kUnsupported,
   /// An internal invariant was violated; indicates a library bug.
   kInternal,
+  /// An autonomous information source failed to produce a usable
+  /// snapshot (connection refused, malformed/truncated result, ...).
+  /// Typically transient; QSS retries and eventually quarantines.
+  kUnavailable,
+  /// An operation exceeded its (simulated) deadline.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "ParseError", ...).
@@ -64,6 +70,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

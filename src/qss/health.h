@@ -1,0 +1,127 @@
+#ifndef DOEM_QSS_HEALTH_H_
+#define DOEM_QSS_HEALTH_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "oem/timestamp.h"
+
+namespace doem {
+namespace qss {
+
+/// How QSS deals with a poll of an autonomous source that fails. The
+/// paper's legacy sources (Section 6, Figure 7) are outside our control:
+/// a wrapper may time out, return garbage, or be down for days. All
+/// delays are expressed in simulated clock ticks, so every schedule is
+/// deterministic and testable.
+struct RetryPolicy {
+  /// Total attempts per scheduled poll (1 = no retry).
+  int max_attempts = 1;
+  /// Simulated backoff before retry k (k >= 2): base << (k - 2) ticks.
+  /// Backoff is sub-tick bookkeeping — it never moves the service clock
+  /// or the poll timestamp, it is accounted in PollHealth::backoff_ticks.
+  int64_t backoff_base_ticks = 0;
+  /// A successful poll whose source reports a simulated duration above
+  /// this is discarded as DeadlineExceeded. 0 disables the deadline.
+  int64_t poll_deadline_ticks = 0;
+};
+
+/// Circuit-breaker state of one poll group.
+enum class CircuitState {
+  /// Healthy: polls run on schedule.
+  kClosed,
+  /// Quarantined: polls are skipped (recorded as MissedPoll) until the
+  /// cool-down elapses.
+  kOpen,
+  /// Cool-down elapsed: the next due poll is a single probe attempt.
+  kHalfOpen,
+};
+
+inline const char* CircuitStateToString(CircuitState s) {
+  switch (s) {
+    case CircuitState::kClosed:
+      return "Closed";
+    case CircuitState::kOpen:
+      return "Open";
+    case CircuitState::kHalfOpen:
+      return "HalfOpen";
+  }
+  return "Unknown";
+}
+
+/// A scheduled poll that was skipped because its group was quarantined.
+/// The DOEM history is untouched: the next successful poll diffs against
+/// the last good snapshot, so no change is lost — only its detection is
+/// delayed to the recovery poll's timestamp.
+struct MissedPoll {
+  Timestamp time;
+  std::string reason;
+};
+
+/// Health of one poll group, exposed per subscription via
+/// QuerySubscriptionService::Health().
+struct PollHealth {
+  CircuitState state = CircuitState::kClosed;
+  /// Consecutive scheduled polls that failed (reset on success).
+  int consecutive_failures = 0;
+  /// The most recent attempt failure (diagnostic; not cleared on
+  /// recovery).
+  Status last_error;
+  /// When state == kOpen: first tick at which a probe may run.
+  Timestamp quarantined_until;
+  /// Scheduled polls that ran (successes + failures; not retries, not
+  /// quarantine skips).
+  size_t polls_attempted = 0;
+  size_t polls_succeeded = 0;
+  size_t polls_failed = 0;
+  /// Extra source attempts beyond the first, across all polls.
+  size_t retries = 0;
+  /// Total simulated backoff spent (RetryPolicy::backoff_base_ticks).
+  int64_t backoff_ticks = 0;
+  /// Quarantine skips, in time order.
+  std::vector<MissedPoll> missed;
+};
+
+/// One failure surfaced during a tick: either a poll of a group failed
+/// (after exhausting retries) or one member's filter query failed.
+struct PollError {
+  enum class Kind {
+    /// The poll pipeline failed; `subject` is the comma-joined member
+    /// list of the group.
+    kPoll,
+    /// A filter query failed; `subject` is the member subscription.
+    kFilter,
+  };
+  Kind kind = Kind::kPoll;
+  std::string subject;
+  Timestamp time;
+  Status status;
+};
+
+/// Invoked synchronously for every PollError as it happens.
+using ErrorCallback = std::function<void(const PollError&)>;
+
+/// Aggregated outcome of AdvanceTo / PollNow / NotifySourceChanged.
+/// Counters accumulate if the same report object is reused across calls.
+struct PollReport {
+  size_t polls_attempted = 0;
+  size_t polls_ok = 0;
+  size_t polls_failed = 0;
+  /// Scheduled polls skipped because their group was quarantined.
+  size_t polls_missed = 0;
+  size_t retries = 0;
+  size_t notifications = 0;
+  std::vector<PollError> errors;
+
+  bool all_ok() const { return errors.empty(); }
+  Status FirstError() const {
+    return errors.empty() ? Status::OK() : errors.front().status;
+  }
+};
+
+}  // namespace qss
+}  // namespace doem
+
+#endif  // DOEM_QSS_HEALTH_H_

@@ -140,11 +140,64 @@ Result<OemDatabase> QuerySubscriptionService::CanonicalWrap(
   return out;
 }
 
-Status QuerySubscriptionService::PollGroupAt(PollGroup* group, Timestamp t) {
-  // 1. Query manager: send Q_l to the wrapper, get R_k.
-  auto answer = source_->Poll(group->polling_query, t);
-  if (!answer.ok()) return answer.status();
-  auto wrapped = CanonicalWrap(*answer, *group);
+namespace {
+
+std::string JoinMembers(const std::vector<std::string>& members) {
+  std::string out;
+  for (const std::string& m : members) {
+    if (!out.empty()) out += ",";
+    out += m;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<OemDatabase> QuerySubscriptionService::AttemptPoll(
+    PollGroup* group, Timestamp t, int max_attempts, PollReport* report) {
+  PollHealth& health = group->health;
+  if (max_attempts < 1) max_attempts = 1;
+  Status attempt_status;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      // Deterministic exponential backoff, accounted in simulated ticks.
+      // It is sub-tick bookkeeping: the poll timestamp stays t, so the
+      // history and the schedule are unaffected (see health.h).
+      ++health.retries;
+      ++report->retries;
+      health.backoff_ticks += options_.retry.backoff_base_ticks
+                              << (attempt - 2);
+    }
+    auto answer = source_->Poll(group->polling_query, t);
+    attempt_status = answer.ok() ? Status::OK() : answer.status();
+    if (attempt_status.ok() && options_.retry.poll_deadline_ticks > 0) {
+      int64_t took = source_->LastPollDurationTicks();
+      if (took > options_.retry.poll_deadline_ticks) {
+        attempt_status = Status::DeadlineExceeded(
+            "poll took " + std::to_string(took) + " ticks, deadline " +
+            std::to_string(options_.retry.poll_deadline_ticks));
+      }
+    }
+    if (attempt_status.ok()) {
+      // A snapshot from an autonomous wrapper can arrive truncated or
+      // malformed; treat it as a failed attempt, not as source data.
+      Status valid = answer->Validate();
+      if (!valid.ok()) {
+        attempt_status = Status::Unavailable(
+            "source returned malformed snapshot: " + valid.message());
+      }
+    }
+    if (attempt_status.ok()) return answer;
+    health.last_error = attempt_status;
+  }
+  return attempt_status;
+}
+
+Status QuerySubscriptionService::IncorporateSnapshot(PollGroup* group,
+                                                     Timestamp t,
+                                                     const OemDatabase& answer,
+                                                     PollReport* report) {
+  auto wrapped = CanonicalWrap(answer, *group);
   if (!wrapped.ok()) return wrapped.status();
 
   // 2. R_{k-1} is the current snapshot of the DOEM database.
@@ -154,16 +207,21 @@ Status QuerySubscriptionService::PollGroupAt(PollGroup* group, Timestamp t) {
   auto delta = DiffSnapshots(previous, *wrapped, diff_mode_);
   if (!delta.ok()) return delta.status();
 
-  // 4. DOEM manager: incorporate (t, U_k).
+  // 4. DOEM manager: incorporate (t, U_k). Build the new state off to
+  // the side and commit only on success, so a failed incorporation never
+  // costs history (kTwoSnapshots used to drop it before applying).
   if (options_.retention == HistoryRetention::kTwoSnapshots) {
     auto rebased = DoemDatabase::FromSnapshot(std::move(previous));
     if (!rebased.ok()) return rebased.status();
+    DOEM_RETURN_IF_ERROR(rebased->ApplyChangeSet(t, *delta));
     group->doem = std::move(rebased).value();
+  } else {
+    DOEM_RETURN_IF_ERROR(group->doem.ApplyChangeSet(t, *delta));
   }
-  DOEM_RETURN_IF_ERROR(group->doem.ApplyChangeSet(t, *delta));
   group->polls.push_back(t);
 
-  // 5. Chorel engine: evaluate each member's filter query.
+  // 5. Chorel engine: evaluate each member's filter query. One member's
+  // failure must not starve the rest: collect the error, keep going.
   chorel::ChorelEngine engine(group->doem);
   for (const std::string& member : group->members) {
     const SubState& state = subs_.at(member);
@@ -171,9 +229,16 @@ Status QuerySubscriptionService::PollGroupAt(PollGroup* group, Timestamp t) {
     opts.polling_times = &group->polls;
     auto result = engine.Run(state.sub.filter_query, options_.strategy, opts);
     if (!result.ok()) {
-      return Status(result.status().code(), "filter query of '" + member +
-                                                "': " +
-                                                result.status().message());
+      PollError error;
+      error.kind = PollError::Kind::kFilter;
+      error.subject = member;
+      error.time = t;
+      error.status = Status(result.status().code(),
+                            "filter query of '" + member +
+                                "': " + result.status().message());
+      report->errors.push_back(error);
+      if (options_.on_error) options_.on_error(error);
+      continue;
     }
     // 6. Notify.
     if (!result->rows.empty() || options_.notify_empty) {
@@ -184,17 +249,92 @@ Status QuerySubscriptionService::PollGroupAt(PollGroup* group, Timestamp t) {
         n.poll_index = group->polls.size();
         n.result = std::move(result).value();
         state.callback(n);
+        ++report->notifications;
       }
     }
   }
   return Status::OK();
 }
 
-Status QuerySubscriptionService::AdvanceTo(Timestamp t) {
+void QuerySubscriptionService::PollGroupAt(PollGroup* group, Timestamp t,
+                                           PollReport* report) {
+  PollHealth& health = group->health;
+
+  // Quarantined: sit out the cool-down, then probe (half-open).
+  if (health.state == CircuitState::kOpen) {
+    if (t < health.quarantined_until) {
+      MissedPoll missed;
+      missed.time = t;
+      missed.reason = "quarantined until " +
+                      health.quarantined_until.ToString() + " after " +
+                      health.last_error.ToString();
+      health.missed.push_back(std::move(missed));
+      ++report->polls_missed;
+      return;
+    }
+    health.state = CircuitState::kHalfOpen;
+  }
+
+  ++health.polls_attempted;
+  ++report->polls_attempted;
+
+  // 1. Query manager: send Q_l to the wrapper, get R_k — retrying per
+  // policy, except that a half-open probe gets a single attempt.
+  int max_attempts = health.state == CircuitState::kHalfOpen
+                         ? 1
+                         : std::max(1, options_.retry.max_attempts);
+  auto answer = AttemptPoll(group, t, max_attempts, report);
+  Status failure =
+      answer.ok() ? IncorporateSnapshot(group, t, *answer, report)
+                  : answer.status();
+  if (!failure.ok()) {
+    ++health.polls_failed;
+    ++health.consecutive_failures;
+    health.last_error = failure;
+    ++report->polls_failed;
+    PollError error;
+    error.kind = PollError::Kind::kPoll;
+    error.subject = JoinMembers(group->members);
+    error.time = t;
+    error.status = failure;
+    report->errors.push_back(error);
+    if (options_.on_error) options_.on_error(error);
+    // A failed probe re-opens immediately; otherwise the breaker trips
+    // after `quarantine_after` consecutive failed polls.
+    if (health.state == CircuitState::kHalfOpen ||
+        (options_.quarantine_after > 0 &&
+         health.consecutive_failures >= options_.quarantine_after)) {
+      health.state = CircuitState::kOpen;
+      health.quarantined_until =
+          Timestamp(t.ticks + options_.quarantine_cooldown_ticks);
+    }
+    return;
+  }
+  ++health.polls_succeeded;
+  ++report->polls_ok;
+  health.consecutive_failures = 0;
+  health.state = CircuitState::kClosed;
+}
+
+Status QuerySubscriptionService::SettleReport(const PollReport& report,
+                                              size_t first_new_error,
+                                              bool caller_has_report) const {
+  if (caller_has_report || options_.on_error) return Status::OK();
+  if (report.errors.size() <= first_new_error) return Status::OK();
+  return report.errors[first_new_error].status;
+}
+
+Status QuerySubscriptionService::AdvanceTo(Timestamp t, PollReport* report) {
   if (t < now_) {
     return Status::InvalidArgument("clock cannot run backwards");
   }
-  // Execute all due polls across groups in time order.
+  PollReport local;
+  PollReport* r = report != nullptr ? report : &local;
+  size_t first_new_error = r->errors.size();
+  // Execute all due polls across groups in time order. A failing group
+  // no longer aborts the tick: its schedule still advances (the failure
+  // is recorded, feeding the circuit breaker), the other groups still
+  // poll, and the clock always reaches t.
   while (true) {
     PollGroup* due = nullptr;
     for (auto& [key, group] : groups_) {
@@ -206,13 +346,14 @@ Status QuerySubscriptionService::AdvanceTo(Timestamp t) {
     if (due == nullptr) break;
     Timestamp poll_time = due->next_poll;
     due->next_poll = due->frequency.NextPoll(poll_time);
-    DOEM_RETURN_IF_ERROR(PollGroupAt(due, poll_time));
+    PollGroupAt(due, poll_time, r);
   }
   now_ = t;
-  return Status::OK();
+  return SettleReport(*r, first_new_error, report != nullptr);
 }
 
-Status QuerySubscriptionService::PollNow(const std::string& name) {
+Status QuerySubscriptionService::PollNow(const std::string& name,
+                                         PollReport* report) {
   auto it = subs_.find(name);
   if (it == subs_.end()) {
     return Status::NotFound("no subscription '" + name + "'");
@@ -223,17 +364,30 @@ Status QuerySubscriptionService::PollNow(const std::string& name) {
         "already polled at tick " + now_.ToString() +
         "; advance the clock first");
   }
-  return PollGroupAt(group, now_);
+  PollReport local;
+  PollReport* r = report != nullptr ? report : &local;
+  size_t first_new_error = r->errors.size();
+  PollGroupAt(group, now_, r);
+  return SettleReport(*r, first_new_error, report != nullptr);
 }
 
-Status QuerySubscriptionService::NotifySourceChanged() {
+Status QuerySubscriptionService::NotifySourceChanged(PollReport* report) {
+  PollReport local;
+  PollReport* r = report != nullptr ? report : &local;
+  size_t first_new_error = r->errors.size();
   for (auto& [key, group] : groups_) {
     if (!group->polls.empty() && group->polls.back() >= now_) {
       continue;  // this tick is already covered
     }
-    DOEM_RETURN_IF_ERROR(PollGroupAt(group.get(), now_));
+    PollGroupAt(group.get(), now_, r);
   }
-  return Status::OK();
+  return SettleReport(*r, first_new_error, report != nullptr);
+}
+
+PollHealth QuerySubscriptionService::Health(const std::string& name) const {
+  auto it = subs_.find(name);
+  if (it == subs_.end()) return PollHealth{};
+  return groups_.at(it->second.group_key)->health;
 }
 
 const DoemDatabase* QuerySubscriptionService::History(

@@ -12,6 +12,7 @@
 #include "diff/diff.h"
 #include "doem/doem.h"
 #include "qss/frequency.h"
+#include "qss/health.h"
 #include "qss/source.h"
 
 namespace doem {
@@ -62,6 +63,24 @@ struct QssOptions {
   /// non-empty, as in Example 6.1 where the unchanged poll at t2
   /// notifies nobody).
   bool notify_empty = false;
+
+  // ---- Fault tolerance (the source is autonomous and may fail) --------
+
+  /// Retry/backoff/deadline policy applied to every scheduled poll.
+  RetryPolicy retry;
+  /// Quarantine a poll group after this many consecutive failed polls
+  /// (circuit breaker). 0 disables quarantine: failed polls keep being
+  /// attempted on schedule forever.
+  int quarantine_after = 3;
+  /// How long a quarantined group sits out before a half-open probe, in
+  /// clock ticks. Scheduled polls inside the window are recorded as
+  /// MissedPoll; the DOEM history is untouched.
+  int64_t quarantine_cooldown_ticks = 2;
+  /// Invoked synchronously for every poll or filter-query failure. When
+  /// set (or when a PollReport is passed), AdvanceTo/PollNow/
+  /// NotifySourceChanged return OK on poll failures — the tick always
+  /// completes and errors flow through these channels instead.
+  ErrorCallback on_error;
 };
 
 /// The QSS server (Figure 7): subscription manager, query manager,
@@ -90,18 +109,30 @@ class QuerySubscriptionService {
 
   /// Advances the simulated clock, executing every poll that falls due,
   /// in time order, delivering notifications synchronously.
-  Status AdvanceTo(Timestamp t);
+  ///
+  /// A failing source no longer aborts the tick: other groups still
+  /// poll, other members still get their notifications, and the clock
+  /// always reaches `t`. Failures accumulate into `*report` (if
+  /// non-null) and fire QssOptions::on_error. When neither channel is
+  /// provided, the first failure is returned as the Status — after the
+  /// whole tick has run.
+  Status AdvanceTo(Timestamp t, PollReport* report = nullptr);
 
   /// Explicit-request mode (Section 6): polls one subscription now,
   /// regardless of its schedule.
-  Status PollNow(const std::string& name);
+  Status PollNow(const std::string& name, PollReport* report = nullptr);
 
   /// Source-trigger mode (Section 6): the source signals that it changed,
   /// e.g. from a database trigger it does support. Every poll group that
   /// has not already polled at the current tick polls immediately.
-  Status NotifySourceChanged();
+  Status NotifySourceChanged(PollReport* report = nullptr);
 
   Timestamp now() const { return now_; }
+
+  /// Poll health of the group backing a subscription: circuit state,
+  /// consecutive failures, last error, attempted/retried/missed counts.
+  /// Default-constructed (healthy, all zero) if the name is unknown.
+  PollHealth Health(const std::string& name) const;
 
   /// The DOEM database backing a subscription (null if unknown).
   const DoemDatabase* History(const std::string& name) const;
@@ -121,6 +152,7 @@ class QuerySubscriptionService {
     std::vector<Timestamp> polls;
     Timestamp next_poll;
     std::vector<std::string> members;
+    PollHealth health;
   };
   struct SubState {
     Subscription sub;
@@ -130,7 +162,31 @@ class QuerySubscriptionService {
 
   std::string GroupKey(const Subscription& sub) const;
   Result<PollGroup*> GroupFor(const Subscription& sub);
-  Status PollGroupAt(PollGroup* group, Timestamp t);
+
+  /// Runs one scheduled poll of `group` at time t through the circuit
+  /// breaker, retry policy, and notification pipeline, recording the
+  /// outcome in the group's health and in `*report` (never null). Never
+  /// fails the caller: errors become PollReport entries / on_error calls.
+  void PollGroupAt(PollGroup* group, Timestamp t, PollReport* report);
+
+  /// Attempts the source poll itself (with retries, deadline, and
+  /// snapshot validation) per the retry policy.
+  Result<OemDatabase> AttemptPoll(PollGroup* group, Timestamp t,
+                                  int max_attempts, PollReport* report);
+
+  /// Steps 2-6 of the pipeline for an acquired snapshot: wrap, diff,
+  /// apply, evaluate every member's filter, notify. A member's filter
+  /// failure is recorded and does not starve the remaining members; a
+  /// non-OK return means the snapshot could not be incorporated (the
+  /// DOEM database is untouched).
+  Status IncorporateSnapshot(PollGroup* group, Timestamp t,
+                             const OemDatabase& answer, PollReport* report);
+
+  /// Maps accumulated failures to the legacy Status surface: OK when the
+  /// caller supplied a report or an on_error callback is configured,
+  /// otherwise the first new error of this call.
+  Status SettleReport(const PollReport& report, size_t first_new_error,
+                      bool caller_has_report) const;
 
   /// Wraps a polled answer database into canonical form: a fixed root
   /// with one arc per group entry name to a fixed container whose arcs

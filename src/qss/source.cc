@@ -7,10 +7,40 @@ namespace doem {
 namespace qss {
 
 Status ScriptedSource::AdvanceTo(Timestamp now) {
+  if (!script_checked_) {
+    script_checked_ = true;
+    // The OemHistory vector constructor does not enforce Definition 2.2's
+    // strictly increasing timestamps; applying an out-of-order script
+    // would interleave change sets in the wrong order. Reject it up
+    // front, before any step is applied.
+    const auto& steps = script_.steps();
+    for (size_t i = 1; i < steps.size(); ++i) {
+      if (steps[i].time <= steps[i - 1].time) {
+        script_error_ = Status::InvalidChange(
+            "script steps out of order: step " + std::to_string(i) + " at " +
+            steps[i].time.ToString() + " does not follow " +
+            steps[i - 1].time.ToString());
+        break;
+      }
+    }
+  }
+  // A defective script is a sticky, clean error: retries see the same
+  // Status and the source state stays as of the last good step
+  // (ApplyChangeSet is transactional, and next_step_ is not advanced
+  // past a failing step).
+  DOEM_RETURN_IF_ERROR(script_error_);
   while (next_step_ < script_.size() &&
          script_.steps()[next_step_].time <= now) {
-    DOEM_RETURN_IF_ERROR(
-        ApplyChangeSet(&db_, script_.steps()[next_step_].changes));
+    Status applied =
+        ApplyChangeSet(&db_, script_.steps()[next_step_].changes);
+    if (!applied.ok()) {
+      script_error_ = Status(
+          applied.code(), "script step " + std::to_string(next_step_) +
+                              " (at " +
+                              script_.steps()[next_step_].time.ToString() +
+                              ") is not applicable: " + applied.message());
+      return script_error_;
+    }
     ++next_step_;
   }
   return Status::OK();

@@ -28,6 +28,13 @@ class InformationSource {
   /// exports persistent OIDs) — selects keyed vs. structural differencing
   /// in QSS.
   virtual bool PreservesIds() const = 0;
+
+  /// Simulated duration of the most recent Poll(), in clock ticks. The
+  /// time domain is simulated (Section 2.2), so sources that model
+  /// latency report it here; QSS compares it against
+  /// RetryPolicy::poll_deadline_ticks. The default (0) never exceeds a
+  /// deadline.
+  virtual int64_t LastPollDurationTicks() const { return 0; }
 };
 
 /// A deterministic source for tests, examples, and benchmarks: an OEM
@@ -37,6 +44,11 @@ class InformationSource {
 /// With `preserve_ids` false, each poll re-packages the result with fresh
 /// identifiers (shifted id space), simulating a wrapper without
 /// persistent OIDs.
+///
+/// A malformed script (steps out of time order, or a step whose change
+/// set is invalid for the source state) makes Poll return a clean
+/// error — sticky and deterministic across retries — with the source
+/// state left exactly as of the last good step, never partially applied.
 class ScriptedSource : public InformationSource {
  public:
   ScriptedSource(OemDatabase initial, OemHistory script,
@@ -60,6 +72,9 @@ class ScriptedSource : public InformationSource {
   size_t next_step_ = 0;
   bool preserve_ids_;
   NodeId fresh_offset_ = 0;
+  // Set once a script defect is detected; every later Poll returns it.
+  Status script_error_;
+  bool script_checked_ = false;
 };
 
 }  // namespace qss

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "qss/fault.h"
 #include "qss/qss.h"
 #include "testing/guide.h"
 
@@ -427,6 +428,405 @@ TEST(QssTest, KeyedSourceObjectResurrectionIsReportedNotCorrupted) {
   ASSERT_NE(d, nullptr);
   EXPECT_TRUE(d->IsFeasible()) << "failed poll left the DOEM db intact";
   EXPECT_EQ(qss.PollingTimes("R").size(), 2u);
+}
+
+}  // namespace
+}  // namespace qss
+}  // namespace doem
+namespace doem {
+namespace qss {
+namespace {
+
+using doem::testing::BuildGuide;
+using doem::testing::GuideHistory;
+
+// -------------------------------------------- Fault tolerance (Section 6
+// autonomous sources: polls may fail; QSS retries, quarantines, reports)
+
+Subscription MakeSub(const std::string& name, const std::string& poll,
+                     const std::string& filter) {
+  Subscription s;
+  s.name = name;
+  s.frequency = *FrequencySpec::Parse("every day");
+  s.polling_query = poll;
+  s.filter_query = filter;
+  return s;
+}
+
+Subscription MakeCreSub(const std::string& name) {
+  return MakeSub(name, "select guide.restaurant",
+                 "select " + name + ".restaurant<cre at T> where T > t[-1]");
+}
+
+TEST(QssFaultTest, TransientFailureRetriedThenRecovered) {
+  ScriptedSource inner(BuildGuide().db, GuideHistory());
+  FaultInjectingSource source(&inner);
+  // Poll 1 is clean; poll 2's first attempt fails, its retry succeeds.
+  source.FailPolls(/*skip=*/1, /*count=*/1);
+
+  Timestamp t0 = Timestamp::FromDate(1996, 12, 30);
+  QssOptions opts;
+  opts.retry.max_attempts = 2;
+  opts.retry.backoff_base_ticks = 3;
+  QuerySubscriptionService qss(&source, t0, opts);
+  int notified = 0;
+  ASSERT_TRUE(qss.Subscribe(MakeCreSub("R"),
+                            [&](const Notification&) { ++notified; })
+                  .ok());
+
+  ASSERT_TRUE(qss.AdvanceTo(t0).ok());
+  EXPECT_EQ(notified, 1);
+  // The transient failure is absorbed by the retry: the caller sees OK.
+  ASSERT_TRUE(qss.AdvanceTo(Timestamp::FromDate(1996, 12, 31)).ok());
+
+  PollHealth h = qss.Health("R");
+  EXPECT_EQ(h.state, CircuitState::kClosed);
+  EXPECT_EQ(h.polls_attempted, 2u);
+  EXPECT_EQ(h.polls_succeeded, 2u);
+  EXPECT_EQ(h.polls_failed, 0u);
+  EXPECT_EQ(h.retries, 1u);
+  EXPECT_EQ(h.backoff_ticks, 3);
+  EXPECT_EQ(h.consecutive_failures, 0);
+  EXPECT_EQ(h.last_error.code(), StatusCode::kUnavailable)
+      << "the transient is kept as a diagnostic";
+  EXPECT_TRUE(h.missed.empty());
+
+  EXPECT_EQ(source.calls(), 3u);
+  EXPECT_EQ(source.forwarded(), 2u);
+  EXPECT_EQ(source.injected_errors(), 1u);
+  EXPECT_EQ(qss.PollingTimes("R").size(), 2u) << "no poll was lost";
+}
+
+TEST(QssFaultTest, SlowPollExceedingDeadlineIsRetried) {
+  ScriptedSource inner(BuildGuide().db, GuideHistory());
+  FaultInjectingSource source(&inner);
+  source.SlowPolls(/*skip=*/0, /*count=*/1, /*duration_ticks=*/10);
+
+  QssOptions opts;
+  opts.retry.max_attempts = 2;
+  opts.retry.poll_deadline_ticks = 5;
+  QuerySubscriptionService qss(&source, Timestamp(0), opts);
+  ASSERT_TRUE(qss.Subscribe(MakeCreSub("R"), nullptr).ok());
+  ASSERT_TRUE(qss.AdvanceTo(Timestamp(0)).ok());
+
+  PollHealth h = qss.Health("R");
+  EXPECT_EQ(h.polls_succeeded, 1u);
+  EXPECT_EQ(h.retries, 1u) << "the slow answer was discarded and retried";
+  EXPECT_EQ(h.last_error.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(source.injected_slow(), 1u);
+  EXPECT_EQ(source.calls(), 2u);
+}
+
+TEST(QssFaultTest, QuarantineAfterConsecutiveFailures) {
+  ScriptedSource inner(BuildGuide().db, GuideHistory());
+  FaultInjectingSource source(&inner);
+  source.FailPolls(/*skip=*/0, /*count=*/0);  // the source is down for good
+
+  std::vector<PollError> errors;
+  QssOptions opts;
+  opts.quarantine_after = 2;
+  opts.quarantine_cooldown_ticks = 2;
+  opts.on_error = [&](const PollError& e) { errors.push_back(e); };
+  QuerySubscriptionService qss(&source, Timestamp(0), opts);
+  ASSERT_TRUE(qss.Subscribe(MakeCreSub("X"), nullptr).ok());
+
+  // Day 0 and day 1 fail; the breaker opens until day 3. Day 2 is
+  // recorded as missed; day 3's half-open probe fails and re-opens the
+  // breaker until day 5; day 4 is missed again. With an error callback
+  // configured, every AdvanceTo completes and returns OK.
+  for (int64_t day = 0; day <= 4; ++day) {
+    EXPECT_TRUE(qss.AdvanceTo(Timestamp(day)).ok()) << "day " << day;
+    EXPECT_EQ(qss.now(), Timestamp(day)) << "the clock always advances";
+  }
+
+  PollHealth h = qss.Health("X");
+  EXPECT_EQ(h.state, CircuitState::kOpen);
+  EXPECT_EQ(h.polls_attempted, 3u);  // days 0, 1, and the probe on day 3
+  EXPECT_EQ(h.polls_failed, 3u);
+  EXPECT_EQ(h.polls_succeeded, 0u);
+  EXPECT_EQ(h.consecutive_failures, 3);
+  EXPECT_EQ(h.quarantined_until, Timestamp(5));
+  ASSERT_EQ(h.missed.size(), 2u);
+  EXPECT_EQ(h.missed[0].time, Timestamp(2));
+  EXPECT_EQ(h.missed[1].time, Timestamp(4));
+  EXPECT_NE(h.missed[0].reason.find("quarantined"), std::string::npos);
+
+  ASSERT_EQ(errors.size(), 3u);
+  EXPECT_EQ(errors[0].kind, PollError::Kind::kPoll);
+  EXPECT_EQ(errors[0].subject, "X");
+  EXPECT_EQ(errors[0].status.code(), StatusCode::kUnavailable);
+
+  // The DOEM history was never touched by the outage.
+  const DoemDatabase* d = qss.History("X");
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->IsFeasible());
+  EXPECT_TRUE(qss.PollingTimes("X").empty());
+
+  // Unknown names report default health.
+  EXPECT_EQ(qss.Health("nope").polls_attempted, 0u);
+  EXPECT_EQ(qss.Health("nope").state, CircuitState::kClosed);
+}
+
+TEST(QssFaultTest, HalfOpenProbeReopensAndResumesDiffing) {
+  ScriptedSource inner(BuildGuide().db, GuideHistory());
+  FaultInjectingSource source(&inner);
+  source.FailPolls(/*skip=*/0, /*count=*/2);  // down for two polls, then up
+
+  Timestamp t0 = Timestamp::FromDate(1996, 12, 30);
+  QssOptions opts;
+  opts.quarantine_after = 2;
+  opts.quarantine_cooldown_ticks = 2;
+  opts.on_error = [](const PollError&) {};
+  QuerySubscriptionService qss(&source, t0, opts);
+  std::vector<Notification> log;
+  ASSERT_TRUE(qss.Subscribe(MakeCreSub("R"),
+                            [&](const Notification& n) { log.push_back(n); })
+                  .ok());
+
+  // 30Dec fails, 31Dec fails -> open until 2Jan. 1Jan is missed; the
+  // 2Jan probe succeeds, closes the breaker, and the first real poll
+  // diffs against R0 — catching up on everything, including Hakata
+  // (added 1Jan while the group was dark).
+  ASSERT_TRUE(qss.AdvanceTo(Timestamp::FromDate(1997, 1, 2)).ok());
+
+  PollHealth h = qss.Health("R");
+  EXPECT_EQ(h.state, CircuitState::kClosed);
+  EXPECT_EQ(h.polls_attempted, 3u);
+  EXPECT_EQ(h.polls_failed, 2u);
+  EXPECT_EQ(h.polls_succeeded, 1u);
+  EXPECT_EQ(h.consecutive_failures, 0);
+  ASSERT_EQ(h.missed.size(), 1u);
+  EXPECT_EQ(h.missed[0].time, Timestamp::FromDate(1997, 1, 1));
+
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].poll_time, Timestamp::FromDate(1997, 1, 2));
+  ASSERT_EQ(log[0].result.rows.size(), 3u) << "all three restaurants new";
+  const DoemDatabase* d = qss.History("R");
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->IsFeasible());
+}
+
+TEST(QssFaultTest, MultiGroupTickOneGroupFailsOthersNotify) {
+  ScriptedSource inner(BuildGuide().db, GuideHistory());
+  FaultInjectingSource source(&inner);
+  // Only the name-group's polls fail.
+  source.FailPolls(/*skip=*/0, /*count=*/0, Status::Unavailable("down"),
+                   /*query_contains=*/".name");
+
+  Timestamp t0 = Timestamp::FromDate(1996, 12, 30);
+  QuerySubscriptionService qss(&source, t0);
+  int a_notified = 0;
+  ASSERT_TRUE(qss.Subscribe(MakeCreSub("A"),
+                            [&](const Notification&) { ++a_notified; })
+                  .ok());
+  ASSERT_TRUE(qss.Subscribe(MakeSub("C", "select guide.restaurant.name",
+                                    "select C.name<cre at T> where T > t[-1]"),
+                            nullptr)
+                  .ok());
+  ASSERT_EQ(qss.GroupCount(), 2u);
+
+  PollReport report;
+  ASSERT_TRUE(qss.AdvanceTo(t0, &report).ok())
+      << "failures flow through the report, not the Status";
+  EXPECT_EQ(report.polls_attempted, 2u);
+  EXPECT_EQ(report.polls_ok, 1u);
+  EXPECT_EQ(report.polls_failed, 1u);
+  EXPECT_EQ(report.notifications, 1u);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors[0].kind, PollError::Kind::kPoll);
+  EXPECT_EQ(report.errors[0].subject, "C");
+  EXPECT_EQ(report.FirstError().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_EQ(a_notified, 1) << "the healthy group still notified";
+  EXPECT_EQ(qss.Health("A").polls_failed, 0u);
+  EXPECT_EQ(qss.Health("C").polls_failed, 1u);
+}
+
+// Regression (seed bug): one member's filter-query failure starved every
+// remaining member of its poll group.
+TEST(QssFaultTest, FilterErrorDoesNotStarveOtherMembers) {
+  ScriptedSource source(BuildGuide().db, GuideHistory());
+  Timestamp t0 = Timestamp::FromDate(1996, 12, 30);
+  std::vector<PollError> errors;
+  QssOptions opts;
+  // The translated strategy cannot evaluate annotated exists ranges
+  // (translate.h), so A's filter parses at Subscribe time but fails at
+  // evaluation time — exactly a runtime filter error.
+  opts.strategy = chorel::Strategy::kTranslated;
+  opts.on_error = [&](const PollError& e) { errors.push_back(e); };
+  QuerySubscriptionService qss(&source, t0, opts);
+
+  int b_notified = 0;
+  ASSERT_TRUE(qss.Subscribe(
+                     MakeSub("A", "select guide.restaurant",
+                             "select R from A.restaurant R where "
+                             "exists C in R.<add>comment : C = \"x\""),
+                     nullptr)
+                  .ok());
+  ASSERT_TRUE(qss.Subscribe(MakeCreSub("B"),
+                            [&](const Notification&) { ++b_notified; })
+                  .ok());
+  ASSERT_EQ(qss.GroupCount(), 1u) << "A and B share one poll group";
+
+  ASSERT_TRUE(qss.AdvanceTo(t0).ok());
+  EXPECT_EQ(b_notified, 1)
+      << "B's notification must survive A's filter error";
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].kind, PollError::Kind::kFilter);
+  EXPECT_EQ(errors[0].subject, "A");
+  EXPECT_EQ(errors[0].status.code(), StatusCode::kUnsupported);
+  EXPECT_EQ(qss.PollingTimes("B").size(), 1u)
+      << "the poll itself succeeded and is part of the history";
+}
+
+// Regression (seed bug): AdvanceTo advanced next_poll before polling and
+// aborted on failure, losing the poll forever and leaving now() behind.
+TEST(QssFaultTest, ClockAndScheduleStayConsistentUnderFailure) {
+  ScriptedSource inner(BuildGuide().db, GuideHistory());
+  FaultInjectingSource source(&inner);
+  source.FailPolls(/*skip=*/0, /*count=*/1);  // only the first poll fails
+
+  int notified = 0;
+  QuerySubscriptionService qss(&source, Timestamp(0));
+  ASSERT_TRUE(qss.Subscribe(MakeCreSub("R"),
+                            [&](const Notification&) { ++notified; })
+                  .ok());
+
+  // Three polls fall due; the first fails. Without a report or callback
+  // the legacy surface still returns the failure — but only after the
+  // whole tick ran: the clock reaches t and the later polls executed.
+  Status s = qss.AdvanceTo(Timestamp(2));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(qss.now(), Timestamp(2)) << "the clock must not fall behind";
+  EXPECT_EQ(qss.PollingTimes("R").size(), 2u)
+      << "polls at ticks 1 and 2 ran despite the failure at tick 0";
+  EXPECT_EQ(notified, 1);
+  PollHealth h = qss.Health("R");
+  EXPECT_EQ(h.polls_attempted, 3u);
+  EXPECT_EQ(h.polls_failed, 1u) << "the failed poll is recorded, not lost";
+  EXPECT_EQ(h.polls_succeeded, 2u);
+}
+
+// The acceptance scenario: a 3-subscription, 2-group service survives a
+// source that fails two polls and recovers.
+TEST(QssFaultTest, EndToEndOutageScenario) {
+  // The source changes once, at day 4 — after the outage window — so the
+  // faulty and faultless runs must build identical DOEM histories.
+  OemDatabase base = BuildGuide().db;
+  ChangeSet day4;
+  day4.push_back(ChangeOp::CreNode(100, Value::Complex()));
+  day4.push_back(ChangeOp::CreNode(101, Value::String("NewPlace")));
+  day4.push_back(ChangeOp::AddArc(4, "restaurant", 100));
+  day4.push_back(ChangeOp::AddArc(100, "name", 101));
+  OemHistory script;
+  ASSERT_TRUE(script.Append(Timestamp(4), day4).ok());
+
+  QssOptions opts;
+  opts.notify_empty = true;  // healthy members hear from every tick
+  opts.retry.max_attempts = 2;
+  opts.quarantine_after = 2;
+  opts.quarantine_cooldown_ticks = 2;
+
+  auto subscribe_all = [](QuerySubscriptionService* qss, int* a, int* b,
+                          std::vector<Notification>* c_log) {
+    ASSERT_TRUE(qss->Subscribe(MakeCreSub("A"),
+                               [a](const Notification&) { ++*a; })
+                    .ok());
+    ASSERT_TRUE(qss->Subscribe(MakeCreSub("B"),
+                               [b](const Notification&) { ++*b; })
+                    .ok());
+    ASSERT_TRUE(
+        qss->Subscribe(MakeSub("C", "select guide.restaurant.name",
+                               "select C.name<cre at T> where T > t[-1]"),
+                       [c_log](const Notification& n) {
+                         c_log->push_back(n);
+                       })
+            .ok());
+    ASSERT_EQ(qss->GroupCount(), 2u);
+  };
+
+  // --- Faulty run: C's group fails its day-1 and day-2 polls (each poll
+  // is two attempts), is quarantined, misses day 3, and recovers via the
+  // day-4 half-open probe.
+  ScriptedSource inner(base, script);
+  FaultInjectingSource source(&inner);
+  source.FailPolls(/*skip=*/1, /*count=*/4, Status::Unavailable("outage"),
+                   /*query_contains=*/".name");
+  QuerySubscriptionService qss(&source, Timestamp(0), opts);
+  int a_notified = 0, b_notified = 0;
+  std::vector<Notification> c_log;
+  subscribe_all(&qss, &a_notified, &b_notified, &c_log);
+
+  PollReport report;
+  for (int64_t day = 0; day <= 6; ++day) {
+    ASSERT_TRUE(qss.AdvanceTo(Timestamp(day), &report).ok()) << day;
+  }
+
+  // The unaffected group notified on every tick; no notification was
+  // lost for healthy members.
+  EXPECT_EQ(a_notified, 7);
+  EXPECT_EQ(b_notified, 7);
+  // C heard from every successful poll: days 0, 4 (probe), 5, 6 — with
+  // real rows on day 0 (both initial names) and day 4 (the new name).
+  ASSERT_EQ(c_log.size(), 4u);
+  EXPECT_EQ(c_log[0].poll_time, Timestamp(0));
+  EXPECT_EQ(c_log[0].result.rows.size(), 2u);
+  EXPECT_EQ(c_log[1].poll_time, Timestamp(4));
+  EXPECT_EQ(c_log[1].result.rows.size(), 1u)
+      << "the change that happened at recovery time is seen exactly once";
+  EXPECT_EQ(c_log[2].result.rows.size(), 0u);
+
+  // Health reports the exact failure/retry/missed counts.
+  PollHealth hc = qss.Health("C");
+  EXPECT_EQ(hc.state, CircuitState::kClosed);
+  EXPECT_EQ(hc.polls_attempted, 6u);  // days 0,1,2 + probe 4 + 5,6
+  EXPECT_EQ(hc.polls_failed, 2u);
+  EXPECT_EQ(hc.polls_succeeded, 4u);
+  EXPECT_EQ(hc.retries, 2u);
+  ASSERT_EQ(hc.missed.size(), 1u);
+  EXPECT_EQ(hc.missed[0].time, Timestamp(3));
+  PollHealth ha = qss.Health("A");
+  EXPECT_EQ(ha.polls_attempted, 7u);
+  EXPECT_EQ(ha.polls_failed, 0u);
+  EXPECT_EQ(ha.retries, 0u);
+  EXPECT_TRUE(ha.missed.empty());
+
+  // The aggregated report saw the whole story.
+  EXPECT_EQ(report.polls_attempted, 13u);
+  EXPECT_EQ(report.polls_ok, 11u);
+  EXPECT_EQ(report.polls_failed, 2u);
+  EXPECT_EQ(report.polls_missed, 1u);
+  EXPECT_EQ(report.retries, 2u);
+  EXPECT_EQ(report.notifications, 18u);
+  EXPECT_EQ(report.errors.size(), 2u);
+
+  // --- Faultless twin run: identical except that no fault is injected.
+  ScriptedSource clean_source(base, script);
+  QuerySubscriptionService clean(&clean_source, Timestamp(0), opts);
+  int ca = 0, cb = 0;
+  std::vector<Notification> cc_log;
+  subscribe_all(&clean, &ca, &cb, &cc_log);
+  for (int64_t day = 0; day <= 6; ++day) {
+    ASSERT_TRUE(clean.AdvanceTo(Timestamp(day)).ok());
+  }
+
+  // The recovered group's DOEM history equals the faultless one; only
+  // the polling times differ, by exactly the failed + missed polls.
+  const DoemDatabase* faulty_c = qss.History("C");
+  const DoemDatabase* clean_c = clean.History("C");
+  ASSERT_NE(faulty_c, nullptr);
+  ASSERT_NE(clean_c, nullptr);
+  EXPECT_TRUE(faulty_c->Equals(*clean_c))
+      << "an outage must not corrupt or diverge the change history";
+  EXPECT_EQ(clean.PollingTimes("C").size(), 7u);
+  std::vector<Timestamp> faulty_polls = qss.PollingTimes("C");
+  ASSERT_EQ(faulty_polls.size(), 4u);
+  EXPECT_EQ(faulty_polls[0], Timestamp(0));
+  EXPECT_EQ(faulty_polls[1], Timestamp(4));
+  // 7 scheduled = 4 polled + 2 failed + 1 missed.
+  EXPECT_EQ(faulty_polls.size() + hc.polls_failed + hc.missed.size(), 7u);
+  EXPECT_TRUE(qss.History("A")->Equals(*clean.History("A")));
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "htmldiff/html.h"
 #include "lorel/lorel.h"
 #include "oem/oem_text.h"
+#include "qss/fault.h"
 #include "qss/qss.h"
 #include "testing/guide.h"
 
@@ -172,6 +173,155 @@ TEST(RobustnessTest, EmptySelectResultPackagesCleanly) {
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->rows.empty());
   EXPECT_TRUE(r->answer.Validate().ok()) << "empty answer is still rooted";
+}
+
+TEST(RobustnessTest, ScriptedSourceBadStepIsCleanAndSticky) {
+  // A script step whose change set is invalid for the source state must
+  // yield a clean error from Poll — identical on every retry — with the
+  // source state exactly as of the last good step, never half-applied.
+  testing::Guide g = BuildGuide();
+  OemHistory script;
+  ChangeSet good;
+  good.push_back(ChangeOp::CreNode(200, Value::String("fine")));
+  good.push_back(ChangeOp::AddArc(g.guide, "note", 200));
+  ASSERT_TRUE(script.Append(Timestamp::FromDate(1997, 1, 1), good).ok());
+  ChangeSet bad;
+  bad.push_back(ChangeOp::CreNode(201, Value::Int(1)));
+  bad.push_back(ChangeOp::AddArc(999999, "x", 201));  // no such parent
+  ASSERT_TRUE(script.Append(Timestamp::FromDate(1997, 1, 5), bad).ok());
+
+  qss::ScriptedSource source(g.db, script);
+  // Before the bad step falls due, everything works.
+  auto ok = source.Poll("select guide.restaurant",
+                        Timestamp::FromDate(1997, 1, 2));
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  OemDatabase after_good = source.db();
+
+  auto r1 = source.Poll("select guide.restaurant",
+                        Timestamp::FromDate(1997, 1, 6));
+  ASSERT_FALSE(r1.ok());
+  EXPECT_NE(r1.status().message().find("script step 1"), std::string::npos)
+      << r1.status().ToString();
+  EXPECT_TRUE(source.db().Equals(after_good))
+      << "the failing set must not partially apply (201 would leak)";
+  EXPECT_FALSE(source.db().HasNode(201));
+
+  // Sticky and deterministic across retries.
+  auto r2 = source.Poll("select guide.restaurant",
+                        Timestamp::FromDate(1997, 1, 7));
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), r1.status().code());
+  EXPECT_EQ(r2.status().message(), r1.status().message());
+  EXPECT_TRUE(source.db().Equals(after_good));
+}
+
+TEST(RobustnessTest, ScriptedSourceOutOfOrderScriptRejected) {
+  // The OemHistory vector constructor does not enforce monotone times; a
+  // scrambled script must be rejected before any step is applied.
+  testing::Guide g = BuildGuide();
+  ChangeSet c1;
+  c1.push_back(ChangeOp::CreNode(300, Value::Int(1)));
+  c1.push_back(ChangeOp::AddArc(g.guide, "late", 300));
+  ChangeSet c2;
+  c2.push_back(ChangeOp::CreNode(301, Value::Int(2)));
+  c2.push_back(ChangeOp::AddArc(g.guide, "early", 301));
+  OemHistory scrambled(
+      {HistoryStep{Timestamp(5), c1}, HistoryStep{Timestamp(2), c2}});
+
+  qss::ScriptedSource source(g.db, scrambled);
+  auto r = source.Poll("select guide.restaurant", Timestamp(10));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidChange);
+  EXPECT_NE(r.status().message().find("out of order"), std::string::npos);
+  EXPECT_TRUE(source.db().Equals(g.db)) << "no step was applied";
+  // Polling again (even at an earlier time) reports the same defect.
+  auto r2 = source.Poll("select guide.restaurant", Timestamp(1));
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().message(), r.status().message());
+}
+
+TEST(RobustnessTest, QssGarbageSnapshotIsCleanFailureThenRecovers) {
+  // A wrapper that dies mid-transfer delivers a truncated snapshot; QSS
+  // must treat it as a failed poll (clean Unavailable), keep the DOEM
+  // history intact, and resume on the next healthy poll.
+  qss::ScriptedSource inner(BuildGuide().db, GuideHistory());
+  qss::FaultInjectingSource source(&inner);
+  source.GarbagePolls(/*skip=*/0, /*count=*/1);
+
+  Timestamp t0 = Timestamp::FromDate(1996, 12, 30);
+  std::vector<qss::PollError> errors;
+  qss::QssOptions opts;
+  opts.on_error = [&](const qss::PollError& e) { errors.push_back(e); };
+  qss::QuerySubscriptionService service(&source, t0, opts);
+  qss::Subscription sub;
+  sub.name = "R";
+  sub.frequency = *qss::FrequencySpec::Parse("every day");
+  sub.polling_query = "select guide.restaurant";
+  sub.filter_query = "select R.restaurant<cre at T> where T > t[-1]";
+  int notified = 0;
+  ASSERT_TRUE(service
+                  .Subscribe(sub, [&](const qss::Notification&) {
+                    ++notified;
+                  })
+                  .ok());
+
+  ASSERT_TRUE(service.AdvanceTo(Timestamp::FromDate(1996, 12, 31)).ok());
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(errors[0].status.message().find("malformed snapshot"),
+            std::string::npos);
+  EXPECT_EQ(source.injected_garbage(), 1u);
+  EXPECT_EQ(notified, 1) << "the day-2 poll recovered and notified";
+  const DoemDatabase* d = service.History("R");
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->IsFeasible()) << "garbage never reached the history";
+  EXPECT_EQ(service.PollingTimes("R").size(), 1u);
+  qss::PollHealth h = service.Health("R");
+  EXPECT_EQ(h.polls_failed, 1u);
+  EXPECT_EQ(h.polls_succeeded, 1u);
+}
+
+TEST(RobustnessTest, QssPersistentOutageDoesNotStarveOtherGroups) {
+  // One group's source path is down for good; with quarantine enabled the
+  // service stops hammering it, keeps its history intact, and the other
+  // group never misses a beat.
+  qss::ScriptedSource inner(BuildGuide().db, GuideHistory());
+  qss::FaultInjectingSource source(&inner);
+  source.FailPolls(/*skip=*/0, /*count=*/0, Status::Unavailable("down"),
+                   /*query_contains=*/".name");
+
+  qss::QssOptions opts;
+  opts.quarantine_after = 2;
+  opts.quarantine_cooldown_ticks = 5;
+  opts.on_error = [](const qss::PollError&) {};
+  Timestamp t0 = Timestamp::FromDate(1996, 12, 30);
+  qss::QuerySubscriptionService service(&source, t0, opts);
+  qss::Subscription healthy;
+  healthy.name = "R";
+  healthy.frequency = *qss::FrequencySpec::Parse("every day");
+  healthy.polling_query = "select guide.restaurant";
+  healthy.filter_query = "select R.restaurant<cre at T> where T > t[-1]";
+  qss::Subscription doomed;
+  doomed.name = "N";
+  doomed.frequency = *qss::FrequencySpec::Parse("every day");
+  doomed.polling_query = "select guide.restaurant.name";
+  doomed.filter_query = "select N.name<cre at T> where T > t[-1]";
+  int notified = 0;
+  ASSERT_TRUE(service
+                  .Subscribe(healthy, [&](const qss::Notification&) {
+                    ++notified;
+                  })
+                  .ok());
+  ASSERT_TRUE(service.Subscribe(doomed, nullptr).ok());
+
+  ASSERT_TRUE(service.AdvanceTo(Timestamp::FromDate(1997, 1, 10)).ok());
+  EXPECT_EQ(notified, 2) << "initial creations + Hakata on 1Jan";
+  EXPECT_EQ(service.PollingTimes("R").size(), 12u);
+  qss::PollHealth h = service.Health("N");
+  EXPECT_EQ(h.state, qss::CircuitState::kOpen);
+  EXPECT_GT(h.missed.size(), 0u) << "quarantine suppressed scheduled polls";
+  EXPECT_LT(h.polls_attempted, 12u) << "the breaker stopped the hammering";
+  EXPECT_TRUE(service.History("N")->IsFeasible());
 }
 
 }  // namespace
