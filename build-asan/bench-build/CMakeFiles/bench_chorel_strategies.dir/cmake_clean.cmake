@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_chorel_strategies"
+  "../bench/bench_chorel_strategies.pdb"
+  "CMakeFiles/bench_chorel_strategies.dir/bench_chorel_strategies.cc.o"
+  "CMakeFiles/bench_chorel_strategies.dir/bench_chorel_strategies.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chorel_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

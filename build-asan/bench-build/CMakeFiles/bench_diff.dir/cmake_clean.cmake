@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_diff"
+  "../bench/bench_diff.pdb"
+  "CMakeFiles/bench_diff.dir/bench_diff.cc.o"
+  "CMakeFiles/bench_diff.dir/bench_diff.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

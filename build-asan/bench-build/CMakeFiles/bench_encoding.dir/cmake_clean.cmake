@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_encoding"
+  "../bench/bench_encoding.pdb"
+  "CMakeFiles/bench_encoding.dir/bench_encoding.cc.o"
+  "CMakeFiles/bench_encoding.dir/bench_encoding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

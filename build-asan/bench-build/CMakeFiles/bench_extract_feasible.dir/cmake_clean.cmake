@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extract_feasible"
+  "../bench/bench_extract_feasible.pdb"
+  "CMakeFiles/bench_extract_feasible.dir/bench_extract_feasible.cc.o"
+  "CMakeFiles/bench_extract_feasible.dir/bench_extract_feasible.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extract_feasible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_history_apply"
+  "../bench/bench_history_apply.pdb"
+  "CMakeFiles/bench_history_apply.dir/bench_history_apply.cc.o"
+  "CMakeFiles/bench_history_apply.dir/bench_history_apply.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_history_apply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lorel_paths"
+  "../bench/bench_lorel_paths.pdb"
+  "CMakeFiles/bench_lorel_paths.dir/bench_lorel_paths.cc.o"
+  "CMakeFiles/bench_lorel_paths.dir/bench_lorel_paths.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lorel_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_qss_cycle"
+  "../bench/bench_qss_cycle.pdb"
+  "CMakeFiles/bench_qss_cycle.dir/bench_qss_cycle.cc.o"
+  "CMakeFiles/bench_qss_cycle.dir/bench_qss_cycle.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qss_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_qss_cycle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_qss_faults.cc" "bench-build/CMakeFiles/bench_qss_faults.dir/bench_qss_faults.cc.o" "gcc" "bench-build/CMakeFiles/bench_qss_faults.dir/bench_qss_faults.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/qss/CMakeFiles/doem_qss.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/testing/CMakeFiles/doem_testing.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/chorel/CMakeFiles/doem_chorel.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/encoding/CMakeFiles/doem_encoding.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/doem/CMakeFiles/doem_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/diff/CMakeFiles/doem_diff.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lorel/CMakeFiles/doem_lorel.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/oem/CMakeFiles/doem_oem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/doem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_qss_faults"
+  "../bench/bench_qss_faults.pdb"
+  "CMakeFiles/bench_qss_faults.dir/bench_qss_faults.cc.o"
+  "CMakeFiles/bench_qss_faults.dir/bench_qss_faults.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qss_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_qss_space"
+  "../bench/bench_qss_space.pdb"
+  "CMakeFiles/bench_qss_space.dir/bench_qss_space.cc.o"
+  "CMakeFiles/bench_qss_space.dir/bench_qss_space.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qss_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

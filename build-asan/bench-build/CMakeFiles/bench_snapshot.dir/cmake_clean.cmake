@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_snapshot"
+  "../bench/bench_snapshot.pdb"
+  "CMakeFiles/bench_snapshot.dir/bench_snapshot.cc.o"
+  "CMakeFiles/bench_snapshot.dir/bench_snapshot.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

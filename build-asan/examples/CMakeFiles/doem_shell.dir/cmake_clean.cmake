@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doem_shell.dir/doem_shell.cpp.o"
+  "CMakeFiles/doem_shell.dir/doem_shell.cpp.o.d"
+  "doem_shell"
+  "doem_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doem_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

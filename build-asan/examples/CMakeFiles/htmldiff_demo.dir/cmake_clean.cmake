@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmldiff_demo.dir/htmldiff_demo.cpp.o"
+  "CMakeFiles/htmldiff_demo.dir/htmldiff_demo.cpp.o.d"
+  "htmldiff_demo"
+  "htmldiff_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmldiff_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_qss.dir/library_qss.cpp.o"
+  "CMakeFiles/library_qss.dir/library_qss.cpp.o.d"
+  "library_qss"
+  "library_qss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_qss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

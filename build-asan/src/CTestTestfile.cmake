@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("oem")
+subdirs("doem")
+subdirs("encoding")
+subdirs("lorel")
+subdirs("chorel")
+subdirs("diff")
+subdirs("qss")
+subdirs("htmldiff")
+subdirs("testing")

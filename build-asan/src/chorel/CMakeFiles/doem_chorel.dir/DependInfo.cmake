@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chorel/chorel.cc" "src/chorel/CMakeFiles/doem_chorel.dir/chorel.cc.o" "gcc" "src/chorel/CMakeFiles/doem_chorel.dir/chorel.cc.o.d"
+  "/root/repo/src/chorel/translate.cc" "src/chorel/CMakeFiles/doem_chorel.dir/translate.cc.o" "gcc" "src/chorel/CMakeFiles/doem_chorel.dir/translate.cc.o.d"
+  "/root/repo/src/chorel/triggers.cc" "src/chorel/CMakeFiles/doem_chorel.dir/triggers.cc.o" "gcc" "src/chorel/CMakeFiles/doem_chorel.dir/triggers.cc.o.d"
+  "/root/repo/src/chorel/update.cc" "src/chorel/CMakeFiles/doem_chorel.dir/update.cc.o" "gcc" "src/chorel/CMakeFiles/doem_chorel.dir/update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/doem/CMakeFiles/doem_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/encoding/CMakeFiles/doem_encoding.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lorel/CMakeFiles/doem_lorel.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/oem/CMakeFiles/doem_oem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/doem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doem_chorel.dir/chorel.cc.o"
+  "CMakeFiles/doem_chorel.dir/chorel.cc.o.d"
+  "CMakeFiles/doem_chorel.dir/translate.cc.o"
+  "CMakeFiles/doem_chorel.dir/translate.cc.o.d"
+  "CMakeFiles/doem_chorel.dir/triggers.cc.o"
+  "CMakeFiles/doem_chorel.dir/triggers.cc.o.d"
+  "CMakeFiles/doem_chorel.dir/update.cc.o"
+  "CMakeFiles/doem_chorel.dir/update.cc.o.d"
+  "libdoem_chorel.a"
+  "libdoem_chorel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doem_chorel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

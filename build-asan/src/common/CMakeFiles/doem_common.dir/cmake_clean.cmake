@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doem_common.dir/status.cc.o"
+  "CMakeFiles/doem_common.dir/status.cc.o.d"
+  "CMakeFiles/doem_common.dir/strings.cc.o"
+  "CMakeFiles/doem_common.dir/strings.cc.o.d"
+  "libdoem_common.a"
+  "libdoem_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doem_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doem_diff.dir/diff.cc.o"
+  "CMakeFiles/doem_diff.dir/diff.cc.o.d"
+  "libdoem_diff.a"
+  "libdoem_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doem_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doem_core.dir/annotation.cc.o"
+  "CMakeFiles/doem_core.dir/annotation.cc.o.d"
+  "CMakeFiles/doem_core.dir/annotation_index.cc.o"
+  "CMakeFiles/doem_core.dir/annotation_index.cc.o.d"
+  "CMakeFiles/doem_core.dir/doem.cc.o"
+  "CMakeFiles/doem_core.dir/doem.cc.o.d"
+  "libdoem_core.a"
+  "libdoem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/doem_text.cc" "src/encoding/CMakeFiles/doem_encoding.dir/doem_text.cc.o" "gcc" "src/encoding/CMakeFiles/doem_encoding.dir/doem_text.cc.o.d"
+  "/root/repo/src/encoding/encode.cc" "src/encoding/CMakeFiles/doem_encoding.dir/encode.cc.o" "gcc" "src/encoding/CMakeFiles/doem_encoding.dir/encode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/doem/CMakeFiles/doem_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/oem/CMakeFiles/doem_oem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/doem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

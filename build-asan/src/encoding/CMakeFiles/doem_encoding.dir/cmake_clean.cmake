@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doem_encoding.dir/doem_text.cc.o"
+  "CMakeFiles/doem_encoding.dir/doem_text.cc.o.d"
+  "CMakeFiles/doem_encoding.dir/encode.cc.o"
+  "CMakeFiles/doem_encoding.dir/encode.cc.o.d"
+  "libdoem_encoding.a"
+  "libdoem_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doem_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

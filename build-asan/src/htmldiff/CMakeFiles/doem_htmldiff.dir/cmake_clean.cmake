@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doem_htmldiff.dir/html.cc.o"
+  "CMakeFiles/doem_htmldiff.dir/html.cc.o.d"
+  "CMakeFiles/doem_htmldiff.dir/htmldiff.cc.o"
+  "CMakeFiles/doem_htmldiff.dir/htmldiff.cc.o.d"
+  "libdoem_htmldiff.a"
+  "libdoem_htmldiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doem_htmldiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lorel/ast.cc" "src/lorel/CMakeFiles/doem_lorel.dir/ast.cc.o" "gcc" "src/lorel/CMakeFiles/doem_lorel.dir/ast.cc.o.d"
+  "/root/repo/src/lorel/coerce.cc" "src/lorel/CMakeFiles/doem_lorel.dir/coerce.cc.o" "gcc" "src/lorel/CMakeFiles/doem_lorel.dir/coerce.cc.o.d"
+  "/root/repo/src/lorel/eval.cc" "src/lorel/CMakeFiles/doem_lorel.dir/eval.cc.o" "gcc" "src/lorel/CMakeFiles/doem_lorel.dir/eval.cc.o.d"
+  "/root/repo/src/lorel/lexer.cc" "src/lorel/CMakeFiles/doem_lorel.dir/lexer.cc.o" "gcc" "src/lorel/CMakeFiles/doem_lorel.dir/lexer.cc.o.d"
+  "/root/repo/src/lorel/lorel.cc" "src/lorel/CMakeFiles/doem_lorel.dir/lorel.cc.o" "gcc" "src/lorel/CMakeFiles/doem_lorel.dir/lorel.cc.o.d"
+  "/root/repo/src/lorel/normalize.cc" "src/lorel/CMakeFiles/doem_lorel.dir/normalize.cc.o" "gcc" "src/lorel/CMakeFiles/doem_lorel.dir/normalize.cc.o.d"
+  "/root/repo/src/lorel/parser.cc" "src/lorel/CMakeFiles/doem_lorel.dir/parser.cc.o" "gcc" "src/lorel/CMakeFiles/doem_lorel.dir/parser.cc.o.d"
+  "/root/repo/src/lorel/view.cc" "src/lorel/CMakeFiles/doem_lorel.dir/view.cc.o" "gcc" "src/lorel/CMakeFiles/doem_lorel.dir/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/oem/CMakeFiles/doem_oem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/doem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doem_lorel.dir/ast.cc.o"
+  "CMakeFiles/doem_lorel.dir/ast.cc.o.d"
+  "CMakeFiles/doem_lorel.dir/coerce.cc.o"
+  "CMakeFiles/doem_lorel.dir/coerce.cc.o.d"
+  "CMakeFiles/doem_lorel.dir/eval.cc.o"
+  "CMakeFiles/doem_lorel.dir/eval.cc.o.d"
+  "CMakeFiles/doem_lorel.dir/lexer.cc.o"
+  "CMakeFiles/doem_lorel.dir/lexer.cc.o.d"
+  "CMakeFiles/doem_lorel.dir/lorel.cc.o"
+  "CMakeFiles/doem_lorel.dir/lorel.cc.o.d"
+  "CMakeFiles/doem_lorel.dir/normalize.cc.o"
+  "CMakeFiles/doem_lorel.dir/normalize.cc.o.d"
+  "CMakeFiles/doem_lorel.dir/parser.cc.o"
+  "CMakeFiles/doem_lorel.dir/parser.cc.o.d"
+  "CMakeFiles/doem_lorel.dir/view.cc.o"
+  "CMakeFiles/doem_lorel.dir/view.cc.o.d"
+  "libdoem_lorel.a"
+  "libdoem_lorel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doem_lorel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oem/change.cc" "src/oem/CMakeFiles/doem_oem.dir/change.cc.o" "gcc" "src/oem/CMakeFiles/doem_oem.dir/change.cc.o.d"
+  "/root/repo/src/oem/graph_compare.cc" "src/oem/CMakeFiles/doem_oem.dir/graph_compare.cc.o" "gcc" "src/oem/CMakeFiles/doem_oem.dir/graph_compare.cc.o.d"
+  "/root/repo/src/oem/history.cc" "src/oem/CMakeFiles/doem_oem.dir/history.cc.o" "gcc" "src/oem/CMakeFiles/doem_oem.dir/history.cc.o.d"
+  "/root/repo/src/oem/history_text.cc" "src/oem/CMakeFiles/doem_oem.dir/history_text.cc.o" "gcc" "src/oem/CMakeFiles/doem_oem.dir/history_text.cc.o.d"
+  "/root/repo/src/oem/oem.cc" "src/oem/CMakeFiles/doem_oem.dir/oem.cc.o" "gcc" "src/oem/CMakeFiles/doem_oem.dir/oem.cc.o.d"
+  "/root/repo/src/oem/oem_text.cc" "src/oem/CMakeFiles/doem_oem.dir/oem_text.cc.o" "gcc" "src/oem/CMakeFiles/doem_oem.dir/oem_text.cc.o.d"
+  "/root/repo/src/oem/subgraph.cc" "src/oem/CMakeFiles/doem_oem.dir/subgraph.cc.o" "gcc" "src/oem/CMakeFiles/doem_oem.dir/subgraph.cc.o.d"
+  "/root/repo/src/oem/timestamp.cc" "src/oem/CMakeFiles/doem_oem.dir/timestamp.cc.o" "gcc" "src/oem/CMakeFiles/doem_oem.dir/timestamp.cc.o.d"
+  "/root/repo/src/oem/value.cc" "src/oem/CMakeFiles/doem_oem.dir/value.cc.o" "gcc" "src/oem/CMakeFiles/doem_oem.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/doem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

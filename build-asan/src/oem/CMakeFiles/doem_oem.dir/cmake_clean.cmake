@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doem_oem.dir/change.cc.o"
+  "CMakeFiles/doem_oem.dir/change.cc.o.d"
+  "CMakeFiles/doem_oem.dir/graph_compare.cc.o"
+  "CMakeFiles/doem_oem.dir/graph_compare.cc.o.d"
+  "CMakeFiles/doem_oem.dir/history.cc.o"
+  "CMakeFiles/doem_oem.dir/history.cc.o.d"
+  "CMakeFiles/doem_oem.dir/history_text.cc.o"
+  "CMakeFiles/doem_oem.dir/history_text.cc.o.d"
+  "CMakeFiles/doem_oem.dir/oem.cc.o"
+  "CMakeFiles/doem_oem.dir/oem.cc.o.d"
+  "CMakeFiles/doem_oem.dir/oem_text.cc.o"
+  "CMakeFiles/doem_oem.dir/oem_text.cc.o.d"
+  "CMakeFiles/doem_oem.dir/subgraph.cc.o"
+  "CMakeFiles/doem_oem.dir/subgraph.cc.o.d"
+  "CMakeFiles/doem_oem.dir/timestamp.cc.o"
+  "CMakeFiles/doem_oem.dir/timestamp.cc.o.d"
+  "CMakeFiles/doem_oem.dir/value.cc.o"
+  "CMakeFiles/doem_oem.dir/value.cc.o.d"
+  "libdoem_oem.a"
+  "libdoem_oem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doem_oem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

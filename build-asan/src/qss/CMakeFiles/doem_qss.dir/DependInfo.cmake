@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qss/fault.cc" "src/qss/CMakeFiles/doem_qss.dir/fault.cc.o" "gcc" "src/qss/CMakeFiles/doem_qss.dir/fault.cc.o.d"
+  "/root/repo/src/qss/frequency.cc" "src/qss/CMakeFiles/doem_qss.dir/frequency.cc.o" "gcc" "src/qss/CMakeFiles/doem_qss.dir/frequency.cc.o.d"
+  "/root/repo/src/qss/qss.cc" "src/qss/CMakeFiles/doem_qss.dir/qss.cc.o" "gcc" "src/qss/CMakeFiles/doem_qss.dir/qss.cc.o.d"
+  "/root/repo/src/qss/source.cc" "src/qss/CMakeFiles/doem_qss.dir/source.cc.o" "gcc" "src/qss/CMakeFiles/doem_qss.dir/source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/chorel/CMakeFiles/doem_chorel.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/diff/CMakeFiles/doem_diff.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lorel/CMakeFiles/doem_lorel.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/encoding/CMakeFiles/doem_encoding.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/doem/CMakeFiles/doem_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/oem/CMakeFiles/doem_oem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/doem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

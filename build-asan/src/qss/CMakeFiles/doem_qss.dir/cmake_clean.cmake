@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doem_qss.dir/fault.cc.o"
+  "CMakeFiles/doem_qss.dir/fault.cc.o.d"
+  "CMakeFiles/doem_qss.dir/frequency.cc.o"
+  "CMakeFiles/doem_qss.dir/frequency.cc.o.d"
+  "CMakeFiles/doem_qss.dir/qss.cc.o"
+  "CMakeFiles/doem_qss.dir/qss.cc.o.d"
+  "CMakeFiles/doem_qss.dir/source.cc.o"
+  "CMakeFiles/doem_qss.dir/source.cc.o.d"
+  "libdoem_qss.a"
+  "libdoem_qss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doem_qss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

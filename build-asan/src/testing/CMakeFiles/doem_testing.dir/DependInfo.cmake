@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testing/generators.cc" "src/testing/CMakeFiles/doem_testing.dir/generators.cc.o" "gcc" "src/testing/CMakeFiles/doem_testing.dir/generators.cc.o.d"
+  "/root/repo/src/testing/guide.cc" "src/testing/CMakeFiles/doem_testing.dir/guide.cc.o" "gcc" "src/testing/CMakeFiles/doem_testing.dir/guide.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/oem/CMakeFiles/doem_oem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/doem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doem_testing.dir/generators.cc.o"
+  "CMakeFiles/doem_testing.dir/generators.cc.o.d"
+  "CMakeFiles/doem_testing.dir/guide.cc.o"
+  "CMakeFiles/doem_testing.dir/guide.cc.o.d"
+  "libdoem_testing.a"
+  "libdoem_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doem_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdoem_testing.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotation_index_test.dir/annotation_index_test.cc.o"
+  "CMakeFiles/annotation_index_test.dir/annotation_index_test.cc.o.d"
+  "annotation_index_test"
+  "annotation_index_test.pdb"
+  "annotation_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotation_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chorel_test.dir/chorel_test.cc.o"
+  "CMakeFiles/chorel_test.dir/chorel_test.cc.o.d"
+  "chorel_test"
+  "chorel_test.pdb"
+  "chorel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chorel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

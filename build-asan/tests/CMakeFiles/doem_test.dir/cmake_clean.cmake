@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doem_test.dir/doem_test.cc.o"
+  "CMakeFiles/doem_test.dir/doem_test.cc.o.d"
+  "doem_test"
+  "doem_test.pdb"
+  "doem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_compare_test.dir/graph_compare_test.cc.o"
+  "CMakeFiles/graph_compare_test.dir/graph_compare_test.cc.o.d"
+  "graph_compare_test"
+  "graph_compare_test.pdb"
+  "graph_compare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_compare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

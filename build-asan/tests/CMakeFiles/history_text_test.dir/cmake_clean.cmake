@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_text_test.dir/history_text_test.cc.o"
+  "CMakeFiles/history_text_test.dir/history_text_test.cc.o.d"
+  "history_text_test"
+  "history_text_test.pdb"
+  "history_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

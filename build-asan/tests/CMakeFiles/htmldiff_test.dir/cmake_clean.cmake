@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmldiff_test.dir/htmldiff_test.cc.o"
+  "CMakeFiles/htmldiff_test.dir/htmldiff_test.cc.o.d"
+  "htmldiff_test"
+  "htmldiff_test.pdb"
+  "htmldiff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmldiff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lorel_test.dir/lorel_test.cc.o"
+  "CMakeFiles/lorel_test.dir/lorel_test.cc.o.d"
+  "lorel_test"
+  "lorel_test.pdb"
+  "lorel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lorel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

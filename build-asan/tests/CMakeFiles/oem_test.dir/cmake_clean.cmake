@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oem_test.dir/oem_test.cc.o"
+  "CMakeFiles/oem_test.dir/oem_test.cc.o.d"
+  "oem_test"
+  "oem_test.pdb"
+  "oem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

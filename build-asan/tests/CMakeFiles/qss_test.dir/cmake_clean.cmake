@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qss_test.dir/qss_test.cc.o"
+  "CMakeFiles/qss_test.dir/qss_test.cc.o.d"
+  "qss_test"
+  "qss_test.pdb"
+  "qss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

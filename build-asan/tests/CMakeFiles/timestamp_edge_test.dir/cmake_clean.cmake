@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timestamp_edge_test.dir/timestamp_edge_test.cc.o"
+  "CMakeFiles/timestamp_edge_test.dir/timestamp_edge_test.cc.o.d"
+  "timestamp_edge_test"
+  "timestamp_edge_test.pdb"
+  "timestamp_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timestamp_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triggers_test.dir/triggers_test.cc.o"
+  "CMakeFiles/triggers_test.dir/triggers_test.cc.o.d"
+  "triggers_test"
+  "triggers_test.pdb"
+  "triggers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triggers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/oem_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/oem_text_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/doem_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/encoding_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/lorel_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/chorel_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/diff_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/qss_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/htmldiff_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/annotation_index_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/triggers_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/common_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/update_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/graph_compare_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/timestamp_edge_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/history_text_test[1]_include.cmake")
+add_test(example_quickstart "/root/repo/build-asan/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_restaurant_guide "/root/repo/build-asan/examples/restaurant_guide")
+set_tests_properties(example_restaurant_guide PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;25;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_library_qss "/root/repo/build-asan/examples/library_qss")
+set_tests_properties(example_library_qss PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_htmldiff_demo "/root/repo/build-asan/examples/htmldiff_demo")
+set_tests_properties(example_htmldiff_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;27;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_doem_shell "/root/repo/build-asan/examples/doem_shell" "/root/repo/examples/data/shell_demo.txt")
+set_tests_properties(example_doem_shell PROPERTIES  WORKING_DIRECTORY "/root/repo" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;29;add_test;/root/repo/tests/CMakeLists.txt;0;")
