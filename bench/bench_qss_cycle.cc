@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
+#include "qss/executor.h"
 #include "qss/qss.h"
 #include "testing/generators.h"
 
@@ -11,6 +14,12 @@ namespace doem {
 namespace {
 
 constexpr int64_t kPolls = 10;
+
+struct PollReportTotals {
+  int64_t fetch_ns = 0;
+  int64_t diff_ns = 0;
+  int64_t apply_ns = 0;
+};
 
 void RunCycles(benchmark::State& state, bool preserve_ids) {
   size_t restaurants = static_cast<size_t>(state.range(0));
@@ -63,6 +72,79 @@ BENCHMARK(BM_QssStructuralSource)
     ->ArgsProduct({{50, 200, 1000}, {1, 8}})
     ->ArgNames({"restaurants", "subs"})
     ->Unit(benchmark::kMillisecond);
+
+// Parallel poll engine scaling (DESIGN.md §6b): many poll groups due at
+// every tick, swept over executor thread counts. With
+// merge_similar_polls off every subscription is its own poll group, so
+// each wave carries `groups` independent fetch→diff chains. The
+// groups_per_sec counter is the scaling curve; per-phase report
+// counters show where the time goes.
+void BM_QssParallelScaling(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  size_t groups = static_cast<size_t>(state.range(1));
+  OemDatabase base = testing::SyntheticGuide(200);
+  OemHistory script = testing::SyntheticGuideHistory(
+      base, static_cast<size_t>(kPolls), 5);
+  Timestamp start(Timestamp::FromDate(1997, 1, 1).ticks);
+
+  qss::SerialExecutor serial;
+  std::unique_ptr<qss::ThreadPoolExecutor> pool;
+  qss::QssOptions opts;
+  opts.merge_similar_polls = false;
+  if (threads > 1) {
+    pool = std::make_unique<qss::ThreadPoolExecutor>(threads);
+    opts.executor = pool.get();
+  } else {
+    opts.executor = &serial;
+  }
+
+  PollReportTotals totals;
+  for (auto _ : state) {
+    state.PauseTiming();
+    qss::ScriptedSource source(base, script);
+    qss::QuerySubscriptionService service(&source, start, opts);
+    for (size_t g = 0; g < groups; ++g) {
+      qss::Subscription sub;
+      sub.name = "G" + std::to_string(g);
+      sub.frequency = *qss::FrequencySpec::Parse("every day");
+      sub.polling_query = "select guide.restaurant";
+      sub.filter_query = "select " + sub.name +
+                         ".restaurant<cre at T> where T > t[-1]";
+      Status st = service.Subscribe(sub, nullptr);
+      assert(st.ok());
+      (void)st;
+    }
+    state.ResumeTiming();
+    qss::PollReport report;
+    Status st = service.AdvanceTo(Timestamp(start.ticks + kPolls - 1),
+                                  &report);
+    benchmark::DoNotOptimize(st.ok());
+    state.PauseTiming();
+    totals.fetch_ns += report.fetch_ns;
+    totals.diff_ns += report.diff_ns;
+    totals.apply_ns += report.apply_ns;
+    state.ResumeTiming();
+  }
+  int64_t group_polls =
+      static_cast<int64_t>(state.iterations()) * kPolls *
+      static_cast<int64_t>(groups);
+  state.SetItemsProcessed(group_polls);
+  state.counters["groups_per_sec"] = benchmark::Counter(
+      static_cast<double>(group_polls), benchmark::Counter::kIsRate);
+  state.counters["threads"] = static_cast<double>(threads);
+  double iters = static_cast<double>(state.iterations());
+  state.counters["fetch_ms"] =
+      static_cast<double>(totals.fetch_ns) / 1e6 / iters;
+  state.counters["diff_ms"] =
+      static_cast<double>(totals.diff_ns) / 1e6 / iters;
+  state.counters["apply_ms"] =
+      static_cast<double>(totals.apply_ns) / 1e6 / iters;
+}
+BENCHMARK(BM_QssParallelScaling)
+    ->ArgsProduct({{1, 2, 4, 8}, {32}})
+    ->ArgNames({"threads", "groups"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 // Filter evaluation strategy inside the QSS loop: direct vs. translated.
 void BM_QssFilterStrategy(benchmark::State& state) {

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Repo verification driver.
+#
+#   scripts/check.sh            # tier-1: default build + full ctest
+#   scripts/check.sh tsan       # DOEM_TSAN build + `ctest -L qss`
+#                               # (races the parallel poll engine under
+#                               # ThreadSanitizer)
+#   scripts/check.sh asan       # DOEM_SANITIZE build + full ctest
+#   scripts/check.sh all        # tier-1, then tsan, then asan
+#
+# Each mode uses its own build tree (build/, build-tsan/, build-asan/),
+# all ignored by git.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+tier1() {
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs"
+  ctest --test-dir build --output-on-failure -j "$jobs"
+}
+
+tsan() {
+  cmake -B build-tsan -S . -DDOEM_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "$jobs"
+  # TSAN_OPTIONS makes any detected race fail the test run loudly.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan -L qss --output-on-failure -j "$jobs"
+}
+
+asan() {
+  cmake -B build-asan -S . -DDOEM_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j "$jobs"
+  # The deep-recursion serialization tests need a larger stack under
+  # ASan's widened frames (see README).
+  ulimit -s 65536 || true
+  ctest --test-dir build-asan --output-on-failure -j "$jobs"
+}
+
+mode="${1:-tier1}"
+case "$mode" in
+  tier1) tier1 ;;
+  tsan) tsan ;;
+  asan) asan ;;
+  all) tier1 && tsan && asan ;;
+  *)
+    echo "usage: $0 [tier1|tsan|asan|all]" >&2
+    exit 2
+    ;;
+esac

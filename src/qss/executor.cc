@@ -1,0 +1,68 @@
+#include "qss/executor.h"
+
+namespace doem {
+namespace qss {
+
+void SerialExecutor::ParallelFor(size_t n,
+                                 const std::function<void(size_t)>& task) {
+  for (size_t i = 0; i < n; ++i) task(i);
+}
+
+ThreadPoolExecutor::ThreadPoolExecutor(int threads) {
+  if (threads < 1) threads = 1;
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPoolExecutor::~ThreadPoolExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPoolExecutor::Help(std::unique_lock<std::mutex>& lock) {
+  while (batch_.next < batch_.total) {
+    size_t index = batch_.next++;
+    lock.unlock();
+    (*batch_.task)(index);
+    lock.lock();
+    if (++batch_.completed == batch_.total) done_cv_.notify_all();
+  }
+}
+
+void ThreadPoolExecutor::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] {
+      return stop_ || batch_.next < batch_.total;
+    });
+    if (stop_) return;
+    Help(lock);
+  }
+}
+
+void ThreadPoolExecutor::ParallelFor(size_t n,
+                                     const std::function<void(size_t)>& task) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_.task = &task;
+  batch_.next = 0;
+  batch_.total = n;
+  batch_.completed = 0;
+  work_cv_.notify_all();
+  // The caller is a lane too: claim indices alongside the workers, then
+  // wait for stragglers still executing theirs.
+  Help(lock);
+  done_cv_.wait(lock, [this] { return batch_.completed == batch_.total; });
+  batch_.task = nullptr;
+  batch_.total = 0;
+}
+
+}  // namespace qss
+}  // namespace doem

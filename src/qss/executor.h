@@ -1,0 +1,88 @@
+#ifndef DOEM_QSS_EXECUTOR_H_
+#define DOEM_QSS_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace doem {
+namespace qss {
+
+/// Where QSS runs the parallelizable stage of a wave of due polls (the
+/// per-group fetch → retry/backoff → OEMdiff chain; see DESIGN.md §6b).
+/// An executor only decides *on which threads* tasks run — the service
+/// keeps its outputs deterministic by committing results in group-name
+/// order afterwards, so every executor produces byte-identical DOEM
+/// histories.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Runs task(0) .. task(n-1), returning once all of them have
+  /// completed. Tasks must not throw (the codebase reports failures via
+  /// Status); distinct indices may run concurrently and in any order.
+  virtual void ParallelFor(size_t n,
+                           const std::function<void(size_t)>& task) = 0;
+
+  /// How many tasks can make progress simultaneously (>= 1).
+  virtual int concurrency() const = 0;
+};
+
+/// Deterministic executor for tests and baselines: runs every task
+/// inline on the calling thread, in index order. Behaviorally identical
+/// to passing no executor at all.
+class SerialExecutor : public Executor {
+ public:
+  void ParallelFor(size_t n, const std::function<void(size_t)>& task) override;
+  int concurrency() const override { return 1; }
+};
+
+/// A fixed-size pool of std::threads fed from one task queue. The pool
+/// is reusable across ParallelFor calls (workers persist) and the
+/// calling thread helps drain the queue, so a pool of T threads gives
+/// T + 1 lanes and never deadlocks even with T == 0.
+class ThreadPoolExecutor : public Executor {
+ public:
+  /// `threads` < 1 is clamped to 1.
+  explicit ThreadPoolExecutor(int threads);
+  ~ThreadPoolExecutor() override;
+
+  ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
+  ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
+
+  void ParallelFor(size_t n, const std::function<void(size_t)>& task) override;
+  int concurrency() const override { return static_cast<int>(workers_.size()); }
+
+ private:
+  // One ParallelFor in flight: the queue holds its pending indices and
+  // `batch_` tracks completion. ParallelFor is not reentrant (QSS never
+  // nests waves) and is serialized by submit_mu_ for safety.
+  struct Batch {
+    const std::function<void(size_t)>* task = nullptr;
+    size_t next = 0;       // next index to hand out
+    size_t total = 0;      // indices in this batch
+    size_t completed = 0;  // indices finished
+  };
+
+  void WorkerLoop();
+  /// Runs queued indices until the batch is drained; returns when no
+  /// index is left to claim (running tasks may still be in flight).
+  void Help(std::unique_lock<std::mutex>& lock);
+
+  std::mutex submit_mu_;  // serializes ParallelFor callers
+  std::mutex mu_;         // guards batch_ and stop_
+  std::condition_variable work_cv_;  // workers: new indices or shutdown
+  std::condition_variable done_cv_;  // caller: batch completed
+  Batch batch_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qss
+}  // namespace doem
+
+#endif  // DOEM_QSS_EXECUTOR_H_

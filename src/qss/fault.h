@@ -44,6 +44,14 @@ struct FaultSpec {
 /// schedule plus call-count bookkeeping, for deterministic
 /// fault-injection tests and benchmarks. The first spec that fires on a
 /// call wins; unmatched calls are forwarded to the inner source.
+///
+/// Determinism under a parallel executor: QSS serializes Poll() calls,
+/// and each poll group's own calls arrive in a fixed order — but calls
+/// of *different* groups within one wave interleave in thread-scheduling
+/// order. A spec with an empty `query_contains` counts calls across all
+/// groups and may therefore fire on a different group from run to run;
+/// give every spec a `query_contains` that pins it to one group's
+/// polling query when a test asserts serial/parallel equality.
 class FaultInjectingSource : public InformationSource {
  public:
   explicit FaultInjectingSource(InformationSource* inner) : inner_(inner) {}

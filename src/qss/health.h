@@ -113,6 +113,16 @@ struct PollReport {
   size_t polls_missed = 0;
   size_t retries = 0;
   size_t notifications = 0;
+  /// Wall-clock nanoseconds spent in each pipeline phase, summed across
+  /// poll groups: fetch covers source polls including retries, diff the
+  /// OEMdiff of R_{k-1} vs R_k, apply the DOEM incorporation. With a
+  /// parallel executor the per-phase sums can exceed the elapsed time of
+  /// the call (phases overlap across groups). Unlike every other field,
+  /// these are measured, not simulated: they differ run to run and are
+  /// excluded from determinism comparisons.
+  int64_t fetch_ns = 0;
+  int64_t diff_ns = 0;
+  int64_t apply_ns = 0;
   std::vector<PollError> errors;
 
   bool all_ok() const { return errors.empty(); }

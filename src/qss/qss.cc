@@ -1,6 +1,7 @@
 #include "qss/qss.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "lorel/lorel.h"
 
@@ -151,10 +152,16 @@ std::string JoinMembers(const std::vector<std::string>& members) {
   return out;
 }
 
+int64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 }  // namespace
 
 Result<OemDatabase> QuerySubscriptionService::AttemptPoll(
-    PollGroup* group, Timestamp t, int max_attempts, PollReport* report) {
+    PollGroup* group, Timestamp t, int max_attempts, PreparedPoll* pending) {
   PollHealth& health = group->health;
   if (max_attempts < 1) max_attempts = 1;
   Status attempt_status;
@@ -164,19 +171,27 @@ Result<OemDatabase> QuerySubscriptionService::AttemptPoll(
       // It is sub-tick bookkeeping: the poll timestamp stays t, so the
       // history and the schedule are unaffected (see health.h).
       ++health.retries;
-      ++report->retries;
+      ++pending->retries;
       health.backoff_ticks += options_.retry.backoff_base_ticks
                               << (attempt - 2);
     }
-    auto answer = source_->Poll(group->polling_query, t);
+    int64_t took = 0;
+    auto answer = [&] {
+      // The source need not be thread-safe (see source.h): the poll and
+      // its duration read form one critical section, so concurrent
+      // groups cannot interleave inside a call or misattribute the
+      // duration of someone else's poll.
+      std::lock_guard<std::mutex> lock(source_mu_);
+      auto polled = source_->Poll(group->polling_query, t);
+      took = source_->LastPollDurationTicks();
+      return polled;
+    }();
     attempt_status = answer.ok() ? Status::OK() : answer.status();
-    if (attempt_status.ok() && options_.retry.poll_deadline_ticks > 0) {
-      int64_t took = source_->LastPollDurationTicks();
-      if (took > options_.retry.poll_deadline_ticks) {
-        attempt_status = Status::DeadlineExceeded(
-            "poll took " + std::to_string(took) + " ticks, deadline " +
-            std::to_string(options_.retry.poll_deadline_ticks));
-      }
+    if (attempt_status.ok() && options_.retry.poll_deadline_ticks > 0 &&
+        took > options_.retry.poll_deadline_ticks) {
+      attempt_status = Status::DeadlineExceeded(
+          "poll took " + std::to_string(took) + " ticks, deadline " +
+          std::to_string(options_.retry.poll_deadline_ticks));
     }
     if (attempt_status.ok()) {
       // A snapshot from an autonomous wrapper can arrive truncated or
@@ -193,32 +208,130 @@ Result<OemDatabase> QuerySubscriptionService::AttemptPoll(
   return attempt_status;
 }
 
-Status QuerySubscriptionService::IncorporateSnapshot(PollGroup* group,
-                                                     Timestamp t,
-                                                     const OemDatabase& answer,
-                                                     PollReport* report) {
-  auto wrapped = CanonicalWrap(answer, *group);
-  if (!wrapped.ok()) return wrapped.status();
+QuerySubscriptionService::PreparedPoll QuerySubscriptionService::PreparePoll(
+    PollGroup* group, Timestamp t) {
+  PreparedPoll pending;
+  pending.group = group;
+  pending.time = t;
+  PollHealth& health = group->health;
 
-  // 2. R_{k-1} is the current snapshot of the DOEM database.
-  OemDatabase previous = group->doem.CurrentSnapshot();
+  // Quarantined: sit out the cool-down, then probe (half-open).
+  if (health.state == CircuitState::kOpen) {
+    if (t < health.quarantined_until) {
+      pending.quarantined = true;
+      pending.missed_reason = "quarantined until " +
+                              health.quarantined_until.ToString() + " after " +
+                              health.last_error.ToString();
+      return pending;
+    }
+    health.state = CircuitState::kHalfOpen;
+  }
 
+  ++health.polls_attempted;
+
+  // 1. Query manager: send Q_l to the wrapper, get R_k — retrying per
+  // policy, except that a half-open probe gets a single attempt.
+  int max_attempts = health.state == CircuitState::kHalfOpen
+                         ? 1
+                         : std::max(1, options_.retry.max_attempts);
+  auto fetch_start = std::chrono::steady_clock::now();
+  auto answer = AttemptPoll(group, t, max_attempts, &pending);
+  pending.fetch_ns = ElapsedNs(fetch_start);
+  if (!answer.ok()) {
+    pending.failure = answer.status();
+    return pending;
+  }
+
+  auto wrapped = CanonicalWrap(*answer, *group);
+  if (!wrapped.ok()) {
+    pending.failure = wrapped.status();
+    return pending;
+  }
+
+  // 2. R_{k-1} is the current snapshot of the DOEM database. Safe off
+  // the commit thread: nothing else touches this group during its wave.
   // 3. OEMdiff.
+  auto diff_start = std::chrono::steady_clock::now();
+  OemDatabase previous = group->doem.CurrentSnapshot();
   auto delta = DiffSnapshots(previous, *wrapped, diff_mode_);
-  if (!delta.ok()) return delta.status();
+  pending.diff_ns = ElapsedNs(diff_start);
+  if (!delta.ok()) {
+    pending.failure = delta.status();
+    return pending;
+  }
+  pending.delta = std::move(delta).value();
+  return pending;
+}
 
-  // 4. DOEM manager: incorporate (t, U_k). Build the new state off to
-  // the side and commit only on success, so a failed incorporation never
-  // costs history (kTwoSnapshots used to drop it before applying).
-  if (options_.retention == HistoryRetention::kTwoSnapshots) {
-    auto rebased = DoemDatabase::FromSnapshot(std::move(previous));
-    if (!rebased.ok()) return rebased.status();
-    DOEM_RETURN_IF_ERROR(rebased->ApplyChangeSet(t, *delta));
-    group->doem = std::move(rebased).value();
-  } else {
-    DOEM_RETURN_IF_ERROR(group->doem.ApplyChangeSet(t, *delta));
+void QuerySubscriptionService::CommitPoll(PreparedPoll* pending,
+                                          PollReport* report) {
+  PollGroup* group = pending->group;
+  PollHealth& health = group->health;
+  const Timestamp t = pending->time;
+
+  if (pending->quarantined) {
+    MissedPoll missed;
+    missed.time = t;
+    missed.reason = std::move(pending->missed_reason);
+    health.missed.push_back(std::move(missed));
+    ++report->polls_missed;
+    return;
+  }
+
+  ++report->polls_attempted;
+  report->retries += pending->retries;
+  report->fetch_ns += pending->fetch_ns;
+  report->diff_ns += pending->diff_ns;
+
+  Status failure = pending->failure;
+  if (failure.ok()) {
+    // 4. DOEM manager: incorporate (t, U_k). Build the new state off to
+    // the side and commit only on success, so a failed incorporation
+    // never costs history (kTwoSnapshots used to drop it before
+    // applying).
+    auto apply_start = std::chrono::steady_clock::now();
+    if (options_.retention == HistoryRetention::kTwoSnapshots) {
+      auto rebased = DoemDatabase::FromSnapshot(group->doem.CurrentSnapshot());
+      if (rebased.ok()) {
+        failure = rebased->ApplyChangeSet(t, pending->delta);
+        if (failure.ok()) group->doem = std::move(rebased).value();
+      } else {
+        failure = rebased.status();
+      }
+    } else {
+      failure = group->doem.ApplyChangeSet(t, pending->delta);
+    }
+    report->apply_ns += ElapsedNs(apply_start);
+  }
+
+  if (!failure.ok()) {
+    ++health.polls_failed;
+    ++health.consecutive_failures;
+    health.last_error = failure;
+    ++report->polls_failed;
+    PollError error;
+    error.kind = PollError::Kind::kPoll;
+    error.subject = JoinMembers(group->members);
+    error.time = t;
+    error.status = failure;
+    report->errors.push_back(error);
+    if (options_.on_error) options_.on_error(error);
+    // A failed probe re-opens immediately; otherwise the breaker trips
+    // after `quarantine_after` consecutive failed polls.
+    if (health.state == CircuitState::kHalfOpen ||
+        (options_.quarantine_after > 0 &&
+         health.consecutive_failures >= options_.quarantine_after)) {
+      health.state = CircuitState::kOpen;
+      health.quarantined_until =
+          Timestamp(t.ticks + options_.quarantine_cooldown_ticks);
+    }
+    return;
   }
   group->polls.push_back(t);
+  ++health.polls_succeeded;
+  ++report->polls_ok;
+  health.consecutive_failures = 0;
+  health.state = CircuitState::kClosed;
 
   // 5. Chorel engine: evaluate each member's filter query. One member's
   // failure must not starve the rest: collect the error, keep going.
@@ -253,67 +366,28 @@ Status QuerySubscriptionService::IncorporateSnapshot(PollGroup* group,
       }
     }
   }
-  return Status::OK();
 }
 
-void QuerySubscriptionService::PollGroupAt(PollGroup* group, Timestamp t,
-                                           PollReport* report) {
-  PollHealth& health = group->health;
-
-  // Quarantined: sit out the cool-down, then probe (half-open).
-  if (health.state == CircuitState::kOpen) {
-    if (t < health.quarantined_until) {
-      MissedPoll missed;
-      missed.time = t;
-      missed.reason = "quarantined until " +
-                      health.quarantined_until.ToString() + " after " +
-                      health.last_error.ToString();
-      health.missed.push_back(std::move(missed));
-      ++report->polls_missed;
-      return;
+void QuerySubscriptionService::RunWave(const std::vector<PollGroup*>& wave,
+                                       Timestamp t, PollReport* report) {
+  std::vector<PreparedPoll> prepared(wave.size());
+  if (options_.executor != nullptr && wave.size() > 1) {
+    options_.executor->ParallelFor(wave.size(), [&](size_t i) {
+      prepared[i] = PreparePoll(wave[i], t);
+    });
+  } else {
+    for (size_t i = 0; i < wave.size(); ++i) {
+      prepared[i] = PreparePoll(wave[i], t);
     }
-    health.state = CircuitState::kHalfOpen;
   }
-
-  ++health.polls_attempted;
-  ++report->polls_attempted;
-
-  // 1. Query manager: send Q_l to the wrapper, get R_k — retrying per
-  // policy, except that a half-open probe gets a single attempt.
-  int max_attempts = health.state == CircuitState::kHalfOpen
-                         ? 1
-                         : std::max(1, options_.retry.max_attempts);
-  auto answer = AttemptPoll(group, t, max_attempts, report);
-  Status failure =
-      answer.ok() ? IncorporateSnapshot(group, t, *answer, report)
-                  : answer.status();
-  if (!failure.ok()) {
-    ++health.polls_failed;
-    ++health.consecutive_failures;
-    health.last_error = failure;
-    ++report->polls_failed;
-    PollError error;
-    error.kind = PollError::Kind::kPoll;
-    error.subject = JoinMembers(group->members);
-    error.time = t;
-    error.status = failure;
-    report->errors.push_back(error);
-    if (options_.on_error) options_.on_error(error);
-    // A failed probe re-opens immediately; otherwise the breaker trips
-    // after `quarantine_after` consecutive failed polls.
-    if (health.state == CircuitState::kHalfOpen ||
-        (options_.quarantine_after > 0 &&
-         health.consecutive_failures >= options_.quarantine_after)) {
-      health.state = CircuitState::kOpen;
-      health.quarantined_until =
-          Timestamp(t.ticks + options_.quarantine_cooldown_ticks);
-    }
-    return;
+  // Deterministic merge: `wave` is in group-key order, so error and
+  // notification order, report counters, and the histories are
+  // byte-identical to a serial run no matter how the prepare stage was
+  // scheduled.
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  for (PreparedPoll& pending : prepared) {
+    CommitPoll(&pending, report);
   }
-  ++health.polls_succeeded;
-  ++report->polls_ok;
-  health.consecutive_failures = 0;
-  health.state = CircuitState::kClosed;
 }
 
 Status QuerySubscriptionService::SettleReport(const PollReport& report,
@@ -331,22 +405,31 @@ Status QuerySubscriptionService::AdvanceTo(Timestamp t, PollReport* report) {
   PollReport local;
   PollReport* r = report != nullptr ? report : &local;
   size_t first_new_error = r->errors.size();
-  // Execute all due polls across groups in time order. A failing group
-  // no longer aborts the tick: its schedule still advances (the failure
-  // is recorded, feeding the circuit breaker), the other groups still
+  // Execute all due polls across groups in time order, wave by wave: a
+  // wave is every group due at the earliest outstanding poll time (tie
+  // order = group-key order, as before). A failing group no longer
+  // aborts the tick: its schedule still advances (the failure is
+  // recorded, feeding the circuit breaker), the other groups still
   // poll, and the clock always reaches t.
   while (true) {
-    PollGroup* due = nullptr;
+    Timestamp wave_time;
+    bool any_due = false;
     for (auto& [key, group] : groups_) {
       if (group->next_poll <= t &&
-          (due == nullptr || group->next_poll < due->next_poll)) {
-        due = group.get();
+          (!any_due || group->next_poll < wave_time)) {
+        wave_time = group->next_poll;
+        any_due = true;
       }
     }
-    if (due == nullptr) break;
-    Timestamp poll_time = due->next_poll;
-    due->next_poll = due->frequency.NextPoll(poll_time);
-    PollGroupAt(due, poll_time, r);
+    if (!any_due) break;
+    std::vector<PollGroup*> wave;
+    for (auto& [key, group] : groups_) {
+      if (group->next_poll == wave_time) {
+        wave.push_back(group.get());
+        group->next_poll = group->frequency.NextPoll(wave_time);
+      }
+    }
+    RunWave(wave, wave_time, r);
   }
   now_ = t;
   return SettleReport(*r, first_new_error, report != nullptr);
@@ -367,7 +450,7 @@ Status QuerySubscriptionService::PollNow(const std::string& name,
   PollReport local;
   PollReport* r = report != nullptr ? report : &local;
   size_t first_new_error = r->errors.size();
-  PollGroupAt(group, now_, r);
+  RunWave({group}, now_, r);
   return SettleReport(*r, first_new_error, report != nullptr);
 }
 
@@ -375,12 +458,15 @@ Status QuerySubscriptionService::NotifySourceChanged(PollReport* report) {
   PollReport local;
   PollReport* r = report != nullptr ? report : &local;
   size_t first_new_error = r->errors.size();
+  // Every group not already covered at this tick polls now — one wave.
+  std::vector<PollGroup*> wave;
   for (auto& [key, group] : groups_) {
     if (!group->polls.empty() && group->polls.back() >= now_) {
       continue;  // this tick is already covered
     }
-    PollGroupAt(group.get(), now_, r);
+    wave.push_back(group.get());
   }
+  RunWave(wave, now_, r);
   return SettleReport(*r, first_new_error, report != nullptr);
 }
 

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "common/result.h"
 #include "diff/diff.h"
 #include "doem/doem.h"
+#include "qss/executor.h"
 #include "qss/frequency.h"
 #include "qss/health.h"
 #include "qss/source.h"
@@ -81,6 +83,19 @@ struct QssOptions {
   /// NotifySourceChanged return OK on poll failures — the tick always
   /// completes and errors flow through these channels instead.
   ErrorCallback on_error;
+
+  // ---- Concurrency (DESIGN.md §6b) ------------------------------------
+
+  /// Runs the parallelizable stage of every wave of due polls: each
+  /// group's fetch (serialized on the source mutex), retry/backoff, and
+  /// OEMdiff. Null runs the stage inline on the calling thread. The
+  /// commit stage — DOEM apply, filter evaluation, notification, and
+  /// report/health merging — always executes on the calling thread in
+  /// group-key order, so any executor yields byte-identical histories,
+  /// reports, and notification order to a serial run. Not owned; must
+  /// outlive the service. Callbacks (notifications, on_error) keep
+  /// firing on the thread that called AdvanceTo/PollNow.
+  Executor* executor = nullptr;
 };
 
 /// The QSS server (Figure 7): subscription manager, query manager,
@@ -108,7 +123,10 @@ class QuerySubscriptionService {
   Status Unsubscribe(const std::string& name);
 
   /// Advances the simulated clock, executing every poll that falls due,
-  /// in time order, delivering notifications synchronously.
+  /// in time order, delivering notifications synchronously. Groups due
+  /// at the same time form a wave whose fetch→diff stage runs on
+  /// QssOptions::executor; results commit in group-key order, so the
+  /// outcome is independent of the executor (DESIGN.md §6b).
   ///
   /// A failing source no longer aborts the tick: other groups still
   /// poll, other members still get their notifications, and the clock
@@ -160,27 +178,61 @@ class QuerySubscriptionService {
     std::string group_key;
   };
 
+  /// The parallelizable half of one scheduled poll, plus everything the
+  /// serial commit phase needs to finish it. Produced by PreparePoll
+  /// (possibly on an executor thread), consumed by CommitPoll on the
+  /// calling thread. Only group-local state (the group's PollHealth) is
+  /// touched while preparing; shared state (PollReport, callbacks, the
+  /// DOEM database visible through History()) is only touched at commit.
+  struct PreparedPoll {
+    PollGroup* group = nullptr;
+    Timestamp time;
+    /// Skipped inside a quarantine window: commit records a MissedPoll.
+    bool quarantined = false;
+    std::string missed_reason;
+    /// Non-OK: fetch (after retries) or diff failed; commit runs the
+    /// failure path (health counters, circuit breaker, PollError).
+    Status failure;
+    /// U_k, valid when !quarantined && failure.ok().
+    ChangeSet delta;
+    /// Retries consumed, merged into PollReport::retries at commit
+    /// (PollHealth::retries is updated in place while preparing).
+    size_t retries = 0;
+    int64_t fetch_ns = 0;
+    int64_t diff_ns = 0;
+  };
+
   std::string GroupKey(const Subscription& sub) const;
   Result<PollGroup*> GroupFor(const Subscription& sub);
 
-  /// Runs one scheduled poll of `group` at time t through the circuit
-  /// breaker, retry policy, and notification pipeline, recording the
-  /// outcome in the group's health and in `*report` (never null). Never
-  /// fails the caller: errors become PollReport entries / on_error calls.
-  void PollGroupAt(PollGroup* group, Timestamp t, PollReport* report);
+  /// Runs one wave — a set of distinct groups all due at time t, in
+  /// group-key order — through PreparePoll (on the executor, when one is
+  /// configured and the wave has >1 group) and then CommitPoll for every
+  /// group under commit_mu_, in wave order. Never fails the caller:
+  /// errors become PollReport entries / on_error calls.
+  void RunWave(const std::vector<PollGroup*>& wave, Timestamp t,
+               PollReport* report);
+
+  /// Stage 1-3 of the pipeline for one group: circuit-breaker check,
+  /// fetch with retries/backoff/deadline/validation, canonical wrap, and
+  /// OEMdiff against the group's current snapshot. Safe to run
+  /// concurrently for *distinct* groups: it mutates only the group's own
+  /// state and serializes source access on source_mu_.
+  PreparedPoll PreparePoll(PollGroup* group, Timestamp t);
 
   /// Attempts the source poll itself (with retries, deadline, and
-  /// snapshot validation) per the retry policy.
+  /// snapshot validation) per the retry policy. Each attempt's Poll and
+  /// duration read form one critical section on source_mu_.
   Result<OemDatabase> AttemptPoll(PollGroup* group, Timestamp t,
-                                  int max_attempts, PollReport* report);
+                                  int max_attempts, PreparedPoll* pending);
 
-  /// Steps 2-6 of the pipeline for an acquired snapshot: wrap, diff,
-  /// apply, evaluate every member's filter, notify. A member's filter
-  /// failure is recorded and does not starve the remaining members; a
-  /// non-OK return means the snapshot could not be incorporated (the
-  /// DOEM database is untouched).
-  Status IncorporateSnapshot(PollGroup* group, Timestamp t,
-                             const OemDatabase& answer, PollReport* report);
+  /// Stage 4-6 on the calling thread: apply (t, U_k) to the DOEM
+  /// database, evaluate every member's filter, notify, and fold the
+  /// outcome into the group's health and `*report` (never null). A
+  /// member's filter failure is recorded and does not starve the
+  /// remaining members; an apply failure leaves the DOEM database
+  /// untouched and counts as a failed poll.
+  void CommitPoll(PreparedPoll* pending, PollReport* report);
 
   /// Maps accumulated failures to the legacy Status surface: OK when the
   /// caller supplied a report or an on_error callback is configured,
@@ -200,6 +252,17 @@ class QuerySubscriptionService {
   DiffMode diff_mode_;
   std::map<std::string, SubState> subs_;
   std::map<std::string, std::unique_ptr<PollGroup>> groups_;
+
+  /// Serializes source access: the InformationSource is shared mutable
+  /// state with no thread-safety obligation (see source.h), so each
+  /// Poll() plus its LastPollDurationTicks() read is one critical
+  /// section. Executor threads contend here only for the fetch itself;
+  /// diffing runs outside the lock.
+  std::mutex source_mu_;
+  /// Held for the whole commit phase of a wave: guards the merge of
+  /// PreparedPolls into the DOEM histories, PollHealth, and the caller's
+  /// PollReport, and keeps callback delivery single-threaded.
+  std::mutex commit_mu_;
 };
 
 }  // namespace qss

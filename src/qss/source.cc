@@ -56,11 +56,14 @@ Result<OemDatabase> ScriptedSource::Poll(const std::string& lorel_query,
     return std::move(result->answer);
   }
   // Re-package with fresh identifiers: every poll shifts the id space, so
-  // no id is comparable across polls.
+  // no id is comparable across polls. The counter is per query (see the
+  // class comment), so concurrent QSS poll groups cannot perturb each
+  // other's id sequences.
   const OemDatabase& ans = result->answer;
   OemDatabase remapped;
-  fresh_offset_ += ans.PeekNextId() + 1;
-  remapped.ReserveIdsBelow(fresh_offset_);
+  NodeId& fresh_offset = fresh_offsets_[lorel_query];
+  fresh_offset += ans.PeekNextId() + 1;
+  remapped.ReserveIdsBelow(fresh_offset);
   auto map = CopyReachable(ans, {ans.root()}, &remapped,
                            /*preserve_ids=*/false);
   if (!map.ok()) return map.status();

@@ -1,6 +1,7 @@
 #ifndef DOEM_QSS_SOURCE_H_
 #define DOEM_QSS_SOURCE_H_
 
+#include <map>
 #include <string>
 
 #include "common/result.h"
@@ -16,6 +17,12 @@ namespace qss {
 /// database whose root's arcs carry the select labels and which
 /// recursively includes all subobjects. No triggers, no history — exactly
 /// the paper's legacy-source assumption.
+///
+/// Thread-safety contract: implementations need NOT be thread-safe. Even
+/// with a parallel executor, QuerySubscriptionService serializes every
+/// Poll() together with the following LastPollDurationTicks() read under
+/// one source mutex (DESIGN.md §6b), so a source only ever sees one call
+/// at a time, in a deterministic per-group order.
 class InformationSource {
  public:
   virtual ~InformationSource() = default;
@@ -43,7 +50,11 @@ class InformationSource {
 ///
 /// With `preserve_ids` false, each poll re-packages the result with fresh
 /// identifiers (shifted id space), simulating a wrapper without
-/// persistent OIDs.
+/// persistent OIDs. The shift counter is kept per polling query, so the
+/// ids a poll group observes depend only on that group's own poll
+/// sequence — not on how polls of *other* groups interleave with it —
+/// which keeps structural-mode DOEM histories byte-identical between
+/// serial and parallel QSS runs (groups are keyed by polling query).
 ///
 /// A malformed script (steps out of time order, or a step whose change
 /// set is invalid for the source state) makes Poll return a clean
@@ -71,7 +82,7 @@ class ScriptedSource : public InformationSource {
   OemHistory script_;
   size_t next_step_ = 0;
   bool preserve_ids_;
-  NodeId fresh_offset_ = 0;
+  std::map<std::string, NodeId> fresh_offsets_;
   // Set once a script defect is detected; every later Poll returns it.
   Status script_error_;
   bool script_checked_ = false;

@@ -339,5 +339,49 @@ OemHistory SyntheticGuideHistory(const OemDatabase& guide, size_t steps,
   return history;
 }
 
+qss::FrequencySpec RandomFrequencySpec(std::mt19937* rng,
+                                       int64_t max_interval_ticks) {
+  if (max_interval_ticks < 1) max_interval_ticks = 1;
+  int64_t interval =
+      1 + static_cast<int64_t>((*rng)() % static_cast<uint64_t>(
+                                              max_interval_ticks));
+  auto spec = qss::FrequencySpec::Parse("every " + std::to_string(interval) +
+                                        " ticks");
+  assert(spec.ok());
+  return *spec;
+}
+
+std::vector<qss::FaultSpec> RandomFaultSchedule(
+    const std::vector<std::string>& scopes, std::mt19937* rng,
+    const FaultScheduleOptions& opts) {
+  std::vector<qss::FaultSpec> out;
+  for (const std::string& scope : scopes) {
+    for (size_t i = 0; i < opts.specs_per_scope; ++i) {
+      qss::FaultSpec spec;
+      spec.query_contains = scope;
+      spec.skip = (*rng)() % (opts.max_skip + 1);
+      spec.count = 1 + (*rng)() % opts.max_count;
+      switch ((*rng)() % 3) {
+        case 0:
+          spec.kind = qss::FaultKind::kError;
+          spec.error = Status::Unavailable("injected outage on '" + scope +
+                                           "' #" + std::to_string(i));
+          break;
+        case 1:
+          spec.kind = qss::FaultKind::kSlowPoll;
+          spec.duration_ticks =
+              1 + static_cast<int64_t>(
+                      (*rng)() % static_cast<uint64_t>(opts.max_slow_ticks));
+          break;
+        default:
+          spec.kind = qss::FaultKind::kGarbage;
+          break;
+      }
+      out.push_back(std::move(spec));
+    }
+  }
+  return out;
+}
+
 }  // namespace testing
 }  // namespace doem

@@ -9,6 +9,8 @@
 #include "common/result.h"
 #include "oem/history.h"
 #include "oem/oem.h"
+#include "qss/fault.h"
+#include "qss/frequency.h"
 
 namespace doem {
 namespace testing {
@@ -60,6 +62,30 @@ OemDatabase SyntheticGuide(size_t restaurants, uint32_t seed = 7);
 /// removed parking arcs) valid for SyntheticGuide(restaurants, seed).
 OemHistory SyntheticGuideHistory(const OemDatabase& guide, size_t steps,
                                  size_t ops_per_step, uint32_t seed = 11);
+
+/// A random "every N ticks" frequency spec with
+/// 1 <= N <= max_interval_ticks, for QSS scheduling stress tests.
+qss::FrequencySpec RandomFrequencySpec(std::mt19937* rng,
+                                       int64_t max_interval_ticks = 4);
+
+/// Parameters for random fault-schedule generation (QSS stress tests).
+struct FaultScheduleOptions {
+  /// Specs per scope entry (each scope gets its own independent faults).
+  size_t specs_per_scope = 2;
+  size_t max_skip = 6;
+  size_t max_count = 3;
+  /// kSlowPoll durations are drawn from [1, max_slow_ticks].
+  int64_t max_slow_ticks = 8;
+};
+
+/// A random mix of error/slow/garbage FaultSpecs, each pinned via
+/// `query_contains` to one entry of `scopes` (a distinct substring of one
+/// poll group's polling query). Scoped specs keep fault injection
+/// deterministic under a parallel executor — see
+/// qss::FaultInjectingSource.
+std::vector<qss::FaultSpec> RandomFaultSchedule(
+    const std::vector<std::string>& scopes, std::mt19937* rng,
+    const FaultScheduleOptions& opts = {});
 
 }  // namespace testing
 }  // namespace doem
