@@ -5,10 +5,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cassert>
+#include <optional>
+
 #include "bench/bench_common.h"
 #include "chorel/chorel.h"
 #include "chorel/translate.h"
+#include "doem/doem.h"
 #include "lorel/lorel.h"
+#include "oem/history.h"
+#include "testing/generators.h"
 
 namespace doem {
 namespace {
@@ -85,6 +91,57 @@ BENCHMARK(BM_ChorelTranslatedCold)
     ->ArgsProduct({{100, 500}, {1}})
     ->ArgNames({"restaurants", "class"})
     ->Unit(benchmark::kMillisecond);
+
+// DESIGN.md §6c: per-delta cost of keeping the translated strategy hot
+// as history accumulates — ApplyDelta patching (incremental=1) vs drop
+// and re-encode the whole history (incremental=0). Each iteration warms
+// an engine over `history`-many churn steps, applies one more change
+// set, then times cache maintenance plus one compiled translated run.
+// (The DOEM change-set apply itself is identical in both configs and is
+// kept out of the timed region.)
+void BM_ChorelDeltaMaintenance(benchmark::State& state) {
+  size_t steps = static_cast<size_t>(state.range(0));
+  bool incremental = state.range(1) != 0;
+  OemDatabase base = testing::SyntheticGuide(100);
+  OemHistory script = testing::SyntheticGuideChurn(base, steps + 1, 8);
+  const std::string query =
+      "select guide.restaurant<cre at T> where T > 0";
+  chorel::ChorelEngineOptions eopts;
+  eopts.incremental = incremental;
+  const HistoryStep& last = script.steps().back();
+  // Setup state lives outside the loop so each iteration's teardown (the
+  // history-sized DOEM database and encoding) runs in the paused region,
+  // not inside the timed one.
+  std::optional<DoemDatabase> d;
+  std::optional<chorel::ChorelEngine> engine;
+  std::optional<chorel::CompiledQuery> compiled;
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine.reset();
+    d = *DoemDatabase::FromSnapshot(base);
+    for (size_t i = 0; i + 1 < script.size(); ++i) {
+      Status st = d->ApplyChangeSet(script.steps()[i].time,
+                                    script.steps()[i].changes);
+      assert(st.ok());
+      (void)st;
+    }
+    engine.emplace(*d, eopts);
+    benchmark::DoNotOptimize(engine->Encoding().ok());  // warm the cache
+    compiled = *chorel::CompileChorel(query);
+    Status st = d->ApplyChangeSet(last.time, last.changes);
+    assert(st.ok());
+    (void)st;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        engine->ApplyDelta(last.time, last.changes).ok());
+    auto r = engine->RunCompiled(&*compiled, chorel::Strategy::kTranslated);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_ChorelDeltaMaintenance)
+    ->ArgsProduct({{8, 32, 128}, {0, 1}})
+    ->ArgNames({"history", "incremental"})
+    ->Unit(benchmark::kMicrosecond);
 
 // The pure translation step (parse + normalize + rewrite), no evaluation.
 void BM_TranslateOnly(benchmark::State& state) {

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <optional>
 
 #include "qss/executor.h"
 #include "qss/qss.h"
@@ -145,6 +146,72 @@ BENCHMARK(BM_QssParallelScaling)
     ->ArgNames({"threads", "groups"})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// History-length sweep (DESIGN.md §6c): per-poll filter cost as the
+// accumulated DOEM history grows, with incremental cache maintenance vs
+// the per-poll rebuild ablation. The churn script only updates existing
+// prices, so the snapshot the filter walks is the same size at every
+// poll — any per-poll growth is history-proportional work, i.e. the
+// from-scratch encoding rebuild that ApplyDelta patching eliminates.
+// With incremental=1 the per-poll counters stay flat in `history`; with
+// incremental=0 they grow linearly.
+void BM_QssHistorySweep(benchmark::State& state) {
+  size_t polls = static_cast<size_t>(state.range(0));
+  bool incremental = state.range(1) != 0;
+  OemDatabase base = testing::SyntheticGuide(100);
+  OemHistory script = testing::SyntheticGuideChurn(base, polls, 8);
+  Timestamp start(Timestamp::FromDate(1997, 1, 1).ticks);
+  qss::QssOptions opts;
+  opts.strategy = chorel::Strategy::kTranslated;
+  opts.incremental_filter = incremental;
+
+  int64_t filter_ns = 0;
+  int64_t apply_ns = 0;
+  // Setup state lives outside the loop so each iteration's teardown (the
+  // history-sized DOEM database and caches) runs in the paused region,
+  // not inside the timed one.
+  std::optional<qss::ScriptedSource> source;
+  std::optional<qss::QuerySubscriptionService> service;
+  for (auto _ : state) {
+    state.PauseTiming();
+    service.reset();
+    source.emplace(base, script);
+    service.emplace(&*source, start, opts);
+    qss::Subscription sub;
+    sub.name = "S";
+    sub.frequency = *qss::FrequencySpec::Parse("every day");
+    sub.polling_query = "select guide.restaurant";
+    sub.filter_query = "select S.restaurant<cre at T> where T > t[-1]";
+    Status st = service->Subscribe(sub, nullptr);
+    assert(st.ok());
+    (void)st;
+    state.ResumeTiming();
+    qss::PollReport report;
+    benchmark::DoNotOptimize(
+        service
+            ->AdvanceTo(Timestamp(start.ticks +
+                                  static_cast<int64_t>(polls) - 1),
+                        &report)
+            .ok());
+    state.PauseTiming();
+    filter_ns += report.filter_ns;
+    apply_ns += report.apply_ns;
+    state.ResumeTiming();
+  }
+  double total_polls = static_cast<double>(state.iterations()) *
+                       static_cast<double>(polls);
+  state.SetItemsProcessed(static_cast<int64_t>(total_polls));
+  state.counters["filter_us_per_poll"] =
+      static_cast<double>(filter_ns) / 1e3 / total_polls;
+  state.counters["apply_us_per_poll"] =
+      static_cast<double>(apply_ns) / 1e3 / total_polls;
+  state.counters["poll_us"] =
+      static_cast<double>(filter_ns + apply_ns) / 1e3 / total_polls;
+}
+BENCHMARK(BM_QssHistorySweep)
+    ->ArgsProduct({{8, 32, 128}, {0, 1}})
+    ->ArgNames({"history", "incremental"})
+    ->Unit(benchmark::kMillisecond);
 
 // Filter evaluation strategy inside the QSS loop: direct vs. translated.
 void BM_QssFilterStrategy(benchmark::State& state) {

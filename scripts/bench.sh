@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Incremental-maintenance benchmark driver (DESIGN.md §6c).
+#
+#   scripts/bench.sh [build-dir]    # default: build
+#
+# Runs the history-length sweeps — per-poll QSS filter cost and
+# engine-level per-delta maintenance cost, incremental vs rebuild — and
+# writes google-benchmark JSON next to the repo root:
+#
+#   BENCH_qss_incremental.json     BM_QssHistorySweep
+#   BENCH_chorel_incremental.json  BM_ChorelDeltaMaintenance
+#
+# The claim to check in the output: with incremental:1 the per-poll
+# counters stay flat as `history` grows; with incremental:0 they grow,
+# and at history:128 the incremental filter cost is >= 10x cheaper.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build="${1:-build}"
+jobs=$(nproc 2>/dev/null || echo 2)
+
+cmake -B "$build" -S . >/dev/null
+cmake --build "$build" -j "$jobs" --target bench_qss_cycle bench_chorel_strategies
+
+"$build"/bench/bench_qss_cycle \
+  --benchmark_filter='BM_QssHistorySweep' \
+  --benchmark_out=BENCH_qss_incremental.json \
+  --benchmark_out_format=json
+
+"$build"/bench/bench_chorel_strategies \
+  --benchmark_filter='BM_ChorelDeltaMaintenance' \
+  --benchmark_out=BENCH_chorel_incremental.json \
+  --benchmark_out_format=json
+
+echo "wrote BENCH_qss_incremental.json and BENCH_chorel_incremental.json"

@@ -6,30 +6,103 @@
 namespace doem {
 namespace chorel {
 
+Result<CompiledQuery> CompileChorel(const std::string& query) {
+  auto nq = lorel::ParseAndNormalize(query);
+  if (!nq.ok()) return nq.status();
+  CompiledQuery out;
+  out.normalized = std::move(nq).value();
+  return out;
+}
+
 Result<const OemDatabase*> ChorelEngine::Encoding() {
-  if (!encoding_.has_value()) {
-    auto enc = EncodeDoem(doem_);
+  if (!encoder_.has_value()) {
+    auto enc = IncrementalEncoder::Create(doem_);
     if (!enc.ok()) return enc.status();
-    encoding_ = std::move(enc).value();
+    encoder_ = std::move(enc).value();
   }
-  return &*encoding_;
+  return &encoder_->encoding();
+}
+
+const AnnotationIndex* ChorelEngine::IndexForRun() {
+  if (!options_.seed_from_index) return nullptr;
+  if (!index_.has_value()) index_.emplace(doem_);
+  return &*index_;
+}
+
+Result<lorel::QueryResult> ChorelEngine::RunCompiled(
+    CompiledQuery* q, Strategy strategy, const lorel::EvalOptions& opts) {
+  if (strategy == Strategy::kDirect) {
+    DoemView view(doem_, IndexForRun());
+    return lorel::Evaluate(q->normalized, view, opts);
+  }
+  if (!q->translated.has_value()) {
+    auto translated = TranslateToLorel(q->normalized);
+    if (!translated.ok()) return translated.status();
+    q->translated = std::move(translated).value();
+  }
+  auto enc = Encoding();
+  if (!enc.ok()) return enc.status();
+  lorel::OemView view(**enc, /*amp_aware=*/true);
+  return lorel::Evaluate(*q->translated, view, opts);
 }
 
 Result<lorel::QueryResult> ChorelEngine::Run(const std::string& query,
                                              Strategy strategy,
                                              const lorel::EvalOptions& opts) {
-  auto nq = lorel::ParseAndNormalize(query);
-  if (!nq.ok()) return nq.status();
-  if (strategy == Strategy::kDirect) {
-    DoemView view(doem_);
-    return lorel::Evaluate(*nq, view, opts);
+  auto compiled = CompileChorel(query);
+  if (!compiled.ok()) return compiled.status();
+  return RunCompiled(&*compiled, strategy, opts);
+}
+
+Status ChorelEngine::ApplyDelta(Timestamp t, const ChangeSet& ops) {
+  if (!options_.incremental) {
+    Invalidate();
+    return Status::OK();
   }
-  auto translated = TranslateToLorel(*nq);
-  if (!translated.ok()) return translated.status();
-  auto enc = Encoding();
-  if (!enc.ok()) return enc.status();
-  lorel::OemView view(**enc, /*amp_aware=*/true);
-  return lorel::Evaluate(*translated, view, opts);
+  if (encoder_.has_value()) {
+    Status s = encoder_->ApplyDelta(doem_, t, ops);
+    if (!s.ok()) {
+      encoder_.reset();
+      return s;
+    }
+  }
+  if (index_.has_value()) {
+    Status s = index_->Apply(doem_, t, ops);
+    if (!s.ok()) {
+      index_.reset();
+      return s;
+    }
+  }
+  if (options_.verify_incremental) {
+    Status s = VerifyCaches();
+    if (!s.ok()) {
+      Invalidate();
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status ChorelEngine::VerifyCaches() const {
+  if (encoder_.has_value()) {
+    auto decoded = DecodeDoem(encoder_->encoding());
+    if (!decoded.ok()) {
+      return Status::Internal("verify_incremental: patched encoding fails "
+                              "to decode: " +
+                              decoded.status().message());
+    }
+    if (!decoded->Equals(doem_)) {
+      return Status::Internal(
+          "verify_incremental: patched encoding does not decode back to "
+          "the DOEM database");
+    }
+  }
+  if (index_.has_value() && !(AnnotationIndex(doem_) == *index_)) {
+    return Status::Internal(
+        "verify_incremental: maintained annotation index diverges from a "
+        "fresh build");
+  }
+  return Status::OK();
 }
 
 Result<lorel::QueryResult> RunChorel(const DoemDatabase& d,

@@ -6,8 +6,11 @@
 
 #include "common/result.h"
 #include "chorel/doem_view.h"
+#include "doem/annotation_index.h"
 #include "doem/doem.h"
+#include "encoding/encode_incremental.h"
 #include "lorel/lorel.h"
+#include "oem/change.h"
 #include "oem/oem.h"
 
 namespace doem {
@@ -24,10 +27,39 @@ enum class Strategy {
   kTranslated,
 };
 
+/// A parsed, normalized query, reusable across polls. The Section 5.2
+/// translation is derived lazily on the first translated-strategy run and
+/// cached (translation errors are not cached and re-surface per run).
+struct CompiledQuery {
+  lorel::NormQuery normalized;
+  std::optional<lorel::NormQuery> translated;
+};
+
+/// Parses and normalizes `query` for repeated evaluation.
+Result<CompiledQuery> CompileChorel(const std::string& query);
+
+struct ChorelEngineOptions {
+  /// Maintain the cached OEM encoding and annotation index incrementally
+  /// via ApplyDelta — O(delta) per change set. When false (the ablation
+  /// baseline), ApplyDelta merely invalidates and the next run rebuilds
+  /// from scratch.
+  bool incremental = true;
+  /// Attach the annotation index to direct-strategy evaluation so
+  /// time-bounded annotation expressions enumerate candidates from index
+  /// postings (DESIGN.md §6c). Off by default: seeded enumeration can
+  /// reorder result rows relative to the legacy scan order.
+  bool seed_from_index = false;
+  /// Debug cross-check: after every ApplyDelta, decode the patched
+  /// encoding back to a DOEM database and rebuild the index from scratch,
+  /// failing if either diverges. Slow; for tests.
+  bool verify_incremental = false;
+};
+
 /// A Chorel query processor over one DOEM database, supporting both
 /// strategies. The translated strategy encodes the database once, lazily,
-/// and caches the encoding; call InvalidateEncoding() after mutating the
-/// DOEM database.
+/// and caches the encoding; after mutating the DOEM database either patch
+/// the caches with ApplyDelta(...) (O(delta)) or drop them with
+/// Invalidate().
 ///
 /// Both strategies produce identical rows for every supported query (a
 /// property the test suite checks exhaustively). The packaged `answer`
@@ -35,22 +67,51 @@ enum class Strategy {
 /// objects, which carry their history with them (end of Section 5.2).
 class ChorelEngine {
  public:
-  explicit ChorelEngine(const DoemDatabase& d) : doem_(d) {}
+  explicit ChorelEngine(const DoemDatabase& d,
+                        ChorelEngineOptions options = {})
+      : doem_(d), options_(options) {}
 
   /// Parses, normalizes, (optionally translates,) and evaluates `query`.
   Result<lorel::QueryResult> Run(const std::string& query,
                                  Strategy strategy,
                                  const lorel::EvalOptions& opts = {});
 
+  /// As Run, but with the parse/normalize (and, after the first
+  /// translated run, the translation) already done — the per-poll path.
+  Result<lorel::QueryResult> RunCompiled(CompiledQuery* q, Strategy strategy,
+                                         const lorel::EvalOptions& opts = {});
+
+  /// Patches the cached encoding and annotation index with one change set
+  /// that was just applied to the database (call after ApplyChangeSet).
+  /// With options.incremental false — or on a patch error — the caches
+  /// are dropped instead and the next run rebuilds them, so correctness
+  /// never depends on this call succeeding.
+  Status ApplyDelta(Timestamp t, const ChangeSet& ops);
+
+  /// Drops all cached derived state (encoding and annotation index).
+  /// Required when the database was replaced wholesale (e.g. the QSS
+  /// two-snapshot rebase) rather than mutated by a change set.
+  void Invalidate() {
+    encoder_.reset();
+    index_.reset();
+  }
+
   /// Drops the cached OEM encoding; the next translated Run re-encodes.
-  void InvalidateEncoding() { encoding_.reset(); }
+  void InvalidateEncoding() { encoder_.reset(); }
 
   /// The cached encoding (encodes now if needed). Exposed for benchmarks.
   Result<const OemDatabase*> Encoding();
 
  private:
+  /// The annotation index to attach to direct evaluation (builds it on
+  /// first use), or null when seeding is disabled.
+  const AnnotationIndex* IndexForRun();
+  Status VerifyCaches() const;
+
   const DoemDatabase& doem_;
-  std::optional<OemDatabase> encoding_;
+  ChorelEngineOptions options_;
+  std::optional<IncrementalEncoder> encoder_;
+  std::optional<AnnotationIndex> index_;
 };
 
 /// One-shot conveniences.

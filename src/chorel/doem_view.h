@@ -1,10 +1,13 @@
 #ifndef DOEM_CHOREL_DOEM_VIEW_H_
 #define DOEM_CHOREL_DOEM_VIEW_H_
 
+#include <optional>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "doem/annotation_index.h"
 #include "doem/doem.h"
 #include "lorel/view.h"
 
@@ -16,9 +19,17 @@ namespace chorel {
 /// (Section 4.2.1's default), annotation accessors expose the DOEM
 /// annotations to Chorel annotation expressions, and virtual <at T>
 /// annotations time-travel via the snapshot rules of Section 3.2.
+///
+/// When an AnnotationIndex is attached, the *InRange seeding hooks answer
+/// from its postings, letting the evaluator enumerate candidates for
+/// time-bounded annotation expressions in O(matching annotations) instead
+/// of scanning every child (DESIGN.md §6c). The index must have been
+/// built from (and kept current with) the same database.
 class DoemView : public lorel::GraphView {
  public:
-  explicit DoemView(const DoemDatabase& d) : d_(d) {}
+  explicit DoemView(const DoemDatabase& d,
+                    const AnnotationIndex* index = nullptr)
+      : d_(d), index_(index) {}
 
   NodeId root() const override { return d_.root(); }
   bool HasNode(NodeId n) const override { return d_.graph().HasNode(n); }
@@ -26,11 +37,11 @@ class DoemView : public lorel::GraphView {
 
   std::vector<NodeId> Children(NodeId n,
                                const std::string& label) const override {
+    // Label-keyed: probe the graph's per-label arc bucket, then filter by
+    // liveness, instead of scanning every out-arc of n.
     std::vector<NodeId> out;
-    for (const OutArc& a : d_.graph().OutArcs(n)) {
-      if (a.label == label && d_.ArcCurrentlyLive(n, a.label, a.child)) {
-        out.push_back(a.child);
-      }
+    for (NodeId c : d_.graph().Children(n, label)) {
+      if (d_.ArcCurrentlyLive(n, label, c)) out.push_back(c);
     }
     return out;
   }
@@ -75,6 +86,50 @@ class DoemView : public lorel::GraphView {
     return AnyLabel(n, Annotation::Kind::kRem);
   }
 
+  std::optional<std::vector<NodeId>> CreatedInRange(
+      Timestamp from, Timestamp to) const override {
+    if (index_ == nullptr) return std::nullopt;
+    std::vector<NodeId> out;
+    for (const auto& e : index_->CreatedIn(from, to)) out.push_back(e.node);
+    return out;
+  }
+
+  std::optional<std::vector<NodeId>> UpdatedInRange(
+      Timestamp from, Timestamp to) const override {
+    if (index_ == nullptr) return std::nullopt;
+    // A node may carry several upd annotations in range; report it once.
+    std::vector<NodeId> out;
+    std::unordered_set<NodeId> seen;
+    for (const auto& e : index_->UpdatedIn(from, to)) {
+      if (seen.insert(e.node).second) out.push_back(e.node);
+    }
+    return out;
+  }
+
+  std::optional<std::vector<std::pair<Timestamp, Arc>>> AddedInRange(
+      Timestamp from, Timestamp to) const override {
+    if (index_ == nullptr) return std::nullopt;
+    std::vector<std::pair<Timestamp, Arc>> out;
+    for (const auto& e : index_->AddedIn(from, to)) {
+      out.emplace_back(e.time, e.arc);
+    }
+    return out;
+  }
+
+  std::optional<std::vector<std::pair<Timestamp, Arc>>> RemovedInRange(
+      Timestamp from, Timestamp to) const override {
+    if (index_ == nullptr) return std::nullopt;
+    std::vector<std::pair<Timestamp, Arc>> out;
+    for (const auto& e : index_->RemovedIn(from, to)) {
+      out.emplace_back(e.time, e.arc);
+    }
+    return out;
+  }
+
+  bool HasLiveArc(NodeId p, const std::string& l, NodeId c) const override {
+    return d_.graph().HasArc(p, l, c) && d_.ArcCurrentlyLive(p, l, c);
+  }
+
   bool SupportsTimeTravel() const override { return true; }
 
   std::vector<NodeId> ChildrenAt(NodeId n, const std::string& label,
@@ -111,6 +166,7 @@ class DoemView : public lorel::GraphView {
   }
 
   const DoemDatabase& d_;
+  const AnnotationIndex* index_;
 };
 
 }  // namespace chorel

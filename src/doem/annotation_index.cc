@@ -4,6 +4,26 @@
 
 namespace doem {
 
+namespace {
+
+// Canonical posting orders: total, so a fresh build and an incremental
+// Apply produce identical vectors regardless of discovery order.
+bool NodeEntryLess(const AnnotationIndex::NodeEntry& x,
+                   const AnnotationIndex::NodeEntry& y) {
+  if (x.time != y.time) return x.time < y.time;
+  return x.node < y.node;
+}
+
+bool ArcEntryLess(const AnnotationIndex::ArcEntry& x,
+                  const AnnotationIndex::ArcEntry& y) {
+  if (x.time != y.time) return x.time < y.time;
+  if (x.arc.parent != y.arc.parent) return x.arc.parent < y.arc.parent;
+  if (x.arc.label != y.arc.label) return x.arc.label < y.arc.label;
+  return x.arc.child < y.arc.child;
+}
+
+}  // namespace
+
 AnnotationIndex::AnnotationIndex(const DoemDatabase& d) {
   const OemDatabase& g = d.graph();
   for (NodeId n : g.NodeIds()) {
@@ -25,11 +45,60 @@ AnnotationIndex::AnnotationIndex(const DoemDatabase& d) {
       }
     }
   }
-  auto by_time = [](const auto& x, const auto& y) { return x.time < y.time; };
-  std::stable_sort(cre_.begin(), cre_.end(), by_time);
-  std::stable_sort(upd_.begin(), upd_.end(), by_time);
-  std::stable_sort(add_.begin(), add_.end(), by_time);
-  std::stable_sort(rem_.begin(), rem_.end(), by_time);
+  std::sort(cre_.begin(), cre_.end(), NodeEntryLess);
+  std::sort(upd_.begin(), upd_.end(), NodeEntryLess);
+  std::sort(add_.begin(), add_.end(), ArcEntryLess);
+  std::sort(rem_.begin(), rem_.end(), ArcEntryLess);
+}
+
+Status AnnotationIndex::Apply(const DoemDatabase& d, Timestamp t,
+                              const ChangeSet& ops) {
+  auto last_time = [](const auto& postings) {
+    return postings.empty() ? Timestamp::NegativeInfinity()
+                            : postings.back().time;
+  };
+  Timestamp newest = std::max({last_time(cre_), last_time(upd_),
+                               last_time(add_), last_time(rem_)});
+  if (t <= newest) {
+    return Status::InvalidChange(
+        "AnnotationIndex::Apply: timestamp " + t.ToString() +
+        " not after newest indexed timestamp " + newest.ToString());
+  }
+  std::vector<NodeEntry> cre_batch, upd_batch;
+  std::vector<ArcEntry> add_batch, rem_batch;
+  const OemDatabase& g = d.graph();
+  for (const ChangeOp& op : ops) {
+    switch (op.kind) {
+      case ChangeOp::Kind::kCreNode:
+        // Skip stillborn nodes: pruned physically, never indexed.
+        if (g.HasNode(op.node)) cre_batch.push_back({t, op.node});
+        break;
+      case ChangeOp::Kind::kUpdNode:
+        if (g.HasNode(op.node)) upd_batch.push_back({t, op.node});
+        break;
+      case ChangeOp::Kind::kAddArc:
+        if (g.HasArc(op.arc.parent, op.arc.label, op.arc.child)) {
+          add_batch.push_back({t, op.arc});
+        }
+        break;
+      case ChangeOp::Kind::kRemArc:
+        if (g.HasArc(op.arc.parent, op.arc.label, op.arc.child)) {
+          rem_batch.push_back({t, op.arc});
+        }
+        break;
+    }
+  }
+  // All batch entries share timestamp t > everything indexed, so sorting
+  // each batch and appending preserves global canonical order.
+  std::sort(cre_batch.begin(), cre_batch.end(), NodeEntryLess);
+  std::sort(upd_batch.begin(), upd_batch.end(), NodeEntryLess);
+  std::sort(add_batch.begin(), add_batch.end(), ArcEntryLess);
+  std::sort(rem_batch.begin(), rem_batch.end(), ArcEntryLess);
+  cre_.insert(cre_.end(), cre_batch.begin(), cre_batch.end());
+  upd_.insert(upd_.end(), upd_batch.begin(), upd_batch.end());
+  add_.insert(add_.end(), add_batch.begin(), add_batch.end());
+  rem_.insert(rem_.end(), rem_batch.begin(), rem_batch.end());
+  return Status::OK();
 }
 
 template <typename Entry>
@@ -77,9 +146,7 @@ std::vector<AnnotationIndex::NodeEntry> ScanCreatedIn(const DoemDatabase& d,
       }
     }
   }
-  std::stable_sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
-    return x.time < y.time;
-  });
+  std::sort(out.begin(), out.end(), NodeEntryLess);
   return out;
 }
 
@@ -96,9 +163,7 @@ std::vector<AnnotationIndex::ArcEntry> ScanAddedIn(const DoemDatabase& d,
       }
     }
   }
-  std::stable_sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
-    return x.time < y.time;
-  });
+  std::sort(out.begin(), out.end(), ArcEntryLess);
   return out;
 }
 

@@ -18,21 +18,39 @@ namespace doem {
 /// the QSS shape — "changes since the last poll" — are exactly such range
 /// probes; bench_annotation_index quantifies the gain.
 ///
-/// The index is a read-only companion: build it from a DoemDatabase and
-/// rebuild (or Refresh with the new timestamp's entries) after mutations.
+/// The index is a companion structure: build it from a DoemDatabase in
+/// one pass, then keep it current with Apply(...) after each change set
+/// (valid because change-set timestamps are strictly increasing, so new
+/// annotations always append at the time-sorted tail). Postings are kept
+/// in canonical order — (time, node) for node entries, (time, parent,
+/// label, child) for arc entries — so a fresh build and an incrementally
+/// maintained index are bit-for-bit identical.
 class AnnotationIndex {
  public:
   struct NodeEntry {
     Timestamp time;
     NodeId node;
+
+    bool operator==(const NodeEntry&) const = default;
   };
   struct ArcEntry {
     Timestamp time;
     Arc arc;
+
+    bool operator==(const ArcEntry&) const = default;
   };
 
   /// Builds the index in one pass over the database.
   explicit AnnotationIndex(const DoemDatabase& d);
+
+  /// Incrementally appends the postings of one change set that was just
+  /// applied to `d` at time `t` (i.e. call `d.ApplyChangeSet(t, ops)`
+  /// first, then `index.Apply(d, t, ops)`). Ops whose node/arc is no
+  /// longer physically present in `d` — stillborn nodes pruned by
+  /// RefreshDeleted and their incident arcs — are skipped, exactly as a
+  /// fresh build over `d` would never see them. `t` must exceed every
+  /// timestamp already indexed.
+  Status Apply(const DoemDatabase& d, Timestamp t, const ChangeSet& ops);
 
   /// Nodes with a cre annotation in [from, to], time-ascending.
   std::vector<NodeEntry> CreatedIn(Timestamp from, Timestamp to) const;
@@ -46,6 +64,10 @@ class AnnotationIndex {
   size_t entry_count() const {
     return cre_.size() + upd_.size() + add_.size() + rem_.size();
   }
+
+  /// Exact posting equality — with canonical ordering this holds between
+  /// a fresh build and an incrementally maintained index.
+  bool operator==(const AnnotationIndex&) const = default;
 
  private:
   template <typename Entry>

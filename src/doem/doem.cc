@@ -263,10 +263,14 @@ Value DoemDatabase::ValueAt(NodeId n, Timestamp t) const {
   if (current == nullptr) return Value();
   // Section 3.2: if the last upd is at or before t, the value is v(n);
   // otherwise it is the old value of the earliest upd strictly after t.
-  for (const Annotation& a : NodeAnnotations(n)) {
-    if (a.kind == Annotation::Kind::kUpd && a.time > t) {
-      return a.old_value;
-    }
+  // Annotation lists are time-ordered, so the earliest annotation strictly
+  // after t is found by binary search.
+  const AnnotationList& annots = NodeAnnotations(n);
+  auto it = std::upper_bound(
+      annots.begin(), annots.end(), t,
+      [](Timestamp lhs, const Annotation& a) { return lhs < a.time; });
+  for (; it != annots.end(); ++it) {
+    if (it->kind == Annotation::Kind::kUpd) return it->old_value;
   }
   return *current;
 }
@@ -281,12 +285,13 @@ bool DoemDatabase::ArcLiveAt(NodeId p, const std::string& l, NodeId c,
                              Timestamp t) const {
   if (!graph_.HasArc(p, l, c)) return false;
   const AnnotationList& annots = ArcAnnotations(p, l, c);
-  const Annotation* last_at_or_before = nullptr;
-  for (const Annotation& a : annots) {
-    if (a.time <= t) last_at_or_before = &a;
-  }
-  if (last_at_or_before != nullptr) {
-    return last_at_or_before->kind == Annotation::Kind::kAdd;
+  // Time-ordered list: the latest annotation at or before t is the one
+  // just before the first annotation strictly after t.
+  auto it = std::upper_bound(
+      annots.begin(), annots.end(), t,
+      [](Timestamp lhs, const Annotation& a) { return lhs < a.time; });
+  if (it != annots.begin()) {
+    return std::prev(it)->kind == Annotation::Kind::kAdd;
   }
   // No annotation at or before t: the arc existed at t iff it is an
   // original arc — no annotations at all, or the earliest annotation is a
@@ -383,11 +388,10 @@ std::vector<UpdRecord> DoemDatabase::UpdRecords(NodeId n) const {
 std::vector<std::pair<Timestamp, NodeId>> DoemDatabase::AddAnnotated(
     NodeId n, const std::string& label) const {
   std::vector<std::pair<Timestamp, NodeId>> out;
-  for (const OutArc& a : graph_.OutArcs(n)) {
-    if (a.label != label) continue;
-    for (const Annotation& ann : ArcAnnotations(n, a.label, a.child)) {
+  for (NodeId c : graph_.Children(n, label)) {
+    for (const Annotation& ann : ArcAnnotations(n, label, c)) {
       if (ann.kind == Annotation::Kind::kAdd) {
-        out.emplace_back(ann.time, a.child);
+        out.emplace_back(ann.time, c);
       }
     }
   }
@@ -397,11 +401,10 @@ std::vector<std::pair<Timestamp, NodeId>> DoemDatabase::AddAnnotated(
 std::vector<std::pair<Timestamp, NodeId>> DoemDatabase::RemAnnotated(
     NodeId n, const std::string& label) const {
   std::vector<std::pair<Timestamp, NodeId>> out;
-  for (const OutArc& a : graph_.OutArcs(n)) {
-    if (a.label != label) continue;
-    for (const Annotation& ann : ArcAnnotations(n, a.label, a.child)) {
+  for (NodeId c : graph_.Children(n, label)) {
+    for (const Annotation& ann : ArcAnnotations(n, label, c)) {
       if (ann.kind == Annotation::Kind::kRem) {
-        out.emplace_back(ann.time, a.child);
+        out.emplace_back(ann.time, c);
       }
     }
   }

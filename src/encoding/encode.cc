@@ -26,17 +26,33 @@ bool LabelFromHistory(const std::string& encoded, std::string* label) {
   return true;
 }
 
+std::string EncodeArcKey(NodeId p, const std::string& l, NodeId c) {
+  return std::to_string(p) + "\x1f" + l + "\x1f" + std::to_string(c);
+}
+
 Result<OemDatabase> EncodeDoem(const DoemDatabase& d) {
+  return EncodeDoem(d, 0, nullptr);
+}
+
+Result<OemDatabase> EncodeDoem(const DoemDatabase& d, NodeId aux_floor,
+                               EncodeTables* tables) {
   const OemDatabase& g = d.graph();
   if (g.root() == kInvalidNode) {
     return Status::InvalidArgument("EncodeDoem: database has no root");
   }
   OemDatabase out;
-  // Encoding objects reuse the DOEM ids; auxiliary ids start above them.
+  // Encoding objects reuse the DOEM ids; auxiliary ids start above them
+  // (or above aux_floor, when the caller reserves an id band so future
+  // DOEM ids cannot collide with auxiliary ids).
   for (NodeId n : g.NodeIds()) {
+    if (n >= aux_floor && aux_floor != 0) {
+      return Status::InvalidArgument(
+          "EncodeDoem: node id " + std::to_string(n) +
+          " at or above the auxiliary id floor");
+    }
     DOEM_RETURN_IF_ERROR(out.CreNode(n, Value::Complex()));
   }
-  out.ReserveIdsBelow(g.PeekNextId());
+  out.ReserveIdsBelow(std::max(g.PeekNextId(), aux_floor));
 
   for (NodeId n : g.NodeIds()) {
     // &val.
@@ -74,6 +90,9 @@ Result<OemDatabase> EncodeDoem(const DoemDatabase& d) {
         DOEM_RETURN_IF_ERROR(out.AddArc(n, a.label, a.child));
       }
       NodeId hist = out.NewComplex();
+      if (tables != nullptr) {
+        tables->arc_history[EncodeArcKey(n, a.label, a.child)] = hist;
+      }
       DOEM_RETURN_IF_ERROR(out.AddArc(n, HistoryLabelFor(a.label), hist));
       DOEM_RETURN_IF_ERROR(out.AddArc(hist, "&target", a.child));
       for (const Annotation& ann : d.ArcAnnotations(n, a.label, a.child)) {

@@ -1,6 +1,8 @@
 #include "lorel/eval.h"
 
+#include <algorithm>
 #include <deque>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -23,6 +25,7 @@ class Evaluator {
   Result<QueryResult> Run() {
     QueryResult result;
     result.labels = q_.labels;
+    PrepareSeeding();
     Env env;
     DOEM_RETURN_IF_ERROR(EnumDefs(0, &env, &result));
     if (opts_.package_results) {
@@ -37,7 +40,9 @@ class Evaluator {
   Status EnumDefs(size_t idx, Env* env, QueryResult* result) {
     if (idx == q_.defs.size()) return TestAndEmit(*env, result);
     const RangeDef& def = q_.defs[idx];
-    auto matches = MatchStep(*env, def.source_var, def.step, def.var);
+    auto matches =
+        MatchStep(*env, def.source_var, def.step, def.var,
+                  /*allow_seeding=*/true);
     if (!matches.ok()) return matches.status();
     for (Bindings& b : *matches) {
       if (def.bind_value) {
@@ -56,11 +61,16 @@ class Evaluator {
 
   /// Enumerates one step from the source variable's binding, producing
   /// for each match the variable bindings it introduces (the endpoint
-  /// node variable plus any annotation variables).
+  /// node variable plus any annotation variables). `allow_seeding` is set
+  /// only for top-level range definitions, whose annotation variables are
+  /// the ones the where clause's top-level conjuncts constrain; lazy
+  /// paths (inside exists / comparisons) bind variables with their own
+  /// scopes and always scan.
   Result<std::vector<Bindings>> MatchStep(const Env& env,
                                           const std::string& source_var,
                                           const PathStep& step,
-                                          const std::string& end_var) {
+                                          const std::string& end_var,
+                                          bool allow_seeding = false) {
     std::vector<Bindings> out;
     NodeId source;
     if (source_var.empty()) {
@@ -88,6 +98,8 @@ class Evaluator {
           if (skip_amp && !a.label.empty() && a.label[0] == '&') continue;
           candidates.push_back({a.child, {}});
         }
+      } else if (auto seeded = SeedNodeCandidates(allow_seeding, source, step)) {
+        for (NodeId c : *seeded) candidates.push_back({c, {}});
       } else {
         for (NodeId c : view_.Children(source, step.label)) {
           candidates.push_back({c, {}});
@@ -114,7 +126,9 @@ class Evaluator {
               "this view has no annotations");
         }
         std::vector<std::pair<Timestamp, NodeId>> pairs;
-        if (step.wildcard_one) {
+        if (auto seeded = SeedArcPairs(allow_seeding, source, step, a)) {
+          pairs = std::move(*seeded);
+        } else if (step.wildcard_one) {
           pairs = a.kind == AnnotKind::kAdd ? view_.AddAnnotatedAny(source)
                                             : view_.RemAnnotatedAny(source);
         } else {
@@ -216,6 +230,190 @@ class Evaluator {
       }
     }
     return order;
+  }
+
+  // ---- annotation-index seeding ----------------------------------------
+  //
+  // When the where clause range-bounds an annotation time variable via
+  // top-level AND conjuncts (T > t[-1], T <= 1997-03-01, ...), candidates
+  // for the step that binds T can be enumerated annotation-first from the
+  // view's index postings instead of scanning every child: any candidate
+  // whose annotation time falls outside the bounds would bind a T that
+  // fails the conjunct, so restricting to the bounded range is sound.
+  // Seeding is attempted only for plain-label steps of top-level defs,
+  // only for variables bound by exactly one def step (a reused name would
+  // be rebound later, making the pruned binding unobservable by the where
+  // clause), and falls back to scanning whenever the view has no index.
+
+  void PrepareSeeding() {
+    // A variable qualifies only if bound by exactly one top-level def —
+    // def vars count double so any collision disqualifies.
+    std::unordered_map<std::string, int> counts;
+    for (const RangeDef& def : q_.defs) {
+      counts[def.var] += 2;
+      for (const AnnotExpr* annot :
+           {def.step.arc_annot ? &*def.step.arc_annot : nullptr,
+            def.step.node_annot ? &*def.step.node_annot : nullptr}) {
+        if (annot == nullptr) continue;
+        for (const std::string* v :
+             {&annot->time_var, &annot->from_var, &annot->to_var}) {
+          if (!v->empty()) counts[*v] += 1;
+        }
+      }
+    }
+    for (const auto& [name, n] : counts) {
+      if (n == 1) seedable_vars_.insert(name);
+    }
+    if (q_.where) CollectConjunctBounds(q_.where);
+  }
+
+  void CollectConjunctBounds(const ExprPtr& e) {
+    if (e->kind != Expr::Kind::kBinary) return;
+    if (e->op == BinOp::kAnd) {
+      CollectConjunctBounds(e->lhs);
+      CollectConjunctBounds(e->rhs);
+      return;
+    }
+    // Orient as Var op Bound.
+    BinOp op = e->op;
+    const Expr* var = nullptr;
+    const Expr* bound = nullptr;
+    if (e->lhs->kind == Expr::Kind::kVar) {
+      var = e->lhs.get();
+      bound = e->rhs.get();
+    } else if (e->rhs->kind == Expr::Kind::kVar) {
+      var = e->rhs.get();
+      bound = e->lhs.get();
+      switch (op) {
+        case BinOp::kLt: op = BinOp::kGt; break;
+        case BinOp::kLe: op = BinOp::kGe; break;
+        case BinOp::kGt: op = BinOp::kLt; break;
+        case BinOp::kGe: op = BinOp::kLe; break;
+        default: break;
+      }
+    } else {
+      return;
+    }
+    // The bound must be a constant with timestamp meaning. Int and
+    // parseable-string literals qualify: the bounded variable is only
+    // ever an annotation time variable (timestamp-valued), and comparing
+    // a timestamp against those coerces them exactly this way
+    // (CompareValues's timestamp context).
+    Timestamp t;
+    if (bound->kind == Expr::Kind::kTimeRef) {
+      auto r = ResolveTimeRef(bound->time_ref);
+      if (!r.ok()) return;  // no polling times: no bound from this conjunct
+      t = *r;
+    } else if (bound->kind == Expr::Kind::kLiteral) {
+      switch (bound->literal.kind()) {
+        case Value::Kind::kTimestamp:
+          t = bound->literal.AsTime();
+          break;
+        case Value::Kind::kInt:
+          t = Timestamp(bound->literal.AsInt());
+          break;
+        case Value::Kind::kString:
+          if (!Timestamp::Parse(bound->literal.AsString(), &t)) return;
+          break;
+        default:
+          return;
+      }
+    } else {
+      return;
+    }
+    constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+    constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+    auto it = time_bounds_.find(var->var);
+    if (it == time_bounds_.end()) {
+      it = time_bounds_
+               .emplace(var->var, std::make_pair(Timestamp(kMin),
+                                                 Timestamp(kMax)))
+               .first;
+    }
+    auto& [lo, hi] = it->second;
+    switch (op) {
+      case BinOp::kGt:
+        // Strict bounds saturate at the tick limits, which only ever
+        // widens the range — still a sound over-approximation.
+        lo = std::max(lo, Timestamp(t.ticks == kMax ? kMax : t.ticks + 1));
+        break;
+      case BinOp::kGe:
+        lo = std::max(lo, t);
+        break;
+      case BinOp::kLt:
+        hi = std::min(hi, Timestamp(t.ticks == kMin ? kMin : t.ticks - 1));
+        break;
+      case BinOp::kLe:
+        hi = std::min(hi, t);
+        break;
+      case BinOp::kEq:
+        lo = std::max(lo, t);
+        hi = std::min(hi, t);
+        break;
+      default:
+        // kNe / kLike constrain nothing rangewise; drop the entry if this
+        // conjunct was the only mention.
+        if (it->second ==
+            std::make_pair(Timestamp(kMin), Timestamp(kMax))) {
+          time_bounds_.erase(it);
+        }
+        break;
+    }
+  }
+
+  /// The [lo, hi] range for a seedable, range-bounded variable, or null.
+  const std::pair<Timestamp, Timestamp>* BoundsFor(
+      const std::string& var) const {
+    if (var.empty() || !seedable_vars_.contains(var)) return nullptr;
+    auto it = time_bounds_.find(var);
+    return it == time_bounds_.end() ? nullptr : &it->second;
+  }
+
+  /// Candidates for a plain-label step with a time-bounded <cre at T> /
+  /// <upd ...> node annotation: nodes the index reports in range,
+  /// restricted to live label-children of the source. nullopt = seeding
+  /// not applicable; scan.
+  std::optional<std::vector<NodeId>> SeedNodeCandidates(
+      bool allow_seeding, NodeId source, const PathStep& step) {
+    if (!allow_seeding || !step.node_annot) return std::nullopt;
+    const AnnotExpr& a = *step.node_annot;
+    const auto* bounds = BoundsFor(a.time_var);
+    if (bounds == nullptr) return std::nullopt;
+    std::optional<std::vector<NodeId>> in_range;
+    if (a.kind == AnnotKind::kCre) {
+      in_range = view_.CreatedInRange(bounds->first, bounds->second);
+    } else if (a.kind == AnnotKind::kUpd) {
+      in_range = view_.UpdatedInRange(bounds->first, bounds->second);
+    }
+    if (!in_range) return std::nullopt;
+    std::vector<NodeId> out;
+    for (NodeId c : *in_range) {
+      if (view_.HasLiveArc(source, step.label, c)) out.push_back(c);
+    }
+    return out;
+  }
+
+  /// (time, child) pairs for a time-bounded <add at T> / <rem at T> arc
+  /// annotation, from the index's in-range arc postings filtered to the
+  /// source (and label, unless the step is the '%' wildcard). nullopt =
+  /// seeding not applicable; scan.
+  std::optional<std::vector<std::pair<Timestamp, NodeId>>> SeedArcPairs(
+      bool allow_seeding, NodeId source, const PathStep& step,
+      const AnnotExpr& a) {
+    if (!allow_seeding) return std::nullopt;
+    const auto* bounds = BoundsFor(a.time_var);
+    if (bounds == nullptr) return std::nullopt;
+    auto in_range = a.kind == AnnotKind::kAdd
+                        ? view_.AddedInRange(bounds->first, bounds->second)
+                        : view_.RemovedInRange(bounds->first, bounds->second);
+    if (!in_range) return std::nullopt;
+    std::vector<std::pair<Timestamp, NodeId>> out;
+    for (const auto& [t, arc] : *in_range) {
+      if (arc.parent != source) continue;
+      if (!step.wildcard_one && arc.label != step.label) continue;
+      out.emplace_back(t, arc.child);
+    }
+    return out;
   }
 
   // ---- where-clause evaluation ------------------------------------------
@@ -525,6 +723,11 @@ class Evaluator {
   const NormQuery& q_;
   const GraphView& view_;
   const EvalOptions& opts_;
+  // Annotation variables eligible for index seeding and their where-derived
+  // time bounds (PrepareSeeding).
+  std::unordered_set<std::string> seedable_vars_;
+  std::unordered_map<std::string, std::pair<Timestamp, Timestamp>>
+      time_bounds_;
   std::unordered_set<std::string> seen_rows_;
   std::unordered_map<NodeId, NodeId> copied_;
 };

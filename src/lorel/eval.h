@@ -43,7 +43,12 @@ struct RtVal {
 
   /// Canonical key used for row deduplication and deterministic ordering.
   std::string Key() const;
-  bool operator==(const RtVal& o) const { return Key() == o.Key(); }
+  /// Field comparison — equivalent to Key() == o.Key() without
+  /// materializing the key strings.
+  bool operator==(const RtVal& o) const {
+    return kind == o.kind && node == o.node && as_of == o.as_of &&
+           value == o.value;
+  }
 };
 
 /// The outcome of a query: raw variable bindings per result row (used by

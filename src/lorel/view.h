@@ -89,6 +89,42 @@ class GraphView {
     return {};
   }
 
+  // ---- Annotation-index seeding (default: no index) -------------------
+  //
+  // Views backed by an annotation index answer "which nodes/arcs carry a
+  // cre/upd/add/rem annotation in [from, to]?" from time-sorted postings.
+  // The evaluator uses these to enumerate candidates annotation-first
+  // when a step's time variable is range-bounded by the where clause,
+  // instead of scanning every child. nullopt = no index; the evaluator
+  // falls back to scanning.
+
+  virtual std::optional<std::vector<NodeId>> CreatedInRange(
+      Timestamp, Timestamp) const {
+    return std::nullopt;
+  }
+  /// Distinct nodes with at least one upd annotation in range.
+  virtual std::optional<std::vector<NodeId>> UpdatedInRange(
+      Timestamp, Timestamp) const {
+    return std::nullopt;
+  }
+  virtual std::optional<std::vector<std::pair<Timestamp, Arc>>> AddedInRange(
+      Timestamp, Timestamp) const {
+    return std::nullopt;
+  }
+  virtual std::optional<std::vector<std::pair<Timestamp, Arc>>>
+  RemovedInRange(Timestamp, Timestamp) const {
+    return std::nullopt;
+  }
+  /// Membership probe used by seeded enumeration: is c a live l-child of
+  /// p? Default derives from Children; concrete views override with O(1)
+  /// lookups.
+  virtual bool HasLiveArc(NodeId p, const std::string& l, NodeId c) const {
+    for (NodeId x : Children(p, l)) {
+      if (x == c) return true;
+    }
+    return false;
+  }
+
   // ---- Virtual annotations (Section 4.2.2; default: unsupported) -----
 
   virtual bool SupportsTimeTravel() const { return false; }
@@ -121,6 +157,9 @@ class OemView : public GraphView {
     return db_.OutArcs(n);
   }
   bool SkipEncodingLabelsInWildcard() const override { return amp_aware_; }
+  bool HasLiveArc(NodeId p, const std::string& l, NodeId c) const override {
+    return db_.HasArc(p, l, c);
+  }
   NodeId IdFloor() const override { return db_.PeekNextId(); }
 
   const OemDatabase& db() const { return db_; }

@@ -83,6 +83,7 @@ Status OemDatabase::EraseNodeForce(NodeId node) {
   }
   out_.erase(node);
   arc_keys_.erase(node);
+  by_label_.erase(node);
   values_.erase(node);
   return Status::OK();
 }
@@ -113,6 +114,7 @@ Status OemDatabase::AddArcForce(NodeId parent, const std::string& label,
                                  " already exists");
   }
   out_[parent].push_back(OutArc{label, child});
+  by_label_[parent][label].push_back(child);
   ++arc_count_;
   return Status::OK();
 }
@@ -127,6 +129,12 @@ Status OemDatabase::RemArc(NodeId parent, const std::string& label,
   }
   auto& arcs = out_[parent];
   arcs.erase(std::find(arcs.begin(), arcs.end(), OutArc{label, child}));
+  auto& bucket = by_label_[parent][label];
+  bucket.erase(std::find(bucket.begin(), bucket.end(), child));
+  if (bucket.empty()) {
+    by_label_[parent].erase(label);
+    if (by_label_[parent].empty()) by_label_.erase(parent);
+  }
   --arc_count_;
   return Status::OK();
 }
@@ -151,18 +159,19 @@ const std::vector<OutArc>& OemDatabase::OutArcs(NodeId node) const {
 
 std::vector<NodeId> OemDatabase::Children(NodeId node,
                                           const std::string& label) const {
-  std::vector<NodeId> out;
-  for (const OutArc& a : OutArcs(node)) {
-    if (a.label == label) out.push_back(a.child);
-  }
-  return out;
+  auto it = by_label_.find(node);
+  if (it == by_label_.end()) return {};
+  auto lit = it->second.find(label);
+  if (lit == it->second.end()) return {};
+  return lit->second;
 }
 
 NodeId OemDatabase::Child(NodeId node, const std::string& label) const {
-  for (const OutArc& a : OutArcs(node)) {
-    if (a.label == label) return a.child;
-  }
-  return kInvalidNode;
+  auto it = by_label_.find(node);
+  if (it == by_label_.end()) return kInvalidNode;
+  auto lit = it->second.find(label);
+  if (lit == it->second.end() || lit->second.empty()) return kInvalidNode;
+  return lit->second.front();
 }
 
 std::vector<NodeId> OemDatabase::NodeIds() const {
@@ -213,6 +222,7 @@ std::vector<NodeId> OemDatabase::CollectGarbage() {
       out_.erase(it);
     }
     arc_keys_.erase(id);
+    by_label_.erase(id);
     values_.erase(id);
     // id stays in burned_ids_: deleted ids are never reused.
   }

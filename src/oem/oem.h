@@ -177,6 +177,13 @@ class OemDatabase {
   // Fast (label, child) membership per parent, for AddArc/HasArc on
   // high-fanout nodes.
   std::unordered_map<NodeId, std::unordered_set<std::string>> arc_keys_;
+  // Per-parent, per-label child lists (insertion order), so Children() is
+  // a hash probe instead of a scan over all out-arcs. Kept alongside
+  // arc_keys_: the set answers HasArc in O(1) even when one label has many
+  // children, the buckets answer Children without touching other labels.
+  std::unordered_map<NodeId,
+                     std::unordered_map<std::string, std::vector<NodeId>>>
+      by_label_;
   // Ids ever used, including deleted ones: "identifiers of deleted nodes
   // are not reused" (Section 2.2).
   std::unordered_set<NodeId> burned_ids_;

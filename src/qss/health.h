@@ -91,7 +91,11 @@ struct PollError {
     /// The poll pipeline failed; `subject` is the comma-joined member
     /// list of the group.
     kPoll,
-    /// A filter query failed; `subject` is the member subscription.
+    /// A filter query failed (`subject` is the member subscription), or
+    /// the group's filter-cache maintenance failed its patch or verify
+    /// cross-check (`subject` is the comma-joined member list; the poll
+    /// itself still succeeds — the caches rebuild on the next filter
+    /// run).
     kFilter,
   };
   Kind kind = Kind::kPoll;
@@ -115,14 +119,17 @@ struct PollReport {
   size_t notifications = 0;
   /// Wall-clock nanoseconds spent in each pipeline phase, summed across
   /// poll groups: fetch covers source polls including retries, diff the
-  /// OEMdiff of R_{k-1} vs R_k, apply the DOEM incorporation. With a
-  /// parallel executor the per-phase sums can exceed the elapsed time of
-  /// the call (phases overlap across groups). Unlike every other field,
-  /// these are measured, not simulated: they differ run to run and are
-  /// excluded from determinism comparisons.
+  /// OEMdiff of R_{k-1} vs R_k, apply the DOEM incorporation plus the
+  /// incremental engine-cache maintenance, filter the evaluation of every
+  /// member's filter query. With a parallel executor the per-phase sums
+  /// can exceed the elapsed time of the call (phases overlap across
+  /// groups). Unlike every other field, these are measured, not
+  /// simulated: they differ run to run and are excluded from determinism
+  /// comparisons.
   int64_t fetch_ns = 0;
   int64_t diff_ns = 0;
   int64_t apply_ns = 0;
+  int64_t filter_ns = 0;
   std::vector<PollError> errors;
 
   bool all_ok() const { return errors.empty(); }

@@ -74,6 +74,11 @@ QuerySubscriptionService::GroupFor(const Subscription& sub) {
   auto doem = DoemDatabase::FromSnapshot(std::move(base));
   if (!doem.ok()) return doem.status();
   group->doem = std::move(doem).value();
+  chorel::ChorelEngineOptions eopts;
+  eopts.incremental = options_.incremental_filter;
+  eopts.seed_from_index = options_.seed_filter_from_index;
+  eopts.verify_incremental = options_.verify_incremental_filter;
+  group->engine = std::make_unique<chorel::ChorelEngine>(group->doem, eopts);
   PollGroup* out = group.get();
   groups_.emplace(std::move(key), std::move(group));
   return out;
@@ -85,7 +90,9 @@ Status QuerySubscriptionService::Subscribe(const Subscription& sub,
     return Status::AlreadyExists("subscription '" + sub.name + "' exists");
   }
   DOEM_RETURN_IF_ERROR(ValidatePollingQuery(sub.polling_query));
-  auto filter = lorel::ParseAndNormalize(sub.filter_query);
+  // Parse and normalize the filter once; every poll reuses the compiled
+  // form instead of re-parsing the query text.
+  auto filter = chorel::CompileChorel(sub.filter_query);
   if (!filter.ok()) {
     return Status(filter.status().code(),
                   "filter query: " + filter.status().message());
@@ -96,6 +103,7 @@ Status QuerySubscriptionService::Subscribe(const Subscription& sub,
   state.sub = sub;
   state.callback = std::move(callback);
   state.group_key = GroupKey(sub);
+  state.filter = std::move(filter).value();
   subs_.emplace(sub.name, std::move(state));
   return Status::OK();
 }
@@ -284,22 +292,33 @@ void QuerySubscriptionService::CommitPoll(PreparedPoll* pending,
   report->diff_ns += pending->diff_ns;
 
   Status failure = pending->failure;
+  Status maintain;  // engine-cache maintenance outcome (see below)
   if (failure.ok()) {
     // 4. DOEM manager: incorporate (t, U_k). Build the new state off to
     // the side and commit only on success, so a failed incorporation
     // never costs history (kTwoSnapshots used to drop it before
-    // applying).
+    // applying). On success, bring the group engine's caches along:
+    // patched in O(delta) under kFull, dropped under kTwoSnapshots (the
+    // rebase replaced the history wholesale, so a patch of the old
+    // encoding would describe the wrong database). A failed apply leaves
+    // both the history and the caches untouched and consistent.
     auto apply_start = std::chrono::steady_clock::now();
     if (options_.retention == HistoryRetention::kTwoSnapshots) {
       auto rebased = DoemDatabase::FromSnapshot(group->doem.CurrentSnapshot());
       if (rebased.ok()) {
         failure = rebased->ApplyChangeSet(t, pending->delta);
-        if (failure.ok()) group->doem = std::move(rebased).value();
+        if (failure.ok()) {
+          group->doem = std::move(rebased).value();
+          group->engine->Invalidate();
+        }
       } else {
         failure = rebased.status();
       }
     } else {
       failure = group->doem.ApplyChangeSet(t, pending->delta);
+      if (failure.ok()) {
+        maintain = group->engine->ApplyDelta(t, pending->delta);
+      }
     }
     report->apply_ns += ElapsedNs(apply_start);
   }
@@ -333,14 +352,32 @@ void QuerySubscriptionService::CommitPoll(PreparedPoll* pending,
   health.consecutive_failures = 0;
   health.state = CircuitState::kClosed;
 
-  // 5. Chorel engine: evaluate each member's filter query. One member's
-  // failure must not starve the rest: collect the error, keep going.
-  chorel::ChorelEngine engine(group->doem);
+  if (!maintain.ok()) {
+    // The cache patch (or its verify cross-check) failed. The engine has
+    // already dropped the affected caches, so the next filter run
+    // rebuilds from the (correct) history — surface the event without
+    // failing the poll.
+    PollError error;
+    error.kind = PollError::Kind::kFilter;
+    error.subject = JoinMembers(group->members);
+    error.time = t;
+    error.status = Status(maintain.code(), "filter cache maintenance: " +
+                                               maintain.message());
+    report->errors.push_back(error);
+    if (options_.on_error) options_.on_error(error);
+  }
+
+  // 5. Chorel engine: evaluate each member's compiled filter query on the
+  // group's persistent engine. One member's failure must not starve the
+  // rest: collect the error, keep going.
   for (const std::string& member : group->members) {
-    const SubState& state = subs_.at(member);
+    SubState& state = subs_.at(member);
     lorel::EvalOptions opts;
     opts.polling_times = &group->polls;
-    auto result = engine.Run(state.sub.filter_query, options_.strategy, opts);
+    auto filter_start = std::chrono::steady_clock::now();
+    auto result =
+        group->engine->RunCompiled(&state.filter, options_.strategy, opts);
+    report->filter_ns += ElapsedNs(filter_start);
     if (!result.ok()) {
       PollError error;
       error.kind = PollError::Kind::kFilter;

@@ -66,6 +66,24 @@ struct QssOptions {
   /// notifies nobody).
   bool notify_empty = false;
 
+  // ---- Query acceleration (DESIGN.md §6c) -----------------------------
+
+  /// Maintain each group's Chorel engine caches (the Section 5.1 OEM
+  /// encoding and the annotation index) incrementally with each poll's
+  /// delta — O(delta) per poll instead of a from-scratch rebuild over the
+  /// whole accumulated history. false = ablation baseline: drop the
+  /// caches every poll and rebuild on the next filter evaluation. Either
+  /// setting yields byte-identical histories, rows, and notifications.
+  bool incremental_filter = true;
+  /// Seed direct-strategy annotation expressions whose time variables are
+  /// range-bounded by the where clause (the QSS shape: T > t[-1]) from
+  /// the annotation index, instead of scanning every child per step.
+  bool seed_filter_from_index = true;
+  /// Debug cross-check: after every poll, verify the incrementally
+  /// maintained caches against from-scratch rebuilds; divergence surfaces
+  /// as a filter PollError. Slow — for tests.
+  bool verify_incremental_filter = false;
+
   // ---- Fault tolerance (the source is autonomous and may fail) --------
 
   /// Retry/backoff/deadline policy applied to every scheduled poll.
@@ -171,11 +189,21 @@ class QuerySubscriptionService {
     Timestamp next_poll;
     std::vector<std::string> members;
     PollHealth health;
+    /// Persistent per-group Chorel engine: its encoding / index caches
+    /// survive across polls and are patched with each poll's delta
+    /// (QssOptions::incremental_filter). References `doem`, whose address
+    /// is stable (groups are heap-allocated; the two-snapshot rebase
+    /// move-assigns in place).
+    std::unique_ptr<chorel::ChorelEngine> engine;
   };
   struct SubState {
     Subscription sub;
     NotificationCallback callback;
     std::string group_key;
+    /// The filter query, parsed and normalized once at Subscribe time
+    /// (the translated strategy caches its Section 5.2 translation here
+    /// after the first poll).
+    chorel::CompiledQuery filter;
   };
 
   /// The parallelizable half of one scheduled poll, plus everything the

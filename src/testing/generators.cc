@@ -339,6 +339,33 @@ OemHistory SyntheticGuideHistory(const OemDatabase& guide, size_t steps,
   return history;
 }
 
+OemHistory SyntheticGuideChurn(const OemDatabase& guide, size_t steps,
+                               size_t ops_per_step, uint32_t seed) {
+  std::mt19937 rng(seed);
+  OemHistory history;
+  NodeId groot = guide.Child(guide.root(), "guide");
+  // Prices never move or disappear in a churn history, so collect once.
+  std::vector<NodeId> prices;
+  for (NodeId r : guide.Children(groot, "restaurant")) {
+    NodeId price = guide.Child(r, "price");
+    if (price != kInvalidNode) prices.push_back(price);
+  }
+  for (size_t step = 0; step < steps; ++step) {
+    Timestamp t = Timestamp(Timestamp::FromDate(1997, 1, 1).ticks +
+                            static_cast<int64_t>(step));
+    ChangeSet ops;
+    std::set<NodeId> upd_targets;
+    for (size_t k = 0; k < ops_per_step && !prices.empty(); ++k) {
+      NodeId price = prices[rng() % prices.size()];
+      if (!upd_targets.insert(price).second) continue;
+      ops.push_back(ChangeOp::UpdNode(
+          price, Value::Int(static_cast<int64_t>(5 + rng() % 40))));
+    }
+    Must(history.Append(t, std::move(ops)));
+  }
+  return history;
+}
+
 qss::FrequencySpec RandomFrequencySpec(std::mt19937* rng,
                                        int64_t max_interval_ticks) {
   if (max_interval_ticks < 1) max_interval_ticks = 1;

@@ -63,6 +63,16 @@ OemDatabase SyntheticGuide(size_t restaurants, uint32_t seed = 7);
 OemHistory SyntheticGuideHistory(const OemDatabase& guide, size_t steps,
                                  size_t ops_per_step, uint32_t seed = 11);
 
+/// A fixed-shape churn history for SyntheticGuide(restaurants, seed):
+/// every step updates up to `ops_per_step` existing prices and nothing
+/// else, so the graph never grows while accumulated annotation history
+/// grows linearly in `steps`. This isolates history-length effects: a
+/// query over the current snapshot costs the same at every step, so any
+/// per-poll slowdown is attributable to history-proportional work (the
+/// from-scratch encoding rebuild the incremental maintainer eliminates).
+OemHistory SyntheticGuideChurn(const OemDatabase& guide, size_t steps,
+                               size_t ops_per_step, uint32_t seed = 13);
+
 /// A random "every N ticks" frequency spec with
 /// 1 <= N <= max_interval_ticks, for QSS scheduling stress tests.
 qss::FrequencySpec RandomFrequencySpec(std::mt19937* rng,

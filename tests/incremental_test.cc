@@ -1,0 +1,440 @@
+// DESIGN.md §6c guard tests: the incrementally maintained query caches —
+// the Section 5.1 OEM encoding patched by IncrementalEncoder and the
+// AnnotationIndex kept current with Apply — must be observationally
+// identical to from-scratch rebuilds, and index-seeded evaluation must
+// return exactly the rows of scan evaluation. The QSS twin-run test at
+// the bottom pins the end-to-end property: a service with incremental
+// maintenance produces byte-identical histories, notification rows, and
+// reports to one that rebuilds every poll.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chorel/chorel.h"
+#include "doem/annotation_index.h"
+#include "encoding/doem_text.h"
+#include "encoding/encode.h"
+#include "encoding/encode_incremental.h"
+#include "oem/graph_compare.h"
+#include "qss/executor.h"
+#include "qss/qss.h"
+#include "testing/generators.h"
+
+namespace doem {
+namespace {
+
+// ------------------------------------------ AnnotationIndex::Apply
+
+// Replaying a history step by step through Apply must match a fresh
+// index build after every step (exact posting equality — canonical
+// ordering makes the two bit-for-bit identical).
+void ExpectApplyTracksFreshBuild(const OemDatabase& base,
+                                 const OemHistory& history) {
+  auto d = DoemDatabase::FromSnapshot(base);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  AnnotationIndex maintained(*d);
+  for (const HistoryStep& step : history.steps()) {
+    ASSERT_TRUE(d->ApplyChangeSet(step.time, step.changes).ok());
+    Status s = maintained.Apply(*d, step.time, step.changes);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_TRUE(maintained == AnnotationIndex(*d))
+        << "maintained index diverges at t=" << step.time.ticks;
+  }
+}
+
+TEST(AnnotationIndexApplyTest, TracksFreshBuildOnGuideHistories) {
+  OemDatabase guide = testing::SyntheticGuide(12);
+  ExpectApplyTracksFreshBuild(guide,
+                              testing::SyntheticGuideHistory(guide, 10, 4));
+  ExpectApplyTracksFreshBuild(guide,
+                              testing::SyntheticGuideChurn(guide, 10, 4));
+}
+
+TEST(AnnotationIndexApplyTest, TracksFreshBuildOnRandomHistories) {
+  for (uint32_t seed = 1; seed <= 4; ++seed) {
+    testing::DatabaseOptions dbo;
+    dbo.seed = seed;
+    dbo.node_count = 60;
+    OemDatabase base = testing::RandomDatabase(dbo);
+    testing::HistoryOptions ho;
+    ho.seed = seed + 900;
+    ho.steps = 10;
+    ExpectApplyTracksFreshBuild(base, testing::RandomHistory(base, ho));
+  }
+}
+
+TEST(AnnotationIndexApplyTest, RejectsNonMonotoneTimestamp) {
+  OemDatabase guide = testing::SyntheticGuide(6);
+  OemHistory history = testing::SyntheticGuideChurn(guide, 3, 2);
+  auto d = DoemDatabase::Build(guide, history);
+  ASSERT_TRUE(d.ok());
+  AnnotationIndex index(*d);
+  Timestamp stale = history.steps().back().time;  // == newest indexed
+  Status s = index.Apply(*d, stale, {});
+  EXPECT_FALSE(s.ok());
+}
+
+// ------------------------------------------ IncrementalEncoder
+
+// After every patched step the maintained encoding must decode back to
+// the database, and must stay isomorphic to a fresh EncodeDoem (equal up
+// to auxiliary-node renaming — the maintainer allocates auxiliary ids in
+// its reserved band, so exact graph equality is not expected).
+void ExpectEncoderTracksFullEncode(const OemDatabase& base,
+                                   const OemHistory& history) {
+  auto d = DoemDatabase::FromSnapshot(base);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  auto enc = IncrementalEncoder::Create(*d);
+  ASSERT_TRUE(enc.ok()) << enc.status().ToString();
+  for (const HistoryStep& step : history.steps()) {
+    ASSERT_TRUE(d->ApplyChangeSet(step.time, step.changes).ok());
+    Status s = enc->ApplyDelta(*d, step.time, step.changes);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    auto decoded = DecodeDoem(enc->encoding());
+    ASSERT_TRUE(decoded.ok())
+        << "t=" << step.time.ticks << ": " << decoded.status().ToString();
+    EXPECT_TRUE(decoded->Equals(*d))
+        << "patched encoding decodes to a different database at t="
+        << step.time.ticks;
+    auto fresh = EncodeDoem(*d);
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_TRUE(Isomorphic(enc->encoding(), *fresh))
+        << "patched encoding not isomorphic to fresh encode at t="
+        << step.time.ticks;
+  }
+}
+
+TEST(IncrementalEncoderTest, TracksFullEncodeOnGuideHistories) {
+  OemDatabase guide = testing::SyntheticGuide(12);
+  ExpectEncoderTracksFullEncode(guide,
+                                testing::SyntheticGuideHistory(guide, 10, 4));
+  ExpectEncoderTracksFullEncode(guide,
+                                testing::SyntheticGuideChurn(guide, 10, 4));
+}
+
+TEST(IncrementalEncoderTest, TracksFullEncodeOnRandomHistories) {
+  for (uint32_t seed = 1; seed <= 4; ++seed) {
+    testing::DatabaseOptions dbo;
+    dbo.seed = seed;
+    dbo.node_count = 50;
+    OemDatabase base = testing::RandomDatabase(dbo);
+    testing::HistoryOptions ho;
+    ho.seed = seed + 500;
+    ho.steps = 8;
+    ExpectEncoderTracksFullEncode(base, testing::RandomHistory(base, ho));
+  }
+}
+
+TEST(IncrementalEncoderTest, HandlesRemReAddAndStillbornOps) {
+  // root -a-> c, root -b-> c (so c survives removing one arc),
+  // root -x-> p (complex) -y-> c.
+  OemDatabase base;
+  NodeId root = base.NewComplex();
+  ASSERT_TRUE(base.SetRoot(root).ok());
+  NodeId c = base.NewInt(1);
+  NodeId p = base.NewComplex();
+  ASSERT_TRUE(base.AddArc(root, "a", c).ok());
+  ASSERT_TRUE(base.AddArc(root, "b", c).ok());
+  ASSERT_TRUE(base.AddArc(root, "x", p).ok());
+  ASSERT_TRUE(base.AddArc(p, "y", c).ok());
+
+  OemHistory history;
+  // Atomic -> atomic update with a kind change.
+  ASSERT_TRUE(
+      history.Append(Timestamp(10), {ChangeOp::UpdNode(c, Value::String("s"))})
+          .ok());
+  // Remove, then re-add, the same physical arc (appends to the existing
+  // history object rather than minting a new one).
+  ASSERT_TRUE(
+      history.Append(Timestamp(20), {ChangeOp::RemArc(root, "a", c)}).ok());
+  ASSERT_TRUE(
+      history.Append(Timestamp(30), {ChangeOp::AddArc(root, "a", c)}).ok());
+  // A stillborn node: created but never linked, pruned by the DOEM
+  // manager — the encoder must skip it exactly as a fresh encode never
+  // sees it. The update keeps the change set observable.
+  ASSERT_TRUE(history
+                  .Append(Timestamp(40),
+                          {ChangeOp::CreNode(999, Value::Int(5)),
+                           ChangeOp::UpdNode(c, Value::Int(2))})
+                  .ok());
+  // A brand-new node and arc (new history object via PatchAddArc).
+  ASSERT_TRUE(history
+                  .Append(Timestamp(50),
+                          {ChangeOp::CreNode(1000, Value::Int(7)),
+                           ChangeOp::AddArc(p, "z", 1000)})
+                  .ok());
+  ExpectEncoderTracksFullEncode(base, history);
+}
+
+TEST(IncrementalEncoderTest, RejectsDoemIdsInTheAuxiliaryBand) {
+  OemDatabase base;
+  NodeId root = base.NewComplex();
+  ASSERT_TRUE(base.SetRoot(root).ok());
+  ASSERT_TRUE(
+      base.CreNode(IncrementalEncoder::kAuxIdBase + 1, Value::Int(1)).ok());
+  ASSERT_TRUE(
+      base.AddArc(root, "a", IncrementalEncoder::kAuxIdBase + 1).ok());
+  auto d = DoemDatabase::FromSnapshot(std::move(base));
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(IncrementalEncoder::Create(*d).ok());
+}
+
+// ------------------------------------------ Index-seeded evaluation
+
+std::vector<std::string> SortedRowKeys(const lorel::QueryResult& r) {
+  std::vector<std::string> keys;
+  for (const auto& row : r.rows) {
+    std::string k;
+    for (const lorel::RtVal& v : row) k += v.Key() + "|";
+    keys.push_back(std::move(k));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// Every corpus query, both strategies: an engine with index seeding
+// enabled returns exactly the rows of a plain engine (order may differ;
+// compare as sorted keys), and agrees on which queries fail.
+TEST(IndexSeedingTest, SeededRowsMatchScanRowsOnCorpus) {
+  for (uint32_t seed = 1; seed <= 4; ++seed) {
+    testing::DatabaseOptions dbo;
+    dbo.seed = seed;
+    OemDatabase base = testing::RandomDatabase(dbo);
+    testing::HistoryOptions ho;
+    ho.seed = seed + 300;
+    auto d = DoemDatabase::Build(base, testing::RandomHistory(base, ho));
+    ASSERT_TRUE(d.ok());
+    chorel::ChorelEngine plain(*d);
+    chorel::ChorelEngineOptions seeded_opts;
+    seeded_opts.seed_from_index = true;
+    chorel::ChorelEngine seeded(*d, seeded_opts);
+    for (const std::string& query : testing::ChorelQueryCorpus(8)) {
+      for (chorel::Strategy strategy :
+           {chorel::Strategy::kDirect, chorel::Strategy::kTranslated}) {
+        auto a = plain.Run(query, strategy);
+        auto b = seeded.Run(query, strategy);
+        ASSERT_EQ(a.ok(), b.ok())
+            << query << ": seeded and plain disagree on status ("
+            << (a.ok() ? b.status().ToString() : a.status().ToString())
+            << ")";
+        if (!a.ok()) continue;
+        EXPECT_EQ(SortedRowKeys(*a), SortedRowKeys(*b)) << query;
+      }
+    }
+  }
+}
+
+// The QSS filter shape — annotation time variables bounded by t[i]
+// references — with polling times supplied.
+TEST(IndexSeedingTest, SeededRowsMatchScanWithPollingTimes) {
+  OemDatabase guide = testing::SyntheticGuide(10);
+  OemHistory history = testing::SyntheticGuideHistory(guide, 8, 4);
+  auto d = DoemDatabase::Build(guide, history);
+  ASSERT_TRUE(d.ok());
+  std::vector<Timestamp> polls;
+  for (size_t i = 0; i < history.size(); i += 2) {
+    polls.push_back(history.steps()[i].time);
+  }
+  lorel::EvalOptions opts;
+  opts.polling_times = &polls;
+
+  chorel::ChorelEngine plain(*d);
+  chorel::ChorelEngineOptions seeded_opts;
+  seeded_opts.seed_from_index = true;
+  chorel::ChorelEngine seeded(*d, seeded_opts);
+  const std::vector<std::string> queries = {
+      "select guide.restaurant<cre at T> where T > t[-1]",
+      "select guide.restaurant<cre at T> where T > t[-2] and T <= t[0]",
+      "select T, OV, NV from guide.restaurant.price"
+      "<upd at T from OV to NV> where T > t[-1]",
+      "select R, T from guide.<add at T>restaurant R where T > t[-1]",
+      "select R, T from guide.<rem at T>restaurant R where T > t[-1]",
+  };
+  size_t total_rows = 0;
+  for (const std::string& query : queries) {
+    for (chorel::Strategy strategy :
+         {chorel::Strategy::kDirect, chorel::Strategy::kTranslated}) {
+      auto a = plain.Run(query, strategy, opts);
+      auto b = seeded.Run(query, strategy, opts);
+      ASSERT_TRUE(a.ok()) << query << ": " << a.status().ToString();
+      ASSERT_TRUE(b.ok()) << query << ": " << b.status().ToString();
+      EXPECT_EQ(SortedRowKeys(*a), SortedRowKeys(*b)) << query;
+      total_rows += a->rows.size();
+    }
+  }
+  EXPECT_GT(total_rows, 0u) << "comparison is vacuous: no query matched";
+}
+
+// ------------------------------------------ ChorelEngine::ApplyDelta
+
+TEST(ChorelEngineTest, ApplyDeltaKeepsCachesCurrentAndVerifies) {
+  OemDatabase guide = testing::SyntheticGuide(10);
+  OemHistory history = testing::SyntheticGuideHistory(guide, 8, 4);
+  auto d = DoemDatabase::FromSnapshot(guide);
+  ASSERT_TRUE(d.ok());
+  chorel::ChorelEngineOptions opts;
+  opts.seed_from_index = true;
+  opts.verify_incremental = true;  // cross-check after every delta
+  chorel::ChorelEngine engine(*d, opts);
+  const std::string query =
+      "select guide.restaurant<cre at T> where T > 0";
+  for (const HistoryStep& step : history.steps()) {
+    ASSERT_TRUE(d->ApplyChangeSet(step.time, step.changes).ok());
+    Status s = engine.ApplyDelta(step.time, step.changes);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    for (chorel::Strategy strategy :
+         {chorel::Strategy::kDirect, chorel::Strategy::kTranslated}) {
+      auto cached = engine.Run(query, strategy);
+      auto fresh = chorel::RunChorel(*d, query, strategy);
+      ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+      ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+      EXPECT_EQ(SortedRowKeys(*cached), SortedRowKeys(*fresh));
+    }
+  }
+}
+
+// ------------------------------------------ QSS twin runs
+
+// Everything observable about one service run (timing counters, the one
+// intentionally nondeterministic part, left out). Notifications include
+// the full row text, so "byte-identical rows" is pinned, not just
+// counts.
+struct QssRun {
+  std::map<std::string, std::string> history_text;
+  std::vector<std::string> notifications;
+  std::vector<std::string> errors;
+  size_t polls_ok = 0;
+  size_t polls_failed = 0;
+  size_t notification_count = 0;
+};
+
+void ExpectSameQssRun(const QssRun& a, const QssRun& b) {
+  EXPECT_EQ(a.history_text, b.history_text)
+      << "DOEM histories must be byte-identical";
+  EXPECT_EQ(a.notifications, b.notifications)
+      << "notification rows must be byte-identical";
+  EXPECT_EQ(a.errors, b.errors);
+  EXPECT_EQ(a.polls_ok, b.polls_ok);
+  EXPECT_EQ(a.polls_failed, b.polls_failed);
+  EXPECT_EQ(a.notification_count, b.notification_count);
+}
+
+struct QssConfig {
+  bool incremental = true;
+  chorel::Strategy strategy = chorel::Strategy::kDirect;
+  qss::HistoryRetention retention = qss::HistoryRetention::kFull;
+  qss::Executor* executor = nullptr;
+};
+
+QssRun RunQssScenario(const QssConfig& config) {
+  OemDatabase base = testing::SyntheticGuide(16);
+  OemHistory script = testing::SyntheticGuideHistory(base, 12, 4);
+  qss::ScriptedSource source(base, script, /*preserve_ids=*/true);
+  Timestamp start = Timestamp::FromDate(1997, 1, 1);
+
+  qss::QssOptions opts;
+  opts.strategy = config.strategy;
+  opts.retention = config.retention;
+  opts.incremental_filter = config.incremental;
+  // Cross-check the maintained caches against rebuilds on every poll;
+  // any divergence shows up as a filter error and fails the run
+  // comparison.
+  opts.verify_incremental_filter = config.incremental;
+  opts.executor = config.executor;
+  qss::QuerySubscriptionService service(&source, start, opts);
+
+  QssRun out;
+  auto subscribe = [&](const std::string& name, const std::string& filter) {
+    qss::Subscription sub;
+    sub.name = name;
+    sub.frequency = *qss::FrequencySpec::Parse("every 1 ticks");
+    sub.polling_query = "select guide.restaurant";
+    sub.filter_query = filter;
+    Status st = service.Subscribe(sub, [&out, name](
+                                           const qss::Notification& n) {
+      out.notifications.push_back(
+          name + "@" + std::to_string(n.poll_time.ticks) + "#" +
+          std::to_string(n.poll_index) + "\n" + n.result.RowsToString());
+    });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  };
+  subscribe("Cre", "select Cre.restaurant<cre at T> where T > t[-1]");
+  subscribe("Upd",
+            "select T, OV, NV from Upd.restaurant.price"
+            "<upd at T from OV to NV> where T > t[-1]");
+  subscribe("Rem",
+            "select R, T from Rem.restaurant.<rem at T>parking R "
+            "where T > t[-1]");
+  if (::testing::Test::HasFatalFailure()) return out;
+
+  qss::PollReport report;
+  for (int i = 0; i < 12; ++i) {
+    Timestamp t(service.now().ticks + 1);
+    Status st = service.AdvanceTo(t, &report);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  for (const std::string name : {"Cre", "Upd", "Rem"}) {
+    const DoemDatabase* d = service.History(name);
+    if (d != nullptr) out.history_text[name] = WriteDoemText(*d);
+  }
+  for (const qss::PollError& e : report.errors) {
+    out.errors.push_back(e.subject + "@" + std::to_string(e.time.ticks) +
+                         ":" + e.status.ToString());
+  }
+  out.polls_ok = report.polls_ok;
+  out.polls_failed = report.polls_failed;
+  out.notification_count = report.notifications;
+  return out;
+}
+
+// The acceptance property: incremental maintenance (with per-poll verify
+// cross-checks) and per-poll rebuild produce byte-identical histories,
+// notification rows, and report counters — under both strategies, both
+// retention modes, and a parallel executor.
+TEST(QssIncrementalTest, IncrementalRunMatchesRebuildRun) {
+  for (chorel::Strategy strategy :
+       {chorel::Strategy::kDirect, chorel::Strategy::kTranslated}) {
+    QssConfig incremental;
+    incremental.strategy = strategy;
+    QssConfig rebuild = incremental;
+    rebuild.incremental = false;
+    QssRun a = RunQssScenario(incremental);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    QssRun b = RunQssScenario(rebuild);
+    EXPECT_TRUE(a.errors.empty()) << "verify cross-check failed: "
+                                  << a.errors.front();
+    EXPECT_FALSE(a.notifications.empty())
+        << "comparison is vacuous: no notifications fired";
+    ExpectSameQssRun(a, b);
+  }
+}
+
+TEST(QssIncrementalTest, IncrementalRunMatchesRebuildUnderTwoSnapshots) {
+  QssConfig incremental;
+  incremental.retention = qss::HistoryRetention::kTwoSnapshots;
+  QssConfig rebuild = incremental;
+  rebuild.incremental = false;
+  QssRun a = RunQssScenario(incremental);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  QssRun b = RunQssScenario(rebuild);
+  EXPECT_TRUE(a.errors.empty());
+  ExpectSameQssRun(a, b);
+}
+
+TEST(QssIncrementalTest, ParallelIncrementalRunMatchesSerial) {
+  QssConfig serial;
+  QssRun a = RunQssScenario(serial);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  qss::ThreadPoolExecutor pool(4);
+  QssConfig parallel;
+  parallel.executor = &pool;
+  QssRun b = RunQssScenario(parallel);
+  ExpectSameQssRun(a, b);
+}
+
+}  // namespace
+}  // namespace doem
