@@ -1,0 +1,121 @@
+// Observability overhead (DESIGN.md §6d): the same QSS polling workload
+// as BM_QssHistorySweep, run bare vs. with a MetricsRegistry and
+// TraceRecorder attached. The obs layer's budget is <= 5% wall-clock
+// overhead with everything enabled; with tracing compiled out
+// (-DDOEM_TRACING=OFF) spans vanish entirely and only the atomic metric
+// updates remain (~0%). The `obs` arg selects the configuration, so the
+// overhead is the ratio of adjacent JSON entries.
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "qss/qss.h"
+#include "testing/generators.h"
+
+namespace doem {
+namespace {
+
+constexpr int64_t kPolls = 32;
+
+// obs: 0 = bare, 1 = metrics only, 2 = metrics + tracing.
+void BM_QssObsOverhead(benchmark::State& state) {
+  int obs_level = static_cast<int>(state.range(0));
+  OemDatabase base = testing::SyntheticGuide(100);
+  OemHistory script =
+      testing::SyntheticGuideChurn(base, static_cast<size_t>(kPolls), 8);
+  Timestamp start(Timestamp::FromDate(1997, 1, 1).ticks);
+
+  std::optional<obs::MetricsRegistry> metrics;
+  std::optional<obs::TraceRecorder> trace;
+  qss::QssOptions opts;
+  opts.strategy = chorel::Strategy::kTranslated;
+  if (obs_level >= 1) {
+    metrics.emplace();
+    opts.metrics = &*metrics;
+  }
+  if (obs_level >= 2) {
+    trace.emplace();
+    opts.trace = &*trace;
+  }
+
+  std::optional<qss::ScriptedSource> source;
+  std::optional<qss::QuerySubscriptionService> service;
+  for (auto _ : state) {
+    state.PauseTiming();
+    service.reset();
+    source.emplace(base, script);
+    service.emplace(&*source, start, opts);
+    qss::Subscription sub;
+    sub.name = "S";
+    sub.frequency = *qss::FrequencySpec::Parse("every day");
+    sub.polling_query = "select guide.restaurant";
+    sub.filter_query = "select S.restaurant<cre at T> where T > t[-1]";
+    Status st = service->Subscribe(sub, nullptr);
+    assert(st.ok());
+    (void)st;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        service->AdvanceTo(Timestamp(start.ticks + kPolls - 1)).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * kPolls);
+  state.counters["obs"] = static_cast<double>(obs_level);
+  if (metrics.has_value()) {
+    state.counters["polls_ok"] =
+        static_cast<double>(metrics->CounterValue("qss.polls_ok"));
+  }
+  if (trace.has_value()) {
+    state.counters["spans"] = static_cast<double>(trace->Events().size());
+    state.counters["spans_dropped"] = static_cast<double>(trace->dropped());
+  }
+}
+BENCHMARK(BM_QssObsOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgNames({"obs"})
+    ->Unit(benchmark::kMillisecond);
+
+// Instrument microcosts, for the budget table in DESIGN.md §6d: one
+// counter increment / histogram observe / started-and-dropped span per
+// iteration.
+void BM_CounterIncrement(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("bench.counter");
+  for (auto _ : state) {
+    c->Increment();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h =
+      registry.GetHistogram("bench.hist", obs::LatencyBucketsNs());
+  int64_t v = 0;
+  for (auto _ : state) {
+    h->Observe(v += 997);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_TraceSpan(benchmark::State& state) {
+  bool on = state.range(0) != 0;
+  obs::TraceRecorder recorder(/*max_events_per_thread=*/1024);
+  obs::TraceRecorder* r = on ? &recorder : nullptr;
+  for (auto _ : state) {
+    obs::TraceSpan span(r, "bench.span", "bench");
+    benchmark::DoNotOptimize(r);
+  }
+  // The bounded buffer saturates; steady-state cost is the dropped path.
+}
+BENCHMARK(BM_TraceSpan)->Arg(0)->Arg(1)->ArgNames({"recording"});
+
+}  // namespace
+}  // namespace doem
+
+BENCHMARK_MAIN();

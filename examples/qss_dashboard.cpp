@@ -1,0 +1,171 @@
+// Observability walkthrough (DESIGN.md §6d): run a scripted QSS workload
+// with a flaky source, then inspect everything the obs layer collected —
+// the per-subscription health table, the qss.*/chorel.* metric families
+// in Prometheus text exposition, and a Chrome trace of the poll pipeline
+// (load the written .trace.json in Perfetto or chrome://tracing).
+//
+// Usage: qss_dashboard [trace-output-path]
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "qss/executor.h"
+#include "qss/fault.h"
+#include "qss/qss.h"
+#include "testing/generators.h"
+
+using namespace doem;
+
+namespace {
+
+constexpr int64_t kDays = 14;
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+void PrintHealth(const qss::QuerySubscriptionService& service,
+                 const char* name) {
+  qss::PollHealth h = service.Health(name);
+  std::printf("  %-10s %-8s attempted=%-3zu ok=%-3zu failed=%-3zu "
+              "retries=%-2zu missed=%zu(+%zu dropped)\n",
+              name, qss::CircuitStateToString(h.state), h.polls_attempted,
+              h.polls_succeeded, h.polls_failed, h.retries, h.missed.size(),
+              h.missed_dropped);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string trace_path =
+      argc > 1 ? argv[1] : "qss_dashboard.trace.json";
+
+  // A restaurant guide source that edits itself daily — and goes down for
+  // two days mid-run (4 failed attempts = 2 polls x 2 attempts each),
+  // tripping the circuit breaker.
+  OemDatabase base = testing::SyntheticGuide(40);
+  OemHistory script =
+      testing::SyntheticGuideHistory(base, static_cast<size_t>(kDays), 4);
+  qss::ScriptedSource inner(base, script);
+  qss::FaultInjectingSource source(&inner);
+  source.FailPolls(/*skip=*/10, /*count=*/4,
+                   Status::Unavailable("wrapper down for maintenance"));
+
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder trace;
+  qss::ThreadPoolExecutor pool(2);
+
+  qss::QssOptions opts;
+  opts.metrics = &metrics;
+  opts.trace = &trace;
+  opts.executor = &pool;
+  opts.retry.max_attempts = 2;
+  opts.quarantine_after = 2;
+  opts.quarantine_cooldown_ticks = 2;
+  opts.on_error = [](const qss::PollError& e) {
+    std::printf("  [error] %s at %s: %s\n", e.subject.c_str(),
+                e.time.ToString().c_str(), e.status.ToString().c_str());
+  };
+
+  Timestamp start(Timestamp::FromDate(1997, 1, 1).ticks);
+  qss::QuerySubscriptionService service(&source, start, opts);
+
+  size_t notifications = 0;
+  auto on_notify = [&](const qss::Notification& n) {
+    ++notifications;
+    std::printf("  [notify] %s at %s: %zu row(s)\n", n.subscription.c_str(),
+                n.poll_time.ToString().c_str(), n.result.rows.size());
+  };
+
+  // Two subscriptions sharing one poll group (same polling query and
+  // frequency), watching different kinds of change.
+  for (const auto& [name, filter] :
+       {std::pair<std::string, std::string>{
+            "NewPlaces", "select S.restaurant<cre at T> where T > t[-1]"},
+        {"PriceMoves",
+         "select S.restaurant.price<upd at T> where T > t[-1]"}}) {
+    qss::Subscription sub;
+    sub.name = name;
+    sub.frequency = *qss::FrequencySpec::Parse("every day");
+    sub.polling_query = "select guide.restaurant";
+    std::string f = filter;
+    f.replace(f.find('S'), 1, name);
+    sub.filter_query = f;
+    Status st = service.Subscribe(sub, on_notify);
+    if (!st.ok()) {
+      std::printf("subscribe %s failed: %s\n", name.c_str(),
+                  st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("== workload: %lld daily polls, source down on days 11-12 ==\n",
+              static_cast<long long>(kDays));
+  qss::PollReport report;
+  for (int64_t day = 0; day < kDays; ++day) {
+    Status st = service.AdvanceTo(Timestamp(start.ticks + day), &report);
+    if (!st.ok()) {
+      std::printf("advance failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("\n== poll report ==\n");
+  std::printf("  attempted=%zu ok=%zu failed=%zu missed=%zu retries=%zu "
+              "notifications=%zu\n",
+              report.polls_attempted, report.polls_ok, report.polls_failed,
+              report.polls_missed, report.retries, report.notifications);
+  std::printf("  phase wall time: fetch=%.2fms diff=%.2fms apply=%.2fms "
+              "filter=%.2fms (whole calls: %.2fms)\n",
+              report.fetch_ns / 1e6, report.diff_ns / 1e6,
+              report.apply_ns / 1e6, report.filter_ns / 1e6,
+              report.elapsed_ns / 1e6);
+
+  std::printf("\n== health ==\n");
+  PrintHealth(service, "NewPlaces");
+  PrintHealth(service, "PriceMoves");
+
+  std::printf("\n== metrics (Prometheus exposition) ==\n%s",
+              metrics.ExportPrometheus().c_str());
+
+  // The trace: one qss.advance span per day, nesting per-group prepare
+  // (fetch, diff) and commit (apply, per-member filter) spans.
+  std::string chrome = trace.ExportChromeTrace();
+  if (FILE* f = std::fopen(trace_path.c_str(), "w")) {
+    std::fwrite(chrome.data(), 1, chrome.size(), f);
+    std::fclose(f);
+    std::printf("\n== trace ==\n  %zu span(s), %llu dropped -> %s\n",
+                trace.Events().size(),
+                static_cast<unsigned long long>(trace.dropped()),
+                trace_path.c_str());
+  } else {
+    std::printf("cannot write %s\n", trace_path.c_str());
+    return 1;
+  }
+
+  // Self-checks so this example doubles as an end-to-end test.
+  std::string prom = metrics.ExportPrometheus();
+  if (!Contains(prom, "qss_polls_ok") ||
+      !Contains(prom, "qss_quarantine_trips 1") ||
+      !Contains(prom, "chorel_cache_patches") ||
+      !Contains(prom, "qss_fetch_ns_bucket")) {
+    std::printf("FAIL: expected metric families missing from exposition\n");
+    return 1;
+  }
+  if (metrics.CounterValue("qss.polls_ok") != report.polls_ok ||
+      metrics.CounterValue("qss.notifications") != notifications) {
+    std::printf("FAIL: metrics disagree with the poll report\n");
+    return 1;
+  }
+#ifndef DOEM_TRACING_DISABLED
+  if (trace.Events().empty() || !Contains(chrome, "\"qss.advance\"") ||
+      !Contains(chrome, "\"qss.filter\"")) {
+    std::printf("FAIL: trace missing expected spans\n");
+    return 1;
+  }
+#endif
+  std::printf("dashboard checks passed\n");
+  return 0;
+}

@@ -9,10 +9,13 @@
 #
 #   BENCH_qss_incremental.json     BM_QssHistorySweep
 #   BENCH_chorel_incremental.json  BM_ChorelDeltaMaintenance
+#   BENCH_obs_overhead.json        BM_QssObsOverhead + instrument microcosts
 #
-# The claim to check in the output: with incremental:1 the per-poll
+# The claims to check in the output: with incremental:1 the per-poll
 # counters stay flat as `history` grows; with incremental:0 they grow,
-# and at history:128 the incremental filter cost is >= 10x cheaper.
+# and at history:128 the incremental filter cost is >= 10x cheaper. In
+# BENCH_obs_overhead.json, obs:1 and obs:2 stay within ~5% of obs:0
+# (DESIGN.md §6d overhead budget).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,7 +23,7 @@ build="${1:-build}"
 jobs=$(nproc 2>/dev/null || echo 2)
 
 cmake -B "$build" -S . >/dev/null
-cmake --build "$build" -j "$jobs" --target bench_qss_cycle bench_chorel_strategies
+cmake --build "$build" -j "$jobs" --target bench_qss_cycle bench_chorel_strategies bench_obs_overhead
 
 "$build"/bench/bench_qss_cycle \
   --benchmark_filter='BM_QssHistorySweep' \
@@ -32,4 +35,9 @@ cmake --build "$build" -j "$jobs" --target bench_qss_cycle bench_chorel_strategi
   --benchmark_out=BENCH_chorel_incremental.json \
   --benchmark_out_format=json
 
-echo "wrote BENCH_qss_incremental.json and BENCH_chorel_incremental.json"
+"$build"/bench/bench_obs_overhead \
+  --benchmark_out=BENCH_obs_overhead.json \
+  --benchmark_out_format=json
+
+echo "wrote BENCH_qss_incremental.json, BENCH_chorel_incremental.json," \
+     "and BENCH_obs_overhead.json"

@@ -2,9 +2,10 @@
 # Repo verification driver.
 #
 #   scripts/check.sh            # tier-1: default build + full ctest
-#   scripts/check.sh tsan       # DOEM_TSAN build + `ctest -L "qss|perf"`
-#                               # (races the parallel poll engine and the
-#                               # incremental query caches under
+#   scripts/check.sh tsan       # DOEM_TSAN build + `ctest -L "qss|perf|obs"`
+#                               # (races the parallel poll engine, the
+#                               # incremental query caches, and the
+#                               # metrics/trace instruments under
 #                               # ThreadSanitizer)
 #   scripts/check.sh asan       # DOEM_SANITIZE build + full ctest
 #   scripts/check.sh all        # tier-1, then tsan, then asan
@@ -27,7 +28,7 @@ tsan() {
   cmake --build build-tsan -j "$jobs"
   # TSAN_OPTIONS makes any detected race fail the test run loudly.
   TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-tsan -L "qss|perf" --output-on-failure -j "$jobs"
+    ctest --test-dir build-tsan -L "qss|perf|obs" --output-on-failure -j "$jobs"
 }
 
 asan() {

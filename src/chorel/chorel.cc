@@ -6,6 +6,14 @@
 namespace doem {
 namespace chorel {
 
+namespace {
+
+void Count(obs::Counter* c, uint64_t by = 1) {
+  if (c != nullptr) c->Increment(by);
+}
+
+}  // namespace
+
 Result<CompiledQuery> CompileChorel(const std::string& query) {
   auto nq = lorel::ParseAndNormalize(query);
   if (!nq.ok()) return nq.status();
@@ -14,18 +22,73 @@ Result<CompiledQuery> CompileChorel(const std::string& query) {
   return out;
 }
 
+ChorelEngine::ChorelEngine(const DoemDatabase& d, ChorelEngineOptions options)
+    : doem_(d), options_(options) {
+  obs::MetricsRegistry* m = options_.metrics;
+  if (m == nullptr) return;
+  ins_.cache_patches = m->GetCounter(
+      "chorel.cache_patches", "ApplyDelta calls that patched the caches");
+  ins_.cache_invalidations = m->GetCounter(
+      "chorel.cache_invalidations",
+      "cache drops (Invalidate, non-incremental ApplyDelta, patch errors)");
+  ins_.encoding_rebuilds = m->GetCounter(
+      "chorel.encoding_rebuilds", "from-scratch Section 5.1 encodings");
+  ins_.index_rebuilds = m->GetCounter("chorel.index_rebuilds",
+                                      "from-scratch annotation index builds");
+  ins_.verify_failures = m->GetCounter(
+      "chorel.verify_failures",
+      "verify_incremental cross-checks that found divergence");
+  ins_.translation_hits = m->GetCounter(
+      "chorel.translation_cache_hits",
+      "translated runs reusing the cached Section 5.2 translation");
+  ins_.translation_misses = m->GetCounter(
+      "chorel.translation_cache_misses",
+      "translated runs that had to translate the query first");
+  ins_.encoder_patch_ops = m->GetGauge(
+      "encoding.patch_ops", "change ops patched into the cached encoding");
+  ins_.encoder_aux_allocations =
+      m->GetGauge("encoding.aux_allocations",
+                  "auxiliary encoding nodes allocated by patching");
+  ins_.index_applied_ops = m->GetGauge(
+      "index.applied_ops", "postings appended by annotation-index Apply");
+}
+
+void ChorelEngine::Invalidate() {
+  if (encoder_.has_value() || index_.has_value()) {
+    Count(ins_.cache_invalidations);
+  }
+  encoder_.reset();
+  index_.reset();
+}
+
+void ChorelEngine::PublishCacheStats() {
+  if (encoder_.has_value() && ins_.encoder_patch_ops != nullptr) {
+    ins_.encoder_patch_ops->Set(
+        static_cast<int64_t>(encoder_->stats().patch_ops));
+    ins_.encoder_aux_allocations->Set(
+        static_cast<int64_t>(encoder_->stats().aux_allocations));
+  }
+  if (index_.has_value() && ins_.index_applied_ops != nullptr) {
+    ins_.index_applied_ops->Set(static_cast<int64_t>(index_->applied_ops()));
+  }
+}
+
 Result<const OemDatabase*> ChorelEngine::Encoding() {
   if (!encoder_.has_value()) {
     auto enc = IncrementalEncoder::Create(doem_);
     if (!enc.ok()) return enc.status();
     encoder_ = std::move(enc).value();
+    Count(ins_.encoding_rebuilds);
   }
   return &encoder_->encoding();
 }
 
 const AnnotationIndex* ChorelEngine::IndexForRun() {
   if (!options_.seed_from_index) return nullptr;
-  if (!index_.has_value()) index_.emplace(doem_);
+  if (!index_.has_value()) {
+    index_.emplace(doem_);
+    Count(ins_.index_rebuilds);
+  }
   return &*index_;
 }
 
@@ -36,9 +99,12 @@ Result<lorel::QueryResult> ChorelEngine::RunCompiled(
     return lorel::Evaluate(q->normalized, view, opts);
   }
   if (!q->translated.has_value()) {
+    Count(ins_.translation_misses);
     auto translated = TranslateToLorel(q->normalized);
     if (!translated.ok()) return translated.status();
     q->translated = std::move(translated).value();
+  } else {
+    Count(ins_.translation_hits);
   }
   auto enc = Encoding();
   if (!enc.ok()) return enc.status();
@@ -59,26 +125,36 @@ Status ChorelEngine::ApplyDelta(Timestamp t, const ChangeSet& ops) {
     Invalidate();
     return Status::OK();
   }
+  bool patched = false;
   if (encoder_.has_value()) {
     Status s = encoder_->ApplyDelta(doem_, t, ops);
     if (!s.ok()) {
       encoder_.reset();
+      Count(ins_.cache_invalidations);
       return s;
     }
+    patched = true;
   }
   if (index_.has_value()) {
     Status s = index_->Apply(doem_, t, ops);
     if (!s.ok()) {
       index_.reset();
+      Count(ins_.cache_invalidations);
       return s;
     }
+    patched = true;
   }
   if (options_.verify_incremental) {
     Status s = VerifyCaches();
     if (!s.ok()) {
+      Count(ins_.verify_failures);
       Invalidate();
       return s;
     }
+  }
+  if (patched) {
+    Count(ins_.cache_patches);
+    PublishCacheStats();
   }
   return Status::OK();
 }

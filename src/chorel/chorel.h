@@ -10,6 +10,7 @@
 #include "doem/doem.h"
 #include "encoding/encode_incremental.h"
 #include "lorel/lorel.h"
+#include "obs/metrics.h"
 #include "oem/change.h"
 #include "oem/oem.h"
 
@@ -53,6 +54,12 @@ struct ChorelEngineOptions {
   /// encoding back to a DOEM database and rebuild the index from scratch,
   /// failing if either diverges. Slow; for tests.
   bool verify_incremental = false;
+  /// Optional metrics sink (not owned; must outlive the engine). The
+  /// engine counts cache patches vs. rebuilds, verify cross-check
+  /// failures, and translation cache hits/misses, and mirrors the
+  /// encoder/index maintenance tallies as gauges (DESIGN.md §6d).
+  /// Purely observational: rows and caches are identical without it.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// A Chorel query processor over one DOEM database, supporting both
@@ -68,8 +75,7 @@ struct ChorelEngineOptions {
 class ChorelEngine {
  public:
   explicit ChorelEngine(const DoemDatabase& d,
-                        ChorelEngineOptions options = {})
-      : doem_(d), options_(options) {}
+                        ChorelEngineOptions options = {});
 
   /// Parses, normalizes, (optionally translates,) and evaluates `query`.
   Result<lorel::QueryResult> Run(const std::string& query,
@@ -91,10 +97,7 @@ class ChorelEngine {
   /// Drops all cached derived state (encoding and annotation index).
   /// Required when the database was replaced wholesale (e.g. the QSS
   /// two-snapshot rebase) rather than mutated by a change set.
-  void Invalidate() {
-    encoder_.reset();
-    index_.reset();
-  }
+  void Invalidate();
 
   /// Drops the cached OEM encoding; the next translated Run re-encodes.
   void InvalidateEncoding() { encoder_.reset(); }
@@ -107,11 +110,30 @@ class ChorelEngine {
   /// first use), or null when seeding is disabled.
   const AnnotationIndex* IndexForRun();
   Status VerifyCaches() const;
+  /// Mirrors the encoder/index maintenance tallies into the metrics
+  /// gauges after a successful patch.
+  void PublishCacheStats();
 
   const DoemDatabase& doem_;
   ChorelEngineOptions options_;
   std::optional<IncrementalEncoder> encoder_;
   std::optional<AnnotationIndex> index_;
+
+  /// Instrument handles resolved once at construction (null without a
+  /// registry — updates are guarded).
+  struct Instruments {
+    obs::Counter* cache_patches = nullptr;
+    obs::Counter* cache_invalidations = nullptr;
+    obs::Counter* encoding_rebuilds = nullptr;
+    obs::Counter* index_rebuilds = nullptr;
+    obs::Counter* verify_failures = nullptr;
+    obs::Counter* translation_hits = nullptr;
+    obs::Counter* translation_misses = nullptr;
+    obs::Gauge* encoder_patch_ops = nullptr;
+    obs::Gauge* encoder_aux_allocations = nullptr;
+    obs::Gauge* index_applied_ops = nullptr;
+  };
+  Instruments ins_;
 };
 
 /// One-shot conveniences.

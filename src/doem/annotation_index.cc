@@ -98,6 +98,8 @@ Status AnnotationIndex::Apply(const DoemDatabase& d, Timestamp t,
   upd_.insert(upd_.end(), upd_batch.begin(), upd_batch.end());
   add_.insert(add_.end(), add_batch.begin(), add_batch.end());
   rem_.insert(rem_.end(), rem_batch.begin(), rem_batch.end());
+  applied_ops_ += cre_batch.size() + upd_batch.size() + add_batch.size() +
+                  rem_batch.size();
   return Status::OK();
 }
 

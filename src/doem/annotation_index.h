@@ -65,9 +65,19 @@ class AnnotationIndex {
     return cre_.size() + upd_.size() + add_.size() + rem_.size();
   }
 
+  /// Postings appended by Apply since construction (stillborn-pruned ops
+  /// excluded) — the incremental maintenance work done, for the
+  /// observability layer (DESIGN.md §6d). A fresh build starts at 0.
+  size_t applied_ops() const { return applied_ops_; }
+
   /// Exact posting equality — with canonical ordering this holds between
-  /// a fresh build and an incrementally maintained index.
-  bool operator==(const AnnotationIndex&) const = default;
+  /// a fresh build and an incrementally maintained index. Maintenance
+  /// tallies (applied_ops) are bookkeeping, not index content, and are
+  /// deliberately excluded.
+  bool operator==(const AnnotationIndex& o) const {
+    return cre_ == o.cre_ && upd_ == o.upd_ && add_ == o.add_ &&
+           rem_ == o.rem_;
+  }
 
  private:
   template <typename Entry>
@@ -76,6 +86,7 @@ class AnnotationIndex {
 
   std::vector<NodeEntry> cre_, upd_;
   std::vector<ArcEntry> add_, rem_;
+  size_t applied_ops_ = 0;
 };
 
 /// The scan-based equivalents, for correctness tests and the ablation

@@ -15,6 +15,7 @@ Result<IncrementalEncoder> IncrementalEncoder::Create(const DoemDatabase& d) {
 Status IncrementalEncoder::ApplyDelta(const DoemDatabase& d, Timestamp t,
                                       const ChangeSet& ops) {
   for (const ChangeOp& op : CanonicalOrder(ops)) {
+    ++stats_.patch_ops;
     Status s;
     switch (op.kind) {
       case ChangeOp::Kind::kCreNode:
@@ -51,9 +52,9 @@ Status IncrementalEncoder::PatchCreNode(const DoemDatabase& d, Timestamp t,
   if (v.is_complex()) {
     DOEM_RETURN_IF_ERROR(enc_.AddArc(op.node, "&val", op.node));
   } else {
-    DOEM_RETURN_IF_ERROR(enc_.AddArc(op.node, "&val", enc_.NewNode(v)));
+    DOEM_RETURN_IF_ERROR(enc_.AddArc(op.node, "&val", NewAux(v)));
   }
-  return enc_.AddArc(op.node, "&cre", enc_.NewNode(Value::Time(t)));
+  return enc_.AddArc(op.node, "&cre", NewAux(Value::Time(t)));
 }
 
 Status IncrementalEncoder::PatchUpdNode(const DoemDatabase& d, Timestamp t,
@@ -83,16 +84,16 @@ Status IncrementalEncoder::PatchUpdNode(const DoemDatabase& d, Timestamp t,
     if (nv.is_complex()) {
       DOEM_RETURN_IF_ERROR(enc_.AddArc(op.node, "&val", op.node));
     } else {
-      DOEM_RETURN_IF_ERROR(enc_.AddArc(op.node, "&val", enc_.NewNode(nv)));
+      DOEM_RETURN_IF_ERROR(enc_.AddArc(op.node, "&val", NewAux(nv)));
     }
   }
 
-  NodeId rec = enc_.NewComplex();
+  NodeId rec = NewAuxComplex();
   DOEM_RETURN_IF_ERROR(enc_.AddArc(op.node, "&upd", rec));
   DOEM_RETURN_IF_ERROR(
-      enc_.AddArc(rec, "&time", enc_.NewNode(Value::Time(t))));
-  DOEM_RETURN_IF_ERROR(enc_.AddArc(rec, "&ov", enc_.NewNode(ov)));
-  return enc_.AddArc(rec, "&nv", enc_.NewNode(nv));
+      enc_.AddArc(rec, "&time", NewAux(Value::Time(t))));
+  DOEM_RETURN_IF_ERROR(enc_.AddArc(rec, "&ov", NewAux(ov)));
+  return enc_.AddArc(rec, "&nv", NewAux(nv));
 }
 
 Status IncrementalEncoder::PatchAddArc(const DoemDatabase& d, Timestamp t,
@@ -109,19 +110,29 @@ Status IncrementalEncoder::PatchAddArc(const DoemDatabase& d, Timestamp t,
       d.ArcAnnotations(a.parent, a.label, a.child);
   if (annots.size() == 1) {
     // First annotation ever: a brand-new physical arc, new history object.
-    NodeId hist = enc_.NewComplex();
+    NodeId hist = NewAuxComplex();
     arc_history_[EncodeArcKey(a.parent, a.label, a.child)] = hist;
     DOEM_RETURN_IF_ERROR(
         enc_.AddArc(a.parent, HistoryLabelFor(a.label), hist));
     DOEM_RETURN_IF_ERROR(enc_.AddArc(hist, "&target", a.child));
-    return enc_.AddArc(hist, "&add", enc_.NewNode(Value::Time(t)));
+    return enc_.AddArc(hist, "&add", NewAux(Value::Time(t)));
   }
   // Re-add of a previously removed arc: append to its history object.
   auto it = arc_history_.find(EncodeArcKey(a.parent, a.label, a.child));
   if (it == arc_history_.end()) {
     return Status::Internal("re-added arc has no history object");
   }
-  return enc_.AddArc(it->second, "&add", enc_.NewNode(Value::Time(t)));
+  return enc_.AddArc(it->second, "&add", NewAux(Value::Time(t)));
+}
+
+NodeId IncrementalEncoder::NewAux(const Value& v) {
+  ++stats_.aux_allocations;
+  return enc_.NewNode(v);
+}
+
+NodeId IncrementalEncoder::NewAuxComplex() {
+  ++stats_.aux_allocations;
+  return enc_.NewComplex();
 }
 
 Status IncrementalEncoder::PatchRemArc(Timestamp t, const ChangeOp& op) {
@@ -133,7 +144,7 @@ Status IncrementalEncoder::PatchRemArc(Timestamp t, const ChangeOp& op) {
     return Status::Internal("removed arc has no history object");
   }
   DOEM_RETURN_IF_ERROR(enc_.RemArc(a.parent, a.label, a.child));
-  return enc_.AddArc(it->second, "&rem", enc_.NewNode(Value::Time(t)));
+  return enc_.AddArc(it->second, "&rem", NewAux(Value::Time(t)));
 }
 
 }  // namespace doem

@@ -31,6 +31,16 @@ class IncrementalEncoder {
   /// wrapper nodes use 1<<62) stay far below it.
   static constexpr NodeId kAuxIdBase = NodeId{1} << 63;
 
+  /// Cumulative maintenance tallies since Create (DESIGN.md §6d): every
+  /// change op patched in, and every auxiliary node (value atom, upd
+  /// record, history object, timestamp atom) the patches allocated. The
+  /// initial full encode is not counted — these measure the *patching*
+  /// work the incremental path does per poll.
+  struct PatchStats {
+    size_t patch_ops = 0;
+    size_t aux_allocations = 0;
+  };
+
   /// Builds the full encoding of `d` plus the lookup tables used for
   /// O(delta) patching. Fails if `d` has node ids at or above kAuxIdBase.
   static Result<IncrementalEncoder> Create(const DoemDatabase& d);
@@ -44,6 +54,8 @@ class IncrementalEncoder {
 
   const OemDatabase& encoding() const { return enc_; }
 
+  const PatchStats& stats() const { return stats_; }
+
  private:
   IncrementalEncoder() = default;
 
@@ -52,7 +64,12 @@ class IncrementalEncoder {
   Status PatchAddArc(const DoemDatabase& d, Timestamp t, const ChangeOp& op);
   Status PatchRemArc(Timestamp t, const ChangeOp& op);
 
+  /// Allocates an auxiliary atom/complex node, counting it in stats_.
+  NodeId NewAux(const Value& v);
+  NodeId NewAuxComplex();
+
   OemDatabase enc_;
+  PatchStats stats_;
   // (parent, label, child) -> &l-history object id, so re-adds and
   // removals reach their history object without scanning same-label
   // siblings.

@@ -27,10 +27,10 @@ class Evaluator {
     result.labels = q_.labels;
     PrepareSeeding();
     Env env;
-    DOEM_RETURN_IF_ERROR(EnumDefs(0, &env, &result));
-    if (opts_.package_results) {
-      DOEM_RETURN_IF_ERROR(Package(&result));
-    }
+    Status s = EnumDefs(0, &env, &result);
+    if (s.ok() && opts_.package_results) s = Package(&result);
+    FlushStats();
+    if (!s.ok()) return s;
     return result;
   }
 
@@ -87,6 +87,9 @@ class Evaluator {
     }
 
     // 1. Candidate children (and arc-annotation bindings).
+    // `seeded_step` feeds the EvalStats seeded-vs-scanned tally for
+    // annotation steps.
+    bool seeded_step = false;
     std::vector<std::pair<NodeId, Bindings>> candidates;
     if (!step.arc_annot) {
       if (step.wildcard) {
@@ -95,13 +98,16 @@ class Evaluator {
         // '%': one arc with any label.
         bool skip_amp = view_.SkipEncodingLabelsInWildcard();
         for (const OutArc& a : view_.LiveOutArcs(source)) {
+          ++stats_.arcs_expanded;
           if (skip_amp && !a.label.empty() && a.label[0] == '&') continue;
           candidates.push_back({a.child, {}});
         }
       } else if (auto seeded = SeedNodeCandidates(allow_seeding, source, step)) {
+        seeded_step = true;
         for (NodeId c : *seeded) candidates.push_back({c, {}});
       } else {
         for (NodeId c : view_.Children(source, step.label)) {
+          ++stats_.arcs_expanded;
           candidates.push_back({c, {}});
         }
       }
@@ -118,6 +124,7 @@ class Evaluator {
         std::vector<NodeId> kids =
             step.wildcard_one ? view_.ChildrenAtAny(source, *t)
                               : view_.ChildrenAt(source, step.label, *t);
+        stats_.arcs_expanded += kids.size();
         for (NodeId c : kids) candidates.push_back({c, {}});
       } else {
         if (!view_.SupportsAnnotations()) {
@@ -127,6 +134,7 @@ class Evaluator {
         }
         std::vector<std::pair<Timestamp, NodeId>> pairs;
         if (auto seeded = SeedArcPairs(allow_seeding, source, step, a)) {
+          seeded_step = true;
           pairs = std::move(*seeded);
         } else if (step.wildcard_one) {
           pairs = a.kind == AnnotKind::kAdd ? view_.AddAnnotatedAny(source)
@@ -136,6 +144,7 @@ class Evaluator {
                       ? view_.AddAnnotated(source, step.label)
                       : view_.RemAnnotated(source, step.label);
         }
+        if (!seeded_step) stats_.arcs_expanded += pairs.size();
         for (auto& [t, c] : pairs) {
           Bindings b;
           if (!a.time_var.empty()) {
@@ -143,6 +152,19 @@ class Evaluator {
           }
           candidates.push_back({c, std::move(b)});
         }
+      }
+    }
+
+    // EvalStats: endpoint candidates considered, and whether an
+    // annotation step came from the index or a scan (<at T> time travel
+    // has no index; it always counts as scanned).
+    stats_.nodes_visited += candidates.size();
+    bool annot_step = step.arc_annot.has_value() || step.node_annot.has_value();
+    if (annot_step) {
+      if (seeded_step) {
+        ++stats_.steps_index_seeded;
+      } else {
+        ++stats_.steps_scanned;
       }
     }
 
@@ -222,6 +244,7 @@ class Evaluator {
       NodeId n = queue.front();
       queue.pop_front();
       for (const OutArc& a : view_.LiveOutArcs(n)) {
+        ++stats_.arcs_expanded;
         if (skip_amp && !a.label.empty() && a.label[0] == '&') continue;
         if (seen.insert(a.child).second) {
           order.push_back(a.child);
@@ -386,6 +409,7 @@ class Evaluator {
       in_range = view_.UpdatedInRange(bounds->first, bounds->second);
     }
     if (!in_range) return std::nullopt;
+    stats_.postings_scanned += in_range->size();
     std::vector<NodeId> out;
     for (NodeId c : *in_range) {
       if (view_.HasLiveArc(source, step.label, c)) out.push_back(c);
@@ -407,6 +431,7 @@ class Evaluator {
                         ? view_.AddedInRange(bounds->first, bounds->second)
                         : view_.RemovedInRange(bounds->first, bounds->second);
     if (!in_range) return std::nullopt;
+    stats_.postings_scanned += in_range->size();
     std::vector<std::pair<Timestamp, NodeId>> out;
     for (const auto& [t, arc] : *in_range) {
       if (arc.parent != source) continue;
@@ -720,9 +745,21 @@ class Evaluator {
     return Status::OK();
   }
 
+  void FlushStats() {
+    if (opts_.stats == nullptr) return;
+    opts_.stats->nodes_visited += stats_.nodes_visited;
+    opts_.stats->arcs_expanded += stats_.arcs_expanded;
+    opts_.stats->steps_index_seeded += stats_.steps_index_seeded;
+    opts_.stats->steps_scanned += stats_.steps_scanned;
+    opts_.stats->postings_scanned += stats_.postings_scanned;
+  }
+
   const NormQuery& q_;
   const GraphView& view_;
   const EvalOptions& opts_;
+  // Profiling tallies, folded into opts_.stats by FlushStats. Kept local
+  // so the hot path costs one unconditional increment, not a branch.
+  EvalStats stats_;
   // Annotation variables eligible for index seeding and their where-derived
   // time bounds (PrepareSeeding).
   std::unordered_set<std::string> seedable_vars_;

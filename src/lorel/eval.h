@@ -64,6 +64,28 @@ struct QueryResult {
   std::string RowsToString() const;
 };
 
+/// Per-evaluation profiling counters (DESIGN.md §6d): where a query's
+/// time went, in evaluator-native units. Collected only when
+/// EvalOptions::stats is set; counters are *added to*, never reset, so
+/// one EvalStats can accumulate across a whole poll's filter runs.
+struct EvalStats {
+  /// Candidate endpoint nodes considered across all path steps, before
+  /// the where clause prunes them.
+  size_t nodes_visited = 0;
+  /// Live out-arcs enumerated while matching steps ('#'/'%' closures and
+  /// plain-label child lookups).
+  size_t arcs_expanded = 0;
+  /// Annotation steps whose candidates were seeded from the annotation
+  /// index (the DESIGN.md §6c fast path).
+  size_t steps_index_seeded = 0;
+  /// Annotation steps that fell back to scanning children/annotations
+  /// (no index, unbounded time variable, or a non-seedable step shape).
+  size_t steps_scanned = 0;
+  /// Index postings inspected by seeded enumeration, including postings
+  /// filtered out by the source/label restriction.
+  size_t postings_scanned = 0;
+};
+
 struct EvalOptions {
   /// Polling times t_1..t_k for resolving the QSS variables t[0], t[-1],
   /// ... (Section 6): t[0] = t_k, t[-i] = t_{k-i}, negative infinity when
@@ -75,6 +97,10 @@ struct EvalOptions {
   /// Skip building `answer` (rows only) — used by benchmarks and QSS
   /// internals.
   bool package_results = true;
+  /// When set, the evaluator adds its profiling counters here on
+  /// completion (success or failure). Purely observational: identical
+  /// rows with or without it.
+  EvalStats* stats = nullptr;
 };
 
 /// Runs a normalized query against a view. Chorel annotation expressions

@@ -1,0 +1,32 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace doem {
+namespace obs {
+
+namespace {
+
+// The installed override, null for the default steady clock. An atomic
+// pointer so NowNs stays lock-free on the hot path.
+std::atomic<ClockInterface*> g_clock{nullptr};
+
+}  // namespace
+
+int64_t NowNs() {
+  ClockInterface* clock = g_clock.load(std::memory_order_acquire);
+  if (clock != nullptr) return clock->NowNs();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ScopedClockOverride::ScopedClockOverride(ClockInterface* clock)
+    : previous_(g_clock.exchange(clock, std::memory_order_acq_rel)) {}
+
+ScopedClockOverride::~ScopedClockOverride() {
+  g_clock.store(previous_, std::memory_order_release);
+}
+
+}  // namespace obs
+}  // namespace doem

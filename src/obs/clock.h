@@ -1,0 +1,67 @@
+#ifndef DOEM_OBS_CLOCK_H_
+#define DOEM_OBS_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace doem {
+namespace obs {
+
+/// The wall-clock shim every measured duration in the codebase goes
+/// through (DESIGN.md §6d). Phase timings in PollReport, histogram
+/// observations, and trace spans all read this clock, so tests can
+/// substitute a manual clock and assert on exact durations.
+///
+/// This is the *wall* clock domain — monotonic nanoseconds with an
+/// arbitrary epoch — as opposed to the simulated Timestamp domain the
+/// paper's Section 2.2 time model uses. Trace events carry both.
+class ClockInterface {
+ public:
+  virtual ~ClockInterface() = default;
+  /// Monotonic nanoseconds. Must be safe to call from any thread.
+  virtual int64_t NowNs() const = 0;
+};
+
+/// Monotonic nanoseconds from the installed clock (default:
+/// std::chrono::steady_clock).
+int64_t NowNs();
+
+/// Nanoseconds elapsed since a NowNs() reading.
+inline int64_t ElapsedNs(int64_t start_ns) { return NowNs() - start_ns; }
+
+/// Installs `clock` as the process-wide clock for its lifetime and
+/// restores the previous clock on destruction. For tests; installing a
+/// clock while other threads are measuring is safe (the pointer swap is
+/// atomic) but mid-measurement readings may mix domains.
+class ScopedClockOverride {
+ public:
+  explicit ScopedClockOverride(ClockInterface* clock);
+  ~ScopedClockOverride();
+
+  ScopedClockOverride(const ScopedClockOverride&) = delete;
+  ScopedClockOverride& operator=(const ScopedClockOverride&) = delete;
+
+ private:
+  ClockInterface* previous_;
+};
+
+/// A manually advanced clock for deterministic timing tests.
+class ManualClock : public ClockInterface {
+ public:
+  explicit ManualClock(int64_t start_ns = 0) : ns_(start_ns) {}
+  int64_t NowNs() const override {
+    return ns_.load(std::memory_order_relaxed);
+  }
+  void Advance(int64_t delta_ns) {
+    ns_.fetch_add(delta_ns, std::memory_order_relaxed);
+  }
+  void Set(int64_t ns) { ns_.store(ns, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> ns_;
+};
+
+}  // namespace obs
+}  // namespace doem
+
+#endif  // DOEM_OBS_CLOCK_H_

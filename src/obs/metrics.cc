@@ -1,0 +1,228 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace doem {
+namespace obs {
+
+namespace {
+
+/// Maps a dotted metric name onto the Prometheus exposition charset
+/// [a-zA-Z0-9_:]; anything else becomes '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out = "_" + out;
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<int64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  if (buckets_.size() != bounds_.size() + 1) {
+    // Duplicate bounds were collapsed; rebuild the cell array to match.
+    std::vector<std::atomic<uint64_t>> cells(bounds_.size() + 1);
+    buckets_.swap(cells);
+  }
+}
+
+void Histogram::Observe(int64_t v) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  size_t idx = static_cast<size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+const std::vector<int64_t>& LatencyBucketsNs() {
+  // 1us .. ~4.3s in powers of four — 12 buckets spans the gap between a
+  // sub-microsecond counter bump and a multi-second rebuild.
+  static const std::vector<int64_t> kBuckets = [] {
+    std::vector<int64_t> b;
+    for (int64_t bound = 1000; b.size() < 12; bound *= 4) b.push_back(bound);
+    return b;
+  }();
+  return kBuckets;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == Kind::kCounter ? it->second.counter.get()
+                                             : nullptr;
+  }
+  Entry e;
+  e.kind = Kind::kCounter;
+  e.help = help;
+  e.counter = std::make_unique<Counter>();
+  Counter* out = e.counter.get();
+  entries_.emplace(name, std::move(e));
+  return out;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == Kind::kGauge ? it->second.gauge.get() : nullptr;
+  }
+  Entry e;
+  e.kind = Kind::kGauge;
+  e.help = help;
+  e.gauge = std::make_unique<Gauge>();
+  Gauge* out = e.gauge.get();
+  entries_.emplace(name, std::move(e));
+  return out;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<int64_t>& bounds,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != Kind::kHistogram) return nullptr;
+    Histogram* h = it->second.histogram.get();
+    return h->bounds() == bounds ? h : nullptr;
+  }
+  Entry e;
+  e.kind = Kind::kHistogram;
+  e.help = help;
+  e.histogram = std::make_unique<Histogram>(bounds);
+  Histogram* out = e.histogram.get();
+  entries_.emplace(name, std::move(e));
+  return out;
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::kCounter) return 0;
+  return it->second.counter->value();
+}
+
+int64_t MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::kGauge) return 0;
+  return it->second.gauge->value();
+}
+
+std::string MetricsRegistry::ExportPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, e] : entries_) {
+    std::string pn = PrometheusName(name);
+    if (!e.help.empty()) out += "# HELP " + pn + " " + e.help + "\n";
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + pn + " counter\n";
+        out += pn + " " + std::to_string(e.counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + pn + " gauge\n";
+        out += pn + " " + std::to_string(e.gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + pn + " histogram\n";
+        const Histogram& h = *e.histogram;
+        std::vector<uint64_t> cells = h.bucket_counts();
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += cells[i];
+          out += pn + "_bucket{le=\"" + std::to_string(h.bounds()[i]) +
+                 "\"} " + std::to_string(cumulative) + "\n";
+        }
+        cumulative += cells.back();
+        out += pn + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+               "\n";
+        out += pn + "_sum " + std::to_string(h.sum()) + "\n";
+        out += pn + "_count " + std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string counters, gauges, histograms;
+  for (const auto& [name, e] : entries_) {
+    std::string key = "\"" + JsonEscape(name) + "\":";
+    switch (e.kind) {
+      case Kind::kCounter:
+        if (!counters.empty()) counters += ",";
+        counters += key + std::to_string(e.counter->value());
+        break;
+      case Kind::kGauge:
+        if (!gauges.empty()) gauges += ",";
+        gauges += key + std::to_string(e.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        if (!histograms.empty()) histograms += ",";
+        const Histogram& h = *e.histogram;
+        std::string bounds, cells;
+        for (int64_t b : h.bounds()) {
+          if (!bounds.empty()) bounds += ",";
+          bounds += std::to_string(b);
+        }
+        for (uint64_t c : h.bucket_counts()) {
+          if (!cells.empty()) cells += ",";
+          cells += std::to_string(c);
+        }
+        histograms += key + "{\"bounds\":[" + bounds + "],\"counts\":[" +
+                      cells + "],\"sum\":" + std::to_string(h.sum()) +
+                      ",\"count\":" + std::to_string(h.count()) + "}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+         "},\"histograms\":{" + histograms + "}}";
+}
+
+}  // namespace obs
+}  // namespace doem

@@ -1,0 +1,132 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace doem {
+namespace obs {
+
+namespace {
+
+std::atomic<uint64_t> g_recorder_ids{1};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Fractional microseconds with fixed precision — Chrome trace "ts" and
+/// "dur" are microsecond doubles.
+std::string MicrosFromNs(int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000 < 0 ? -(ns % 1000)
+                                                     : ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(size_t max_events_per_thread)
+    : capacity_(max_events_per_thread == 0 ? 1 : max_events_per_thread),
+      id_(g_recorder_ids.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread(
+    uint32_t* tid) {
+  struct Cache {
+    uint64_t recorder_id = 0;
+    ThreadBuffer* buffer = nullptr;
+    uint32_t tid = 0;
+  };
+  thread_local Cache cache;
+  if (cache.recorder_id == id_) {
+    *tid = cache.tid;
+    return cache.buffer;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  cache.recorder_id = id_;
+  cache.buffer = buffers_.back().get();
+  cache.tid = static_cast<uint32_t>(buffers_.size() - 1);
+  *tid = cache.tid;
+  return cache.buffer;
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  uint32_t tid = 0;
+  ThreadBuffer* buffer = BufferForThisThread(&tid);
+  event.tid = tid;
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if (buffer->events.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+std::string TraceRecorder::ExportChromeTrace() const {
+  std::vector<TraceEvent> events = Events();
+  int64_t epoch = 0;
+  if (!events.empty()) epoch = events.front().start_ns;
+  std::string out = "{\"traceEvents\":[";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"doem\"}}";
+  for (const TraceEvent& e : events) {
+    out += ",{\"name\":\"" + JsonEscape(e.name) + "\",\"cat\":\"" +
+           JsonEscape(e.category) + "\",\"ph\":\"X\",\"ts\":" +
+           MicrosFromNs(e.start_ns - epoch) +
+           ",\"dur\":" + MicrosFromNs(e.duration_ns) +
+           ",\"pid\":1,\"tid\":" + std::to_string(e.tid) + ",\"args\":{";
+    bool first = true;
+    if (e.sim.has_value()) {
+      out += "\"sim_ticks\":" + std::to_string(e.sim->ticks);
+      first = false;
+    }
+    if (!e.label.empty()) {
+      if (!first) out += ",";
+      out += "\"label\":\"" + JsonEscape(e.label) + "\"";
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace doem

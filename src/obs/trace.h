@@ -1,0 +1,142 @@
+#ifndef DOEM_OBS_TRACE_H_
+#define DOEM_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.h"
+#include "oem/timestamp.h"
+
+namespace doem {
+namespace obs {
+
+/// One completed span. Durations are wall-clock (obs::NowNs); `sim`
+/// carries the simulated Timestamp of the operation when it has one, so
+/// a trace can be correlated with the paper's simulated time domain.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  /// Free-form detail ("group", a subscription name, ...); empty = none.
+  std::string label;
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+  std::optional<Timestamp> sim;
+  /// Dense recorder-assigned thread index (0 = first recording thread).
+  uint32_t tid = 0;
+};
+
+/// Records RAII spans into bounded per-thread buffers and exports them
+/// as Chrome trace-event JSON ("X" complete events) loadable in
+/// Perfetto / chrome://tracing (DESIGN.md §6d).
+///
+/// Thread safety: spans may begin and end on any thread (QSS records
+/// from executor threads); each thread appends to its own buffer under
+/// an uncontended per-buffer mutex. When a thread's buffer is full,
+/// further events on it are counted in dropped() and discarded — a
+/// bounded trace never becomes the memory regression it is measuring.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t max_events_per_thread = 65536);
+
+  void Record(TraceEvent event);
+
+  /// All recorded events, merged across threads in start-time order.
+  std::vector<TraceEvent> Events() const;
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Chrome trace-event JSON: {"traceEvents": [...]} with "X" complete
+  /// events (ts/dur in fractional microseconds, relative to the earliest
+  /// span), one pid, recorder thread indexes as tids, and args carrying
+  /// the simulated timestamp and label.
+  std::string ExportChromeTrace() const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+
+  /// This thread's buffer (registering it on first use), plus its dense
+  /// index. Cached thread-locally, keyed by a process-unique recorder id
+  /// so a recorder reallocated at the same address never sees another's
+  /// cache entry.
+  ThreadBuffer* BufferForThisThread(uint32_t* tid);
+
+  const size_t capacity_;
+  const uint64_t id_;
+  mutable std::mutex mu_;  // guards buffers_ growth
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+#ifdef DOEM_TRACING_DISABLED
+
+/// Tracing compiled out (CMake -DDOEM_TRACING=OFF): spans are empty
+/// objects and their constructor arguments are never evaluated beyond
+/// trivial parameter passing; the optimizer removes the call sites.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder*, std::string_view, std::string_view) {}
+  TraceSpan(TraceRecorder*, std::string_view, std::string_view, Timestamp) {}
+  TraceSpan(TraceRecorder*, std::string_view, std::string_view, Timestamp,
+            std::string_view) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+#else
+
+/// An RAII span: starts timing at construction, records a TraceEvent
+/// into `recorder` at destruction. A null recorder makes both ends a
+/// pointer test — spans stay in the code unconditionally and cost
+/// nearly nothing when tracing is off at runtime (and exactly nothing
+/// when compiled out via DOEM_TRACING=OFF).
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, std::string_view name,
+            std::string_view category)
+      : recorder_(recorder) {
+    if (recorder_ == nullptr) return;
+    event_.name = std::string(name);
+    event_.category = std::string(category);
+    event_.start_ns = NowNs();
+  }
+  TraceSpan(TraceRecorder* recorder, std::string_view name,
+            std::string_view category, Timestamp sim)
+      : TraceSpan(recorder, name, category) {
+    if (recorder_ != nullptr) event_.sim = sim;
+  }
+  TraceSpan(TraceRecorder* recorder, std::string_view name,
+            std::string_view category, Timestamp sim, std::string_view label)
+      : TraceSpan(recorder, name, category, sim) {
+    if (recorder_ != nullptr) event_.label = std::string(label);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (recorder_ == nullptr) return;
+    event_.duration_ns = ElapsedNs(event_.start_ns);
+    recorder_->Record(std::move(event_));
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  TraceEvent event_;
+};
+
+#endif  // DOEM_TRACING_DISABLED
+
+}  // namespace obs
+}  // namespace doem
+
+#endif  // DOEM_OBS_TRACE_H_

@@ -80,8 +80,13 @@ struct PollHealth {
   size_t retries = 0;
   /// Total simulated backoff spent (RetryPolicy::backoff_base_ticks).
   int64_t backoff_ticks = 0;
-  /// Quarantine skips, in time order.
+  /// The most recent quarantine skips, in time order, bounded to
+  /// QssOptions::max_missed_log entries — older entries are evicted from
+  /// the front and counted in missed_dropped.
   std::vector<MissedPoll> missed;
+  /// Quarantine skips evicted from `missed` by the bound. Total skips
+  /// ever = missed.size() + missed_dropped.
+  size_t missed_dropped = 0;
 };
 
 /// One failure surfaced during a tick: either a poll of a group failed
@@ -130,6 +135,12 @@ struct PollReport {
   int64_t diff_ns = 0;
   int64_t apply_ns = 0;
   int64_t filter_ns = 0;
+  /// Whole-call wall-clock nanoseconds of each AdvanceTo / PollNow /
+  /// NotifySourceChanged call, summed if the report is reused. Covers
+  /// scheduling overhead the per-phase timers miss. Measured, not
+  /// simulated — excluded from determinism comparisons like the per-phase
+  /// timers above.
+  int64_t elapsed_ns = 0;
   std::vector<PollError> errors;
 
   bool all_ok() const { return errors.empty(); }

@@ -1,9 +1,9 @@
 #include "qss/qss.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "lorel/lorel.h"
+#include "obs/clock.h"
 
 namespace doem {
 namespace qss {
@@ -34,6 +34,24 @@ Status ValidatePollingQuery(const std::string& text) {
   return Status::OK();
 }
 
+// Instrument-update helpers: every instrument pointer is null when no
+// MetricsRegistry is configured.
+void Count(obs::Counter* c, uint64_t by = 1) {
+  if (c != nullptr && by > 0) c->Increment(by);
+}
+
+void SetGauge(obs::Gauge* g, int64_t v) {
+  if (g != nullptr) g->Set(v);
+}
+
+void AddGauge(obs::Gauge* g, int64_t delta) {
+  if (g != nullptr) g->Add(delta);
+}
+
+void Observe(obs::Histogram* h, int64_t v) {
+  if (h != nullptr) h->Observe(v);
+}
+
 }  // namespace
 
 QuerySubscriptionService::QuerySubscriptionService(InformationSource* source,
@@ -43,7 +61,42 @@ QuerySubscriptionService::QuerySubscriptionService(InformationSource* source,
       now_(start),
       options_(options),
       diff_mode_(source->PreservesIds() ? DiffMode::kKeyed
-                                        : DiffMode::kStructural) {}
+                                        : DiffMode::kStructural) {
+  obs::MetricsRegistry* m = options_.metrics;
+  if (m == nullptr) return;
+  ins_.polls_attempted = m->GetCounter(
+      "qss.polls_attempted", "scheduled polls that ran (not quarantine skips)");
+  ins_.polls_ok = m->GetCounter("qss.polls_ok", "polls that committed");
+  ins_.polls_failed =
+      m->GetCounter("qss.polls_failed", "polls that failed after retries");
+  ins_.polls_missed = m->GetCounter(
+      "qss.polls_missed", "scheduled polls skipped inside quarantine windows");
+  ins_.retries = m->GetCounter(
+      "qss.retries", "extra source attempts beyond the first, across polls");
+  ins_.notifications =
+      m->GetCounter("qss.notifications", "notifications delivered to clients");
+  ins_.quarantine_trips = m->GetCounter(
+      "qss.quarantine_trips", "circuit-breaker trips into the Open state");
+  ins_.missed_log_dropped = m->GetCounter(
+      "qss.missed_log_dropped",
+      "missed-poll log entries evicted by QssOptions::max_missed_log");
+  ins_.groups = m->GetGauge("qss.groups", "distinct poll groups maintained");
+  ins_.circuits_open =
+      m->GetGauge("qss.circuits_open", "poll groups currently quarantined");
+  ins_.circuits_half_open = m->GetGauge(
+      "qss.circuits_half_open", "poll groups currently probing (half-open)");
+  ins_.fetch_ns = m->GetHistogram(
+      "qss.fetch_ns", obs::LatencyBucketsNs(),
+      "per-poll source fetch wall time (incl. retries), ns");
+  ins_.diff_ns = m->GetHistogram("qss.diff_ns", obs::LatencyBucketsNs(),
+                                 "per-poll OEMdiff wall time, ns");
+  ins_.apply_ns = m->GetHistogram(
+      "qss.apply_ns", obs::LatencyBucketsNs(),
+      "per-poll DOEM apply + cache maintenance wall time, ns");
+  ins_.filter_ns = m->GetHistogram(
+      "qss.filter_ns", obs::LatencyBucketsNs(),
+      "per-member filter evaluation wall time, ns");
+}
 
 std::string QuerySubscriptionService::GroupKey(const Subscription& sub) const {
   if (!options_.merge_similar_polls) return "sub:" + sub.name;
@@ -78,9 +131,11 @@ QuerySubscriptionService::GroupFor(const Subscription& sub) {
   eopts.incremental = options_.incremental_filter;
   eopts.seed_from_index = options_.seed_filter_from_index;
   eopts.verify_incremental = options_.verify_incremental_filter;
+  eopts.metrics = options_.metrics;
   group->engine = std::make_unique<chorel::ChorelEngine>(group->doem, eopts);
   PollGroup* out = group.get();
   groups_.emplace(std::move(key), std::move(group));
+  SetGauge(ins_.groups, static_cast<int64_t>(groups_.size()));
   return out;
 }
 
@@ -117,7 +172,16 @@ Status QuerySubscriptionService::Unsubscribe(const std::string& name) {
   if (git != groups_.end()) {
     auto& members = git->second->members;
     members.erase(std::find(members.begin(), members.end(), name));
-    if (members.empty()) groups_.erase(git);
+    if (members.empty()) {
+      // Retire the group's contribution to the circuit gauges with it.
+      CircuitState state = git->second->health.state;
+      if (state == CircuitState::kOpen) AddGauge(ins_.circuits_open, -1);
+      if (state == CircuitState::kHalfOpen) {
+        AddGauge(ins_.circuits_half_open, -1);
+      }
+      groups_.erase(git);
+      SetGauge(ins_.groups, static_cast<int64_t>(groups_.size()));
+    }
   }
   subs_.erase(it);
   return Status::OK();
@@ -160,12 +224,6 @@ std::string JoinMembers(const std::vector<std::string>& members) {
   return out;
 }
 
-int64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now() - start)
-      .count();
-}
-
 }  // namespace
 
 Result<OemDatabase> QuerySubscriptionService::AttemptPoll(
@@ -186,7 +244,7 @@ Result<OemDatabase> QuerySubscriptionService::AttemptPoll(
     int64_t took = 0;
     auto answer = [&] {
       // The source need not be thread-safe (see source.h): the poll and
-      // its duration read form one critical section, so concurrent
+      // its duration read from one critical section, so concurrent
       // groups cannot interleave inside a call or misattribute the
       // duration of someone else's poll.
       std::lock_guard<std::mutex> lock(source_mu_);
@@ -218,6 +276,8 @@ Result<OemDatabase> QuerySubscriptionService::AttemptPoll(
 
 QuerySubscriptionService::PreparedPoll QuerySubscriptionService::PreparePoll(
     PollGroup* group, Timestamp t) {
+  obs::TraceSpan span(options_.trace, "qss.prepare", "qss", t,
+                      JoinMembers(group->members));
   PreparedPoll pending;
   pending.group = group;
   pending.time = t;
@@ -233,6 +293,8 @@ QuerySubscriptionService::PreparedPoll QuerySubscriptionService::PreparePoll(
       return pending;
     }
     health.state = CircuitState::kHalfOpen;
+    AddGauge(ins_.circuits_open, -1);
+    AddGauge(ins_.circuits_half_open, 1);
   }
 
   ++health.polls_attempted;
@@ -242,9 +304,13 @@ QuerySubscriptionService::PreparedPoll QuerySubscriptionService::PreparePoll(
   int max_attempts = health.state == CircuitState::kHalfOpen
                          ? 1
                          : std::max(1, options_.retry.max_attempts);
-  auto fetch_start = std::chrono::steady_clock::now();
-  auto answer = AttemptPoll(group, t, max_attempts, &pending);
-  pending.fetch_ns = ElapsedNs(fetch_start);
+  auto answer = [&] {
+    obs::TraceSpan fetch_span(options_.trace, "qss.fetch", "qss", t);
+    int64_t fetch_start = obs::NowNs();
+    auto polled = AttemptPoll(group, t, max_attempts, &pending);
+    pending.fetch_ns = obs::ElapsedNs(fetch_start);
+    return polled;
+  }();
   if (!answer.ok()) {
     pending.failure = answer.status();
     return pending;
@@ -259,10 +325,11 @@ QuerySubscriptionService::PreparedPoll QuerySubscriptionService::PreparePoll(
   // 2. R_{k-1} is the current snapshot of the DOEM database. Safe off
   // the commit thread: nothing else touches this group during its wave.
   // 3. OEMdiff.
-  auto diff_start = std::chrono::steady_clock::now();
+  obs::TraceSpan diff_span(options_.trace, "qss.diff", "qss", t);
+  int64_t diff_start = obs::NowNs();
   OemDatabase previous = group->doem.CurrentSnapshot();
   auto delta = DiffSnapshots(previous, *wrapped, diff_mode_);
-  pending.diff_ns = ElapsedNs(diff_start);
+  pending.diff_ns = obs::ElapsedNs(diff_start);
   if (!delta.ok()) {
     pending.failure = delta.status();
     return pending;
@@ -276,13 +343,24 @@ void QuerySubscriptionService::CommitPoll(PreparedPoll* pending,
   PollGroup* group = pending->group;
   PollHealth& health = group->health;
   const Timestamp t = pending->time;
+  obs::TraceSpan span(options_.trace, "qss.commit", "qss", t,
+                      JoinMembers(group->members));
 
   if (pending->quarantined) {
     MissedPoll missed;
     missed.time = t;
     missed.reason = std::move(pending->missed_reason);
     health.missed.push_back(std::move(missed));
+    if (options_.max_missed_log > 0 &&
+        health.missed.size() > options_.max_missed_log) {
+      size_t drop = health.missed.size() - options_.max_missed_log;
+      health.missed.erase(health.missed.begin(),
+                          health.missed.begin() + drop);
+      health.missed_dropped += drop;
+      Count(ins_.missed_log_dropped, drop);
+    }
     ++report->polls_missed;
+    Count(ins_.polls_missed);
     return;
   }
 
@@ -290,6 +368,10 @@ void QuerySubscriptionService::CommitPoll(PreparedPoll* pending,
   report->retries += pending->retries;
   report->fetch_ns += pending->fetch_ns;
   report->diff_ns += pending->diff_ns;
+  Count(ins_.polls_attempted);
+  Count(ins_.retries, pending->retries);
+  Observe(ins_.fetch_ns, pending->fetch_ns);
+  Observe(ins_.diff_ns, pending->diff_ns);
 
   Status failure = pending->failure;
   Status maintain;  // engine-cache maintenance outcome (see below)
@@ -302,7 +384,8 @@ void QuerySubscriptionService::CommitPoll(PreparedPoll* pending,
     // rebase replaced the history wholesale, so a patch of the old
     // encoding would describe the wrong database). A failed apply leaves
     // both the history and the caches untouched and consistent.
-    auto apply_start = std::chrono::steady_clock::now();
+    obs::TraceSpan apply_span(options_.trace, "qss.apply", "qss", t);
+    int64_t apply_start = obs::NowNs();
     if (options_.retention == HistoryRetention::kTwoSnapshots) {
       auto rebased = DoemDatabase::FromSnapshot(group->doem.CurrentSnapshot());
       if (rebased.ok()) {
@@ -320,7 +403,9 @@ void QuerySubscriptionService::CommitPoll(PreparedPoll* pending,
         maintain = group->engine->ApplyDelta(t, pending->delta);
       }
     }
-    report->apply_ns += ElapsedNs(apply_start);
+    int64_t apply_ns = obs::ElapsedNs(apply_start);
+    report->apply_ns += apply_ns;
+    Observe(ins_.apply_ns, apply_ns);
   }
 
   if (!failure.ok()) {
@@ -328,6 +413,7 @@ void QuerySubscriptionService::CommitPoll(PreparedPoll* pending,
     ++health.consecutive_failures;
     health.last_error = failure;
     ++report->polls_failed;
+    Count(ins_.polls_failed);
     PollError error;
     error.kind = PollError::Kind::kPoll;
     error.subject = JoinMembers(group->members);
@@ -340,16 +426,25 @@ void QuerySubscriptionService::CommitPoll(PreparedPoll* pending,
     if (health.state == CircuitState::kHalfOpen ||
         (options_.quarantine_after > 0 &&
          health.consecutive_failures >= options_.quarantine_after)) {
+      if (health.state == CircuitState::kHalfOpen) {
+        AddGauge(ins_.circuits_half_open, -1);
+      }
       health.state = CircuitState::kOpen;
       health.quarantined_until =
           Timestamp(t.ticks + options_.quarantine_cooldown_ticks);
+      AddGauge(ins_.circuits_open, 1);
+      Count(ins_.quarantine_trips);
     }
     return;
   }
   group->polls.push_back(t);
   ++health.polls_succeeded;
   ++report->polls_ok;
+  Count(ins_.polls_ok);
   health.consecutive_failures = 0;
+  if (health.state == CircuitState::kHalfOpen) {
+    AddGauge(ins_.circuits_half_open, -1);  // probe succeeded: close
+  }
   health.state = CircuitState::kClosed;
 
   if (!maintain.ok()) {
@@ -374,10 +469,16 @@ void QuerySubscriptionService::CommitPoll(PreparedPoll* pending,
     SubState& state = subs_.at(member);
     lorel::EvalOptions opts;
     opts.polling_times = &group->polls;
-    auto filter_start = std::chrono::steady_clock::now();
-    auto result =
-        group->engine->RunCompiled(&state.filter, options_.strategy, opts);
-    report->filter_ns += ElapsedNs(filter_start);
+    int64_t filter_start = obs::NowNs();
+    auto result = [&] {
+      obs::TraceSpan filter_span(options_.trace, "qss.filter", "qss", t,
+                                 member);
+      return group->engine->RunCompiled(&state.filter, options_.strategy,
+                                        opts);
+    }();
+    int64_t filter_ns = obs::ElapsedNs(filter_start);
+    report->filter_ns += filter_ns;
+    Observe(ins_.filter_ns, filter_ns);
     if (!result.ok()) {
       PollError error;
       error.kind = PollError::Kind::kFilter;
@@ -400,6 +501,7 @@ void QuerySubscriptionService::CommitPoll(PreparedPoll* pending,
         n.result = std::move(result).value();
         state.callback(n);
         ++report->notifications;
+        Count(ins_.notifications);
       }
     }
   }
@@ -439,6 +541,8 @@ Status QuerySubscriptionService::AdvanceTo(Timestamp t, PollReport* report) {
   if (t < now_) {
     return Status::InvalidArgument("clock cannot run backwards");
   }
+  obs::TraceSpan span(options_.trace, "qss.advance", "qss", t);
+  int64_t call_start = obs::NowNs();
   PollReport local;
   PollReport* r = report != nullptr ? report : &local;
   size_t first_new_error = r->errors.size();
@@ -469,6 +573,7 @@ Status QuerySubscriptionService::AdvanceTo(Timestamp t, PollReport* report) {
     RunWave(wave, wave_time, r);
   }
   now_ = t;
+  r->elapsed_ns += obs::ElapsedNs(call_start);
   return SettleReport(*r, first_new_error, report != nullptr);
 }
 
@@ -484,14 +589,19 @@ Status QuerySubscriptionService::PollNow(const std::string& name,
         "already polled at tick " + now_.ToString() +
         "; advance the clock first");
   }
+  obs::TraceSpan span(options_.trace, "qss.poll_now", "qss", now_, name);
+  int64_t call_start = obs::NowNs();
   PollReport local;
   PollReport* r = report != nullptr ? report : &local;
   size_t first_new_error = r->errors.size();
   RunWave({group}, now_, r);
+  r->elapsed_ns += obs::ElapsedNs(call_start);
   return SettleReport(*r, first_new_error, report != nullptr);
 }
 
 Status QuerySubscriptionService::NotifySourceChanged(PollReport* report) {
+  obs::TraceSpan span(options_.trace, "qss.source_changed", "qss", now_);
+  int64_t call_start = obs::NowNs();
   PollReport local;
   PollReport* r = report != nullptr ? report : &local;
   size_t first_new_error = r->errors.size();
@@ -504,6 +614,7 @@ Status QuerySubscriptionService::NotifySourceChanged(PollReport* report) {
     wave.push_back(group.get());
   }
   RunWave(wave, now_, r);
+  r->elapsed_ns += obs::ElapsedNs(call_start);
   return SettleReport(*r, first_new_error, report != nullptr);
 }
 

@@ -12,6 +12,8 @@
 #include "common/result.h"
 #include "diff/diff.h"
 #include "doem/doem.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qss/executor.h"
 #include "qss/frequency.h"
 #include "qss/health.h"
@@ -101,6 +103,26 @@ struct QssOptions {
   /// NotifySourceChanged return OK on poll failures — the tick always
   /// completes and errors flow through these channels instead.
   ErrorCallback on_error;
+  /// Bound on PollHealth::missed: only the most recent N quarantine
+  /// skips are kept, older entries are evicted (and tallied in
+  /// PollHealth::missed_dropped and the qss.missed_log_dropped counter).
+  /// 0 keeps the log unbounded.
+  size_t max_missed_log = 64;
+
+  // ---- Observability (DESIGN.md §6d) ----------------------------------
+
+  /// Optional metrics sink (not owned; must outlive the service). Feeds
+  /// the qss.* counters/gauges/histograms and is handed to each group's
+  /// Chorel engine for the chorel.*/encoding.*/index.* families. Purely
+  /// observational: histories, rows, and notifications are byte-identical
+  /// with or without it.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional span recorder (not owned; must outlive the service).
+  /// Records qss.advance/poll_now/source_changed top-level spans with
+  /// nested per-group prepare (fetch, diff) and commit (apply, filter)
+  /// spans, exportable as Chrome trace JSON. Same determinism guarantee
+  /// as `metrics`.
+  obs::TraceRecorder* trace = nullptr;
 
   // ---- Concurrency (DESIGN.md §6b) ------------------------------------
 
@@ -250,7 +272,7 @@ class QuerySubscriptionService {
 
   /// Attempts the source poll itself (with retries, deadline, and
   /// snapshot validation) per the retry policy. Each attempt's Poll and
-  /// duration read form one critical section on source_mu_.
+  /// duration read from one critical section on source_mu_.
   Result<OemDatabase> AttemptPoll(PollGroup* group, Timestamp t,
                                   int max_attempts, PreparedPoll* pending);
 
@@ -291,6 +313,29 @@ class QuerySubscriptionService {
   /// PreparedPolls into the DOEM histories, PollHealth, and the caller's
   /// PollReport, and keeps callback delivery single-threaded.
   std::mutex commit_mu_;
+
+  /// Instrument handles resolved once at construction (all null without
+  /// a registry — every update is guarded). Counters and histograms are
+  /// bumped from the serial commit phase; the circuit gauges also from
+  /// PreparePoll on executor threads (instrument updates are atomic).
+  struct Instruments {
+    obs::Counter* polls_attempted = nullptr;
+    obs::Counter* polls_ok = nullptr;
+    obs::Counter* polls_failed = nullptr;
+    obs::Counter* polls_missed = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* notifications = nullptr;
+    obs::Counter* quarantine_trips = nullptr;
+    obs::Counter* missed_log_dropped = nullptr;
+    obs::Gauge* groups = nullptr;
+    obs::Gauge* circuits_open = nullptr;
+    obs::Gauge* circuits_half_open = nullptr;
+    obs::Histogram* fetch_ns = nullptr;
+    obs::Histogram* diff_ns = nullptr;
+    obs::Histogram* apply_ns = nullptr;
+    obs::Histogram* filter_ns = nullptr;
+  };
+  Instruments ins_;
 };
 
 }  // namespace qss
