@@ -1,43 +1,109 @@
 #!/usr/bin/env bash
-# Incremental-maintenance benchmark driver (DESIGN.md §6c).
+# Benchmark capture driver (DESIGN.md §6c, §6e).
 #
-#   scripts/bench.sh [build-dir]    # default: build
+#   scripts/bench.sh [build-dir] [--allow-debug]    # default: build
 #
 # Runs the history-length sweeps — per-poll QSS filter cost and
-# engine-level per-delta maintenance cost, incremental vs rebuild — and
-# writes google-benchmark JSON next to the repo root:
+# engine-level per-delta maintenance cost, incremental vs rebuild — plus
+# the durability-layer sweeps, and writes google-benchmark JSON next to
+# the repo root:
 #
 #   BENCH_qss_incremental.json     BM_QssHistorySweep
 #   BENCH_chorel_incremental.json  BM_ChorelDeltaMaintenance
 #   BENCH_obs_overhead.json        BM_QssObsOverhead + instrument microcosts
+#   BENCH_store_recovery.json      BM_StoreAppend / BM_StoreCheckpoint /
+#                                  BM_StoreRecovery
 #
 # The claims to check in the output: with incremental:1 the per-poll
 # counters stay flat as `history` grows; with incremental:0 they grow,
 # and at history:128 the incremental filter cost is >= 10x cheaper. In
 # BENCH_obs_overhead.json, obs:1 and obs:2 stay within ~5% of obs:0
-# (DESIGN.md §6d overhead budget).
+# (DESIGN.md §6d overhead budget). In BENCH_store_recovery.json,
+# append cost is flat in history length and log_bytes shrinks as the
+# checkpoint interval grows.
+#
+# Numbers from unoptimized builds are not comparable: the script reads
+# CMAKE_BUILD_TYPE from the build tree's actual CMakeCache.txt, records
+# it as `cmake_build_type` in every capture's context block, and refuses
+# to write BENCH_*.json from a non-Release-like build unless
+# --allow-debug is given. (google-benchmark's own `library_build_type`
+# context field only describes how the *benchmark library* was built,
+# which is how Debug captures used to slip through.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-build="${1:-build}"
+build="build"
+allow_debug=0
+for arg in "$@"; do
+  case "$arg" in
+    --allow-debug) allow_debug=1 ;;
+    -*)
+      echo "usage: $0 [build-dir] [--allow-debug]" >&2
+      exit 2
+      ;;
+    *) build="$arg" ;;
+  esac
+done
 jobs=$(nproc 2>/dev/null || echo 2)
 
 cmake -B "$build" -S . >/dev/null
-cmake --build "$build" -j "$jobs" --target bench_qss_cycle bench_chorel_strategies bench_obs_overhead
+
+# The authoritative build type is the configured cache, not what the
+# caller believes they configured.
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build/CMakeCache.txt" | head -1)
+case "$build_type" in
+  Release|RelWithDebInfo|MinSizeRel) ;;
+  *)
+    if [ "$allow_debug" -ne 1 ]; then
+      cat >&2 <<EOF
+error: build tree '$build' has CMAKE_BUILD_TYPE='${build_type:-<empty>}'.
+Benchmark captures from unoptimized builds are misleading; configure a
+release tree first:
+
+    cmake -B "$build" -S . -DCMAKE_BUILD_TYPE=Release
+
+or pass --allow-debug to capture anyway (the JSON will be tagged
+cmake_build_type="${build_type:-<empty>}" so it cannot be mistaken for a
+release capture).
+EOF
+      exit 1
+    fi
+    echo "warning: capturing from CMAKE_BUILD_TYPE='${build_type:-<empty>}' (--allow-debug)" >&2
+    ;;
+esac
+
+cmake --build "$build" -j "$jobs" --target \
+  bench_qss_cycle bench_chorel_strategies bench_obs_overhead \
+  bench_store_recovery
+
+# Stamps the cache-derived build type into the capture's context block so
+# downstream consumers can reject or flag non-release data.
+annotate() {
+  sed -i "0,/\"context\": {/s//\"context\": {\n    \"cmake_build_type\": \"${build_type:-unknown}\",/" "$1"
+}
 
 "$build"/bench/bench_qss_cycle \
   --benchmark_filter='BM_QssHistorySweep' \
   --benchmark_out=BENCH_qss_incremental.json \
   --benchmark_out_format=json
+annotate BENCH_qss_incremental.json
 
 "$build"/bench/bench_chorel_strategies \
   --benchmark_filter='BM_ChorelDeltaMaintenance' \
   --benchmark_out=BENCH_chorel_incremental.json \
   --benchmark_out_format=json
+annotate BENCH_chorel_incremental.json
 
 "$build"/bench/bench_obs_overhead \
   --benchmark_out=BENCH_obs_overhead.json \
   --benchmark_out_format=json
+annotate BENCH_obs_overhead.json
+
+"$build"/bench/bench_store_recovery \
+  --benchmark_out=BENCH_store_recovery.json \
+  --benchmark_out_format=json
+annotate BENCH_store_recovery.json
 
 echo "wrote BENCH_qss_incremental.json, BENCH_chorel_incremental.json," \
-     "and BENCH_obs_overhead.json"
+     "BENCH_obs_overhead.json, and BENCH_store_recovery.json" \
+     "(cmake_build_type=$build_type)"

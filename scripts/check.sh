@@ -2,12 +2,16 @@
 # Repo verification driver.
 #
 #   scripts/check.sh            # tier-1: default build + full ctest
-#   scripts/check.sh tsan       # DOEM_TSAN build + `ctest -L "qss|perf|obs"`
+#   scripts/check.sh tsan       # DOEM_TSAN build + `ctest -L "qss|perf|obs|store"`
 #                               # (races the parallel poll engine, the
-#                               # incremental query caches, and the
-#                               # metrics/trace instruments under
+#                               # incremental query caches, the
+#                               # metrics/trace instruments, and the
+#                               # durable-store commit path under
 #                               # ThreadSanitizer)
 #   scripts/check.sh asan       # DOEM_SANITIZE build + full ctest
+#                               # (includes the `store` crash/corruption
+#                               # matrices and the parser adversarial
+#                               # corpus under ASan/UBSan)
 #   scripts/check.sh all        # tier-1, then tsan, then asan
 #
 # Each mode uses its own build tree (build/, build-tsan/, build-asan/),
@@ -28,7 +32,7 @@ tsan() {
   cmake --build build-tsan -j "$jobs"
   # TSAN_OPTIONS makes any detected race fail the test run loudly.
   TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-tsan -L "qss|perf|obs" --output-on-failure -j "$jobs"
+    ctest --test-dir build-tsan -L "qss|perf|obs|store" --output-on-failure -j "$jobs"
 }
 
 asan() {

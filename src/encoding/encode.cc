@@ -192,7 +192,24 @@ Result<DoemDatabase> DecodeDoem(const OemDatabase& enc) {
     }
     for (const OutArc& a : enc.OutArcs(n)) {
       std::string label;
-      if (!LabelFromHistory(a.label, &label)) continue;
+      if (!LabelFromHistory(a.label, &label)) {
+        // The reserved '&' namespace on an encoding object is closed:
+        // &val/&cre/&upd structure plus &<label>-history objects. Anything
+        // else is a malformed encoding; silently dropping it would decode
+        // to a database that does not re-encode to the same text.
+        if (IsEncodingLabel(a.label) && a.label != "&val" &&
+            a.label != "&cre" && a.label != "&upd") {
+          return Err("unknown reserved label '" + a.label +
+                     "' on encoding object");
+        }
+        continue;
+      }
+      if (IsEncodingLabel(label)) {
+        // E.g. "&&x-history": the decoded arc label would itself sit in
+        // the reserved namespace, which no DOEM database can round-trip.
+        return Err("history label '" + a.label +
+                   "' decodes to reserved arc label '" + label + "'");
+      }
       NodeId hist = a.child;
       NodeId target = enc.Child(hist, "&target");
       if (target == kInvalidNode) return Err("history object lacks &target");
@@ -242,7 +259,13 @@ Result<DoemDatabase> DecodeDoem(const OemDatabase& enc) {
   }
 
   DOEM_RETURN_IF_ERROR(graph.SetRoot(enc.root()));
-  graph.ReserveIdsBelow(enc.PeekNextId());
+  // The decoded database's id space is exactly its real objects; CreNode
+  // above already advanced the watermark past the largest one. Inheriting
+  // enc.PeekNextId() here would also absorb the encoder's synthetic aux
+  // ids, so an encode -> decode -> encode round trip would allocate aux
+  // ids at a higher floor each cycle and the re-encoded text would not be
+  // byte-stable (EncodeDoem keeps aux ids collision-free on its own via
+  // aux_floor).
   return DoemDatabase::FromParts(std::move(graph), std::move(node_annots),
                                  std::move(arc_annots));
 }

@@ -89,8 +89,9 @@ struct PollHealth {
   size_t missed_dropped = 0;
 };
 
-/// One failure surfaced during a tick: either a poll of a group failed
-/// (after exhausting retries) or one member's filter query failed.
+/// One failure surfaced during a tick: a poll of a group failed (after
+/// exhausting retries), one member's filter query failed, or the group's
+/// durable store could not commit the poll.
 struct PollError {
   enum class Kind {
     /// The poll pipeline failed; `subject` is the comma-joined member
@@ -102,6 +103,12 @@ struct PollError {
     /// itself still succeeds — the caches rebuild on the next filter
     /// run).
     kFilter,
+    /// The durable store failed to commit a poll's record (`subject` is
+    /// the comma-joined member list). Availability over durability: the
+    /// poll itself stands — history, rows, and notifications are
+    /// unaffected — but the store is broken until the group's store is
+    /// reopened, and a crash now loses polls since the failure.
+    kStore,
   };
   Kind kind = Kind::kPoll;
   std::string subject;

@@ -117,16 +117,40 @@ QuerySubscriptionService::GroupFor(const Subscription& sub) {
   group->frequency = sub.frequency;
   group->next_poll = sub.frequency.FirstPoll(now_);
   group->members.push_back(sub.name);
-  // R_0: the canonical wrapper with an empty container (the "empty OEM
-  // database" of Section 6, anchored so reachability-deletion works).
-  OemDatabase base;
-  DOEM_RETURN_IF_ERROR(base.CreNode(kQssRoot, Value::Complex()));
-  DOEM_RETURN_IF_ERROR(base.CreNode(kQssContainer, Value::Complex()));
-  DOEM_RETURN_IF_ERROR(base.SetRoot(kQssRoot));
-  DOEM_RETURN_IF_ERROR(base.AddArc(kQssRoot, sub.name, kQssContainer));
-  auto doem = DoemDatabase::FromSnapshot(std::move(base));
-  if (!doem.ok()) return doem.status();
-  group->doem = std::move(doem).value();
+  if (options_.store != nullptr) {
+    auto opened = options_.store->OpenStore(key);
+    if (!opened.ok()) {
+      return Status(opened.status().code(),
+                    "durable store for group '" + key +
+                        "': " + opened.status().message());
+    }
+    group->store = std::move(opened).value();
+  }
+  if (group->store != nullptr && group->store->has_state()) {
+    // Resume from the committed history instead of starting over. The
+    // next poll keeps the group's cadence: the tick after the last
+    // committed poll, even if that is already in the past (AdvanceTo
+    // then runs the catch-up waves at their scheduled times).
+    group->polls = group->store->recovered_times();
+    group->doem = group->store->TakeRecoveredDb();
+    if (!group->polls.empty()) {
+      group->next_poll = sub.frequency.NextPoll(group->polls.back());
+    }
+  } else {
+    // R_0: the canonical wrapper with an empty container (the "empty OEM
+    // database" of Section 6, anchored so reachability-deletion works).
+    OemDatabase base;
+    DOEM_RETURN_IF_ERROR(base.CreNode(kQssRoot, Value::Complex()));
+    DOEM_RETURN_IF_ERROR(base.CreNode(kQssContainer, Value::Complex()));
+    DOEM_RETURN_IF_ERROR(base.SetRoot(kQssRoot));
+    DOEM_RETURN_IF_ERROR(base.AddArc(kQssRoot, sub.name, kQssContainer));
+    auto doem = DoemDatabase::FromSnapshot(std::move(base));
+    if (!doem.ok()) return doem.status();
+    group->doem = std::move(doem).value();
+    if (group->store != nullptr) {
+      DOEM_RETURN_IF_ERROR(group->store->Start(group->doem));
+    }
+  }
   chorel::ChorelEngineOptions eopts;
   eopts.incremental = options_.incremental_filter;
   eopts.seed_from_index = options_.seed_filter_from_index;
@@ -446,6 +470,26 @@ void QuerySubscriptionService::CommitPoll(PreparedPoll* pending,
     AddGauge(ins_.circuits_half_open, -1);  // probe succeeded: close
   }
   health.state = CircuitState::kClosed;
+
+  if (group->store != nullptr) {
+    // Persist the committed poll. The in-memory commit above stands
+    // either way (availability over durability); a failure here means
+    // polls from now on are not durable until the store is reopened.
+    Status stored =
+        options_.retention == HistoryRetention::kTwoSnapshots
+            ? group->store->CommitCheckpoint(t, group->doem)
+            : group->store->Append(t, pending->delta, group->doem);
+    if (!stored.ok()) {
+      PollError error;
+      error.kind = PollError::Kind::kStore;
+      error.subject = JoinMembers(group->members);
+      error.time = t;
+      error.status = Status(stored.code(),
+                            "durable store commit: " + stored.message());
+      report->errors.push_back(error);
+      if (options_.on_error) options_.on_error(error);
+    }
+  }
 
   if (!maintain.ok()) {
     // The cache patch (or its verify cross-check) failed. The engine has

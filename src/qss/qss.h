@@ -18,6 +18,7 @@
 #include "qss/frequency.h"
 #include "qss/health.h"
 #include "qss/source.h"
+#include "store/store.h"
 
 namespace doem {
 namespace qss {
@@ -108,6 +109,21 @@ struct QssOptions {
   /// PollHealth::missed_dropped and the qss.missed_log_dropped counter).
   /// 0 keeps the log unbounded.
   size_t max_missed_log = 64;
+
+  // ---- Durability (DESIGN.md §6e) -------------------------------------
+
+  /// Optional durable store (not owned; must outlive the service). When
+  /// set, each poll group persists its DOEM history to the manager's
+  /// store for the group key: Subscribe opens (and recovers) the store,
+  /// adopting any committed history — the group resumes polling at the
+  /// cadence-preserving next tick after the last committed poll instead
+  /// of starting over — and every committed poll appends one durable
+  /// record before the tick returns. A store commit failure does not
+  /// fail the poll (availability over durability): it surfaces as a
+  /// PollError::Kind::kStore and the store stays broken until reopened.
+  /// Histories, rows, and notifications are byte-identical with or
+  /// without a store, and across a crash + reopen at any byte offset.
+  store::StoreManager* store = nullptr;
 
   // ---- Observability (DESIGN.md §6d) ----------------------------------
 
@@ -217,6 +233,9 @@ class QuerySubscriptionService {
     /// is stable (groups are heap-allocated; the two-snapshot rebase
     /// move-assigns in place).
     std::unique_ptr<chorel::ChorelEngine> engine;
+    /// Durable backing store (null when QssOptions::store is unset).
+    /// Appended from the serial commit phase only.
+    std::unique_ptr<store::Store> store;
   };
   struct SubState {
     Subscription sub;

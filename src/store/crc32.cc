@@ -1,0 +1,44 @@
+#include "store/crc32.h"
+
+#include <array>
+
+namespace doem {
+namespace store {
+
+namespace {
+
+// Reflected table for the IEEE polynomial 0xEDB88320.
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Extend(uint32_t crc, std::string_view data) {
+  const auto& table = Table();
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(std::string_view data) {
+  return Crc32Extend(kCrc32Initial, data);
+}
+
+}  // namespace store
+}  // namespace doem

@@ -1,0 +1,27 @@
+#ifndef DOEM_STORE_CRC32_H_
+#define DOEM_STORE_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace doem {
+namespace store {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant), computed in
+/// software with a lazily built lookup table. Every record the store
+/// writes carries one; every record read back is verified against it
+/// before a single byte of the payload is interpreted.
+uint32_t Crc32(std::string_view data);
+
+/// Incremental form: extend a running checksum (start from
+/// `kCrc32Initial`) with more bytes. `Crc32(a + b) ==
+/// Crc32Extend(Crc32Extend(kCrc32Initial, a), b)` finalized — both
+/// helpers below handle the pre/post conditioning internally, so callers
+/// only ever see finalized values.
+uint32_t Crc32Extend(uint32_t crc, std::string_view data);
+constexpr uint32_t kCrc32Initial = 0;
+
+}  // namespace store
+}  // namespace doem
+
+#endif  // DOEM_STORE_CRC32_H_

@@ -1,0 +1,108 @@
+#include "store/fault_file.h"
+
+namespace doem {
+namespace store {
+
+FaultInjectingFile::FaultInjectingFile(File* inner) : inner_(inner) {
+  auto size = inner_->Size();
+  size_ = size.ok() ? *size : 0;
+  synced_size_ = size_;
+}
+
+void FaultInjectingFile::FailSync(size_t nth, bool drop_unsynced) {
+  fail_sync_at_ = nth;
+  drop_unsynced_on_fail_ = drop_unsynced;
+}
+
+void FaultInjectingFile::FlipBit(uint64_t offset, int bit) {
+  flips_.push_back(BitFlip{offset, bit});
+}
+
+Status FaultInjectingFile::Append(std::string_view data) {
+  ++appends_;
+  if (crashed_) {
+    return Status::Unavailable("FaultInjectingFile: process crashed");
+  }
+  // Crash-at-offset: persist only the bytes below the crash point, then
+  // die. The partial prefix is exactly what an interrupted write(2)
+  // sequence leaves behind.
+  if (crash_offset_ != kNoFault && size_ + data.size() > crash_offset_) {
+    ++injected_faults_;
+    crashed_ = true;
+    uint64_t keep = crash_offset_ > size_ ? crash_offset_ - size_ : 0;
+    if (keep > 0) {
+      Status s = inner_->Append(data.substr(0, keep));
+      if (!s.ok()) return s;
+      size_ += keep;
+    }
+    return Status::Unavailable("FaultInjectingFile: crash at offset " +
+                               std::to_string(crash_offset_));
+  }
+  // One-shot short write.
+  if (short_write_bytes_ != kNoFault) {
+    uint64_t keep = short_write_bytes_ < data.size() ? short_write_bytes_
+                                                     : data.size();
+    short_write_bytes_ = kNoFault;
+    ++injected_faults_;
+    if (keep > 0) {
+      Status s = inner_->Append(data.substr(0, keep));
+      if (!s.ok()) return s;
+      size_ += keep;
+    }
+    return Status::Unavailable("FaultInjectingFile: short write (" +
+                               std::to_string(keep) + " of " +
+                               std::to_string(data.size()) + " bytes)");
+  }
+  Status s = inner_->Append(data);
+  if (s.ok()) size_ += data.size();
+  return s;
+}
+
+Status FaultInjectingFile::Sync() {
+  ++syncs_;
+  if (crashed_) {
+    return Status::Unavailable("FaultInjectingFile: process crashed");
+  }
+  if (fail_sync_at_ > 0 && --fail_sync_at_ == 0) {
+    ++injected_faults_;
+    if (drop_unsynced_on_fail_) {
+      // The unsynced tail never reached the platter: roll the real file
+      // back to the last successful sync point.
+      Status s = inner_->Truncate(synced_size_);
+      if (!s.ok()) return s;
+      size_ = synced_size_;
+    }
+    return Status::Unavailable("FaultInjectingFile: fsync failed");
+  }
+  Status s = inner_->Sync();
+  if (s.ok()) synced_size_ = size_;
+  return s;
+}
+
+Result<std::string> FaultInjectingFile::ReadAll() const {
+  auto data = inner_->ReadAll();
+  if (!data.ok()) return data;
+  for (const BitFlip& flip : flips_) {
+    if (flip.offset < data->size()) {
+      (*data)[flip.offset] ^= static_cast<char>(1u << (flip.bit & 7));
+    }
+  }
+  return data;
+}
+
+Result<uint64_t> FaultInjectingFile::Size() const { return inner_->Size(); }
+
+Status FaultInjectingFile::Truncate(uint64_t size) {
+  if (crashed_) {
+    return Status::Unavailable("FaultInjectingFile: process crashed");
+  }
+  Status s = inner_->Truncate(size);
+  if (s.ok()) {
+    size_ = size;
+    if (synced_size_ > size_) synced_size_ = size_;
+  }
+  return s;
+}
+
+}  // namespace store
+}  // namespace doem

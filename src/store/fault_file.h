@@ -1,0 +1,86 @@
+#ifndef DOEM_STORE_FAULT_FILE_H_
+#define DOEM_STORE_FAULT_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "store/file.h"
+
+namespace doem {
+namespace store {
+
+/// Decorator that wraps any File with a deterministic fault schedule,
+/// modeled on qss::FaultInjectingSource: tests and the crash-matrix sweep
+/// script every failure the on-disk format can express and assert that
+/// recovery copes. Four fault families:
+///
+///   CrashAtOffset(o)   The process "dies" once the file would grow past
+///                      byte offset o: the Append that crosses o writes
+///                      only the prefix up to o (a torn record), and
+///                      every later Append/Sync fails with Unavailable.
+///                      Sweeping o across a whole log visits every torn
+///                      state a real crash can leave behind.
+///   ShortWriteNext(n)  The next Append persists only its first n bytes
+///                      and reports failure (disk-full / EIO torn write).
+///                      The writer sees the error; the bytes stay torn.
+///   FailSync(k, drop)  The k-th upcoming Sync (1-based) fails. With
+///                      `drop_unsynced`, bytes appended since the last
+///                      successful Sync vanish — the kernel page cache
+///                      that never reached the platter.
+///   FlipBit(off, bit)  Read-path corruption: ReadAll returns the true
+///                      contents with one bit flipped (latent media
+///                      corruption). Checksums must catch it.
+///
+/// The write-path faults mutate the inner file's real contents (via
+/// Append/Truncate), so a subsequent recovery over the inner file sees
+/// exactly what a crashed process would have left on disk.
+class FaultInjectingFile : public File {
+ public:
+  explicit FaultInjectingFile(File* inner);
+
+  // ---- Fault schedule --------------------------------------------------
+  void CrashAtOffset(uint64_t offset) { crash_offset_ = offset; }
+  void ShortWriteNext(uint64_t bytes) { short_write_bytes_ = bytes; }
+  void FailSync(size_t nth, bool drop_unsynced);
+  void FlipBit(uint64_t offset, int bit);
+
+  // ---- File ------------------------------------------------------------
+  Status Append(std::string_view data) override;
+  Status Sync() override;
+  Result<std::string> ReadAll() const override;
+  Result<uint64_t> Size() const override;
+  Status Truncate(uint64_t size) override;
+
+  // ---- Bookkeeping for assertions --------------------------------------
+  bool crashed() const { return crashed_; }
+  size_t appends() const { return appends_; }
+  size_t syncs() const { return syncs_; }
+  size_t injected_faults() const { return injected_faults_; }
+
+ private:
+  struct BitFlip {
+    uint64_t offset;
+    int bit;
+  };
+
+  File* inner_;
+  // Write-path schedule. kNoFault means "disabled".
+  static constexpr uint64_t kNoFault = UINT64_MAX;
+  uint64_t crash_offset_ = kNoFault;
+  uint64_t short_write_bytes_ = kNoFault;
+  size_t fail_sync_at_ = 0;  // 0 = disabled; counts down per Sync
+  bool drop_unsynced_on_fail_ = false;
+  std::vector<BitFlip> flips_;
+
+  bool crashed_ = false;
+  uint64_t size_ = 0;         // mirrors inner size (post-construction)
+  uint64_t synced_size_ = 0;  // size at the last successful Sync
+  size_t appends_ = 0;
+  size_t syncs_ = 0;
+  size_t injected_faults_ = 0;
+};
+
+}  // namespace store
+}  // namespace doem
+
+#endif  // DOEM_STORE_FAULT_FILE_H_

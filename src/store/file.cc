@@ -1,0 +1,113 @@
+#include "store/file.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace doem {
+namespace store {
+
+// ---- MemoryFile -----------------------------------------------------------
+
+Status MemoryFile::Append(std::string_view data) {
+  data_.append(data);
+  return Status::OK();
+}
+
+Status MemoryFile::Sync() {
+  ++sync_count_;
+  return Status::OK();
+}
+
+Result<std::string> MemoryFile::ReadAll() const { return data_; }
+
+Result<uint64_t> MemoryFile::Size() const {
+  return static_cast<uint64_t>(data_.size());
+}
+
+Status MemoryFile::Truncate(uint64_t size) {
+  if (size > data_.size()) {
+    return Status::InvalidArgument("MemoryFile::Truncate beyond end");
+  }
+  data_.resize(size);
+  return Status::OK();
+}
+
+// ---- PosixFile ------------------------------------------------------------
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Unavailable(what + " '" + path +
+                             "': " + std::string(strerror(errno)));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PosixFile>> PosixFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open", path);
+  return std::unique_ptr<PosixFile>(new PosixFile(path, fd));
+}
+
+PosixFile::~PosixFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PosixFile::Append(std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::write(fd_, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path_);
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+Status PosixFile::Sync() {
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+Result<std::string> PosixFile::ReadAll() const {
+  auto size = Size();
+  if (!size.ok()) return size.status();
+  std::string out;
+  out.resize(*size);
+  uint64_t off = 0;
+  while (off < *size) {
+    ssize_t n = ::pread(fd_, out.data() + off, *size - off,
+                        static_cast<off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pread", path_);
+    }
+    if (n == 0) {  // shrank underneath us; return what exists
+      out.resize(off);
+      break;
+    }
+    off += static_cast<uint64_t>(n);
+  }
+  return out;
+}
+
+Result<uint64_t> PosixFile::Size() const {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Errno("fstat", path_);
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status PosixFile::Truncate(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Errno("ftruncate", path_);
+  }
+  // O_APPEND keeps future writes at the (new) end; nothing else to fix.
+  return Status::OK();
+}
+
+}  // namespace store
+}  // namespace doem

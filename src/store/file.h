@@ -1,0 +1,97 @@
+#ifndef DOEM_STORE_FILE_H_
+#define DOEM_STORE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace doem {
+namespace store {
+
+/// The store's only contact with a durable medium: an append-only byte
+/// sequence with explicit sync points and whole-file reads. Narrow by
+/// design — every operation the recovery code must survive failing is a
+/// virtual call a FaultInjectingFile (fault_file.h) can intercept.
+///
+/// Contract:
+///   - Append writes at the end; on error the file holds some *prefix*
+///     of the requested bytes (a torn write), never reordered or
+///     interleaved bytes.
+///   - Sync makes previously appended bytes durable. A failed Sync means
+///     bytes appended since the last successful Sync may vanish on
+///     crash; the store treats it as fatal for the writer.
+///   - ReadAll returns the current contents; recovery interprets them.
+///   - Truncate discards everything at and beyond `size` (recovery's
+///     repair step for torn tails).
+///
+/// Implementations need not be thread-safe; each Store serializes access
+/// to its file (QSS appends from the serial commit phase).
+class File {
+ public:
+  virtual ~File() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Sync() = 0;
+  virtual Result<std::string> ReadAll() const = 0;
+  virtual Result<uint64_t> Size() const = 0;
+  virtual Status Truncate(uint64_t size) = 0;
+};
+
+/// In-memory File: the byte string is the "disk". Used by tests and
+/// benchmarks, and by MemoryStoreManager to model a medium that survives
+/// a (simulated) process crash — the bytes outlive any Store opened on
+/// them.
+class MemoryFile : public File {
+ public:
+  MemoryFile() = default;
+  explicit MemoryFile(std::string initial) : data_(std::move(initial)) {}
+
+  Status Append(std::string_view data) override;
+  Status Sync() override;
+  Result<std::string> ReadAll() const override;
+  Result<uint64_t> Size() const override;
+  Status Truncate(uint64_t size) override;
+
+  const std::string& data() const { return data_; }
+  std::string* mutable_data() { return &data_; }
+  size_t sync_count() const { return sync_count_; }
+
+ private:
+  std::string data_;
+  size_t sync_count_ = 0;
+};
+
+/// POSIX File over a real descriptor. Append uses write(2) in a loop
+/// (partial writes continue), Sync is fsync(2).
+class PosixFile : public File {
+ public:
+  /// Opens (creating if missing) `path` for append + read.
+  static Result<std::unique_ptr<PosixFile>> Open(const std::string& path);
+  ~PosixFile() override;
+
+  PosixFile(const PosixFile&) = delete;
+  PosixFile& operator=(const PosixFile&) = delete;
+
+  Status Append(std::string_view data) override;
+  Status Sync() override;
+  Result<std::string> ReadAll() const override;
+  Result<uint64_t> Size() const override;
+  Status Truncate(uint64_t size) override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  PosixFile(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace store
+}  // namespace doem
+
+#endif  // DOEM_STORE_FILE_H_

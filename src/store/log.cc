@@ -1,0 +1,76 @@
+#include "store/log.h"
+
+namespace doem {
+namespace store {
+
+Status LogWriter::Fail(Status s) {
+  if (broken_.ok()) broken_ = s;
+  return broken_;
+}
+
+Status LogWriter::WriteHeader() {
+  if (!broken_.ok()) return broken_;
+  if (offset_ != 0) {
+    return Status::InvalidArgument("store header must be the first write");
+  }
+  std::string header = EncodeStoreHeader();
+  Status s = file_->Append(header);
+  if (!s.ok()) return Fail(std::move(s));
+  offset_ += header.size();
+  if (sync_each_append_) return Sync();
+  return Status::OK();
+}
+
+Status LogWriter::AppendRecord(RecordType type, std::string_view payload) {
+  if (!broken_.ok()) return broken_;
+  std::string framed = EncodeRecord(type, payload);
+  Status s = file_->Append(framed);
+  if (!s.ok()) return Fail(std::move(s));
+  offset_ += framed.size();
+  ++records_;
+  if (sync_each_append_) return Sync();
+  return Status::OK();
+}
+
+Status LogWriter::Sync() {
+  if (!broken_.ok()) return broken_;
+  Status s = file_->Sync();
+  if (!s.ok()) return Fail(std::move(s));
+  ++syncs_;
+  return Status::OK();
+}
+
+LogReader::LogReader(std::string_view bytes) : bytes_(bytes) {
+  if (bytes_.size() < kStoreHeaderSize) {
+    done_ = true;
+    if (!bytes_.empty()) {
+      status_ = Status::ParseError("torn file header");
+    }
+    return;
+  }
+  if (bytes_.substr(0, kStoreHeaderSize) != kStoreMagic) {
+    done_ = true;
+    status_ = Status::ParseError("not a DOEM store file (bad magic)");
+    return;
+  }
+  offset_ = kStoreHeaderSize;
+}
+
+bool LogReader::Next(DecodedRecord* out) {
+  if (done_ || offset_ >= bytes_.size()) {
+    done_ = true;
+    return false;
+  }
+  std::string reason;
+  DecodeOutcome oc = DecodeRecordAt(bytes_, offset_, out, &reason);
+  if (oc != DecodeOutcome::kOk) {
+    done_ = true;
+    status_ = Status::ParseError(reason);
+    return false;
+  }
+  offset_ = out->end;
+  return true;
+}
+
+}  // namespace store
+}  // namespace doem

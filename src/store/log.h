@@ -1,0 +1,86 @@
+#ifndef DOEM_STORE_LOG_H_
+#define DOEM_STORE_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "store/file.h"
+#include "store/format.h"
+
+namespace doem {
+namespace store {
+
+/// Appends framed records to a File. Robust by construction:
+///   - every record is one Append call (the File contract turns a crash
+///     into a clean prefix of that record, which recovery truncates);
+///   - an optional Sync after each record makes the commit durable;
+///   - any Append/Sync failure is *sticky*: the writer refuses all
+///     further records with the original error, because after a torn
+///     write the file tail is undefined until recovery repairs it.
+class LogWriter {
+ public:
+  /// Writes over `file` (not owned), which currently holds `size` valid
+  /// bytes (0 for a brand-new file, RecoveryResult::valid_size after
+  /// recovery). sync_each_append trades append throughput for
+  /// per-record durability.
+  LogWriter(File* file, uint64_t size, bool sync_each_append)
+      : file_(file), offset_(size), sync_each_append_(sync_each_append) {}
+
+  /// Writes the 8-byte magic header. Only valid at offset 0.
+  Status WriteHeader();
+
+  /// Frames and appends one record; syncs if configured. Returns the
+  /// sticky error once broken.
+  Status AppendRecord(RecordType type, std::string_view payload);
+
+  /// Explicit durability point (for sync_each_append == false callers).
+  Status Sync();
+
+  /// Bytes successfully appended so far (the next record's offset).
+  uint64_t offset() const { return offset_; }
+  bool broken() const { return !broken_.ok(); }
+  const Status& broken_status() const { return broken_; }
+  size_t records_written() const { return records_; }
+  size_t syncs() const { return syncs_; }
+
+ private:
+  Status Fail(Status s);
+
+  File* file_;
+  uint64_t offset_;
+  bool sync_each_append_;
+  Status broken_;
+  size_t records_ = 0;
+  size_t syncs_ = 0;
+};
+
+/// Iterates the committed records of a byte string, stopping cleanly at
+/// the first torn/corrupt one — the read-side twin of LogWriter, used by
+/// tests, the bench harness, and inspection tooling. (Recovery proper
+/// layers state replay on top; see recovery.h.)
+class LogReader {
+ public:
+  /// `bytes` must outlive the reader. Verifies the magic eagerly.
+  explicit LogReader(std::string_view bytes);
+
+  /// True while another committed record is available.
+  bool Next(DecodedRecord* out);
+
+  /// After Next returns false: why iteration stopped. OK at a clean end
+  /// of file; otherwise describes the torn/corrupt tail (or bad magic).
+  const Status& status() const { return status_; }
+  uint64_t offset() const { return offset_; }
+
+ private:
+  std::string_view bytes_;
+  uint64_t offset_ = 0;
+  Status status_;
+  bool done_ = false;
+};
+
+}  // namespace store
+}  // namespace doem
+
+#endif  // DOEM_STORE_LOG_H_

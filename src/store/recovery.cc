@@ -1,0 +1,85 @@
+#include "store/recovery.h"
+
+namespace doem {
+namespace store {
+
+Result<RecoveryResult> RecoverStoreBytes(std::string_view bytes) {
+  RecoveryResult out;
+  if (bytes.size() < kStoreHeaderSize) {
+    // A crash inside the very first write: nothing was committed.
+    if (!bytes.empty()) {
+      out.truncated = true;
+      out.truncation_reason = "torn file header";
+      out.truncated_bytes = bytes.size();
+    }
+    return out;
+  }
+  if (bytes.substr(0, kStoreHeaderSize) != kStoreMagic) {
+    return Status::ParseError(
+        "not a DOEM store file (bad magic); refusing to repair");
+  }
+  uint64_t offset = kStoreHeaderSize;
+  out.valid_size = offset;
+
+  auto stop = [&](std::string reason) {
+    out.truncated = true;
+    out.truncation_reason = std::move(reason);
+    out.truncated_bytes = bytes.size() - out.valid_size;
+  };
+
+  while (offset < bytes.size()) {
+    DecodedRecord rec;
+    std::string reason;
+    DecodeOutcome oc = DecodeRecordAt(bytes, offset, &rec, &reason);
+    if (oc != DecodeOutcome::kOk) {
+      stop(std::move(reason));
+      break;
+    }
+    if (rec.type == RecordType::kCheckpoint) {
+      auto ckpt = DecodeCheckpointPayload(rec.payload);
+      if (!ckpt.ok()) {
+        stop("invalid checkpoint record: " + ckpt.status().message());
+        break;
+      }
+      out.db = std::move(ckpt->db);
+      out.times = std::move(ckpt->times);
+      out.has_state = true;
+      out.replayed = 0;
+      ++out.checkpoints;
+    } else {
+      auto delta = DecodeDeltaPayload(rec.payload);
+      if (!delta.ok()) {
+        stop("invalid delta record: " + delta.status().message());
+        break;
+      }
+      if (!out.has_state) {
+        stop("delta record before any checkpoint");
+        break;
+      }
+      if (!out.times.empty() && delta->time <= out.times.back()) {
+        stop("delta time " + delta->time.ToString() +
+             " not after the previous record's " +
+             out.times.back().ToString());
+        break;
+      }
+      // Replaying the committed change set must succeed against the
+      // committed state — a record that passes its checksum but does not
+      // apply is corruption at a level CRC cannot see (or a tampered
+      // file); it and everything after it are discarded.
+      Status applied = out.db.ApplyChangeSet(delta->time, delta->ops);
+      if (!applied.ok()) {
+        stop("delta replay failed: " + applied.message());
+        break;
+      }
+      out.times.push_back(delta->time);
+      ++out.deltas;
+      ++out.replayed;
+    }
+    offset = rec.end;
+    out.valid_size = offset;
+  }
+  return out;
+}
+
+}  // namespace store
+}  // namespace doem

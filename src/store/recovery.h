@@ -1,0 +1,68 @@
+#ifndef DOEM_STORE_RECOVERY_H_
+#define DOEM_STORE_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "doem/doem.h"
+#include "store/format.h"
+
+namespace doem {
+namespace store {
+
+/// Outcome of scanning a store file's bytes. Recovery is pure — it never
+/// touches the file — so the crash-matrix sweep can replay it over
+/// thousands of mutated byte strings cheaply; Store::Open performs the
+/// physical Truncate to `valid_size` afterwards.
+struct RecoveryResult {
+  /// False when no valid checkpoint exists (brand-new or fully corrupt
+  /// file): `db`/`times` are meaningless and the caller must Start() the
+  /// store before appending.
+  bool has_state = false;
+  /// The state as of the last committed record of the valid prefix.
+  DoemDatabase db;
+  /// Commit time of every record in the valid prefix, in order —
+  /// including deltas whose change set was empty (a poll that saw no
+  /// change). For a QSS group these are exactly the polling times.
+  std::vector<Timestamp> times;
+
+  /// Byte length of the valid prefix; everything beyond it is torn or
+  /// corrupt and must be truncated before appending resumes.
+  uint64_t valid_size = 0;
+  /// Committed records in the valid prefix, by type.
+  size_t checkpoints = 0;
+  size_t deltas = 0;
+  /// Delta records replayed on top of the last valid checkpoint (<=
+  /// deltas; earlier deltas were superseded by a later checkpoint).
+  size_t replayed = 0;
+  /// True when valid_size < the scanned byte count: the tail was
+  /// dropped. `truncation_reason` says why, `truncated_bytes` how much.
+  bool truncated = false;
+  std::string truncation_reason;
+  uint64_t truncated_bytes = 0;
+};
+
+/// Scans `bytes` and reconstructs the state of the longest committed
+/// prefix.
+///
+/// Invariants, enforced no matter what the bytes contain:
+///   1. Never crashes, never allocates proportional to hostile length
+///      fields, never interprets a byte whose checksum did not verify.
+///   2. The result is the replay of records [0, k) for some k — exactly
+///      the records whose bytes are complete, checksum-valid, and
+///      semantically applicable, stopping at the first that is not.
+///   3. valid_size always points at a record boundary, so appending
+///      after Truncate(valid_size) yields a well-formed file.
+///
+/// A file whose *full* 8-byte header exists but is not the store magic is
+/// the one non-degradable error (kParseError: it is not ours to repair);
+/// a shorter-than-header file recovers as empty-with-truncation.
+Result<RecoveryResult> RecoverStoreBytes(std::string_view bytes);
+
+}  // namespace store
+}  // namespace doem
+
+#endif  // DOEM_STORE_RECOVERY_H_

@@ -1,0 +1,28 @@
+#include "store/time_travel.h"
+
+#include "oem/history.h"
+
+namespace doem {
+namespace store {
+
+Result<DoemDatabase> AsOf(const DoemDatabase& db, Timestamp t) {
+  return DoemDatabase::FromSnapshot(db.SnapshotAt(t));
+}
+
+Result<DoemDatabase> Between(const DoemDatabase& db, Timestamp t1,
+                             Timestamp t2) {
+  if (t2 < t1) {
+    return Status::InvalidArgument("Between: t2 " + t2.ToString() +
+                                   " precedes t1 " + t1.ToString());
+  }
+  OemHistory window;
+  OemHistory full = db.ExtractHistory();
+  for (const auto& step : full.steps()) {
+    if (step.time <= t1 || t2 < step.time) continue;
+    DOEM_RETURN_IF_ERROR(window.Append(step.time, step.changes));
+  }
+  return DoemDatabase::Build(db.SnapshotAt(t1), window);
+}
+
+}  // namespace store
+}  // namespace doem

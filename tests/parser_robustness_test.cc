@@ -1,0 +1,193 @@
+// Adversarial-corpus regression tests for the OEM/DOEM text parsers
+// (DESIGN.md §6e satellite): the parse chain ParseOemText -> DecodeDoem
+// must never crash, hang, or return a malformed database on hostile
+// input -- it either succeeds or returns a ParseError/InvalidArgument
+// Status. The corpus is three-pronged:
+//
+//   1. Truncations: every byte prefix of a valid serialized database.
+//   2. Mutations: each byte of a valid text replaced with characters
+//      chosen to confuse the grammar (quotes, braces, escapes, NULs).
+//   3. Hand-crafted nasties: inputs targeting specific parser paths
+//      (overflowing ids, bad escapes, deep nesting, cycles, duplicate
+//      definitions, undefined references, hostile value literals).
+//
+// Any input that *does* parse must round-trip: re-serializing and
+// re-parsing it reproduces an equal database. Run under ASan/UBSan via
+// scripts/check.sh to catch memory errors, not just wrong answers.
+
+#include <string>
+#include <vector>
+
+#include "doem/doem.h"
+#include "encoding/doem_text.h"
+#include "gtest/gtest.h"
+#include "oem/graph_compare.h"
+#include "oem/oem_text.h"
+#include "testing/generators.h"
+
+namespace doem {
+namespace {
+
+// Parsing hostile input must produce a Status, never a crash. If it
+// succeeds, the result must survive a write -> parse round trip.
+void ExpectParseIsTotal(const std::string& text, const std::string& ctx) {
+  auto oem = ParseOemText(text);
+  if (oem.ok()) {
+    std::string rewritten = WriteOemText(*oem);
+    auto again = ParseOemText(rewritten);
+    ASSERT_TRUE(again.ok()) << ctx << ": reserialized text failed to parse: "
+                            << again.status().message();
+    EXPECT_TRUE(Isomorphic(*oem, *again)) << ctx;
+  }
+  auto doem = ParseDoemText(text);
+  if (doem.ok()) {
+    std::string rewritten = WriteDoemText(*doem);
+    auto again = ParseDoemText(rewritten);
+    ASSERT_TRUE(again.ok()) << ctx << ": reserialized DOEM failed to parse: "
+                            << again.status().message();
+    EXPECT_TRUE(doem->Equals(*again)) << ctx;
+  }
+}
+
+std::string SampleDoemText() {
+  // Kept small on purpose: the sweeps below are O(len^2) in this text
+  // (every prefix / every byte x intruder set, each reparsed).
+  doem::testing::DatabaseOptions dopts;
+  dopts.seed = 7;
+  dopts.node_count = 24;
+  OemDatabase base = doem::testing::RandomDatabase(dopts);
+  doem::testing::HistoryOptions hopts;
+  hopts.seed = 8;
+  hopts.steps = 3;
+  OemHistory hist = doem::testing::RandomHistory(base, hopts);
+  auto db = DoemDatabase::Build(base, hist);
+  EXPECT_TRUE(db.ok()) << db.status().message();
+  return WriteDoemText(*db);
+}
+
+TEST(ParserRobustnessTest, EveryTruncationOfValidTextIsHandled) {
+  std::string text = SampleDoemText();
+  ASSERT_FALSE(text.empty());
+  for (size_t cut = 0; cut < text.size(); ++cut) {
+    ExpectParseIsTotal(text.substr(0, cut),
+                       "truncated at byte " + std::to_string(cut));
+  }
+}
+
+TEST(ParserRobustnessTest, EveryByteMutationOfValidTextIsHandled) {
+  std::string text = SampleDoemText();
+  ASSERT_FALSE(text.empty());
+  // Characters chosen to hit grammar decision points: structure tokens,
+  // string/escape machinery, value sigils, NUL, high-bit bytes.
+  const std::string intruders = "\"\\{}&:,@#-.0eC \n\x00\xff";
+  for (size_t i = 0; i < text.size(); ++i) {
+    for (char c : intruders) {
+      if (text[i] == c) continue;
+      std::string mutated = text;
+      mutated[i] = c;
+      ExpectParseIsTotal(mutated, "byte " + std::to_string(i) +
+                                      " replaced with 0x" +
+                                      std::to_string(static_cast<unsigned char>(c)));
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, HandCraftedNastiesNeverCrash) {
+  const std::vector<std::string> corpus = {
+      "",
+      " ",
+      "\n\n\n",
+      "# only a comment",
+      "&",
+      "&&",
+      "& 1 {}",
+      "&0 {}",  // kInvalidNode
+      "&18446744073709551615 {}",
+      "&99999999999999999999999999 {}",  // id overflow
+      "&1",                               // root is a bare reference
+      "&1 {",
+      "&1 {}",
+      "&1 {} trailing",
+      "&1 {a}",
+      "&1 {a:}",
+      "&1 {a: &2 5,}",        // trailing comma
+      "&1 {a: &2 5, }",
+      "&1 {a: &2 5 b: &3 6}",  // missing comma
+      "&1 {a: &2}",            // undefined reference
+      "&1 {a: &1}",            // self cycle reference
+      "&1 {a: &2 {b: &1}}",    // back reference cycle
+      "&1 {a: &2 5, b: &2 6}",  // node defined twice
+      "&1 5 &1 6",
+      "&1 \"unterminated",
+      "&1 \"bad escape \\q\"",
+      "&1 \"\\",
+      "&1 @",
+      "&1 @notatime",
+      "&1 @1996-13-45:99:99:99",
+      "&1 -",
+      "&1 --5",
+      "&1 1e999",                           // real overflow
+      "&1 99999999999999999999999999",      // int overflow
+      "&1 1.2.3.4e+-5",
+      "&1 truex",
+      "&1 nan",
+      "&1 {\"\": &2 {}}",          // empty label
+      "&1 {\"a\\nb\": &2 {}}",     // escaped label
+      std::string("&1 {a: &2 \"\x00\"}", 14),  // NUL inside string
+      std::string("\x00&1 {}", 6),             // NUL before anything
+      // Valid OEM, hostile DOEM encodings (decode-layer attacks).
+      "&1 {\"&val\": &1}",                   // object with only &val self
+      "&1 {\"&val\": &2 {}}",                // &val target complex
+      "&1 {\"&val\": &1, \"&val\": &1}",     // duplicate &val
+      "&1 {\"&val\": &1, \"&cre\": &2 5}",   // &cre not a timestamp
+      "&1 {\"&val\": &1, \"&upd\": &2 {}}",  // &upd missing fields
+      "&1 {\"&val\": &1, \"a-history\": &2 {}}",   // history lacks &target
+      "&1 {\"&val\": &1, a: &3 {\"&val\": &3}}",   // live arc, no history
+      "&1 {\"&val\": &1, \"a-history\": &2 {\"&target\": &3 {\"&val\": &3}}}",
+  };
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    ExpectParseIsTotal(corpus[i], "corpus entry " + std::to_string(i));
+  }
+}
+
+TEST(ParserRobustnessTest, DeepNestingIsRejectedNotStackOverflowed) {
+  // 6000 levels exceeds kMaxParseDepth (5000); the parser must report an
+  // error instead of recursing off the stack.
+  std::string deep;
+  for (int i = 0; i < 6000; ++i) {
+    deep += "&" + std::to_string(i + 1) + " { a: ";
+  }
+  deep += "&7000 1";
+  for (int i = 0; i < 6000; ++i) deep += " }";
+  auto r = ParseOemText(deep);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("nesting"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(ParserRobustnessTest, ValueLiteralParserIsTotal) {
+  const std::vector<std::string> corpus = {
+      "",     "C",      "Cx",  "C 1",  "5 5",   "\"x",  "@",
+      "@@@",  "1e999",  "-",   "&1",   "{",     "true", "true false",
+      "#c",   "nanx",   "--1", "\t",   "\"\\u0041\"",
+  };
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    auto v = ParseValueLiteral(corpus[i]);  // must not crash
+    (void)v;
+  }
+  EXPECT_TRUE(ParseValueLiteral("C").ok());
+  EXPECT_TRUE(ParseValueLiteral(" 42 ").ok());
+  EXPECT_FALSE(ParseValueLiteral("C 1").ok());
+}
+
+// A parsed-then-decoded database must satisfy DOEM feasibility: decode
+// errors out rather than fabricating histories that violate the model.
+TEST(ParserRobustnessTest, SuccessfulDoemParsesAreFeasible) {
+  std::string text = SampleDoemText();
+  auto db = ParseDoemText(text);
+  ASSERT_TRUE(db.ok()) << db.status().message();
+  EXPECT_TRUE(db->IsFeasible());
+}
+
+}  // namespace
+}  // namespace doem
