@@ -164,6 +164,7 @@ void BM_QssHistorySweep(benchmark::State& state) {
   qss::QssOptions opts;
   opts.strategy = chorel::Strategy::kTranslated;
   opts.incremental_filter = incremental;
+  opts.vm_filter = state.range(2) != 0;
 
   int64_t filter_ns = 0;
   int64_t apply_ns = 0;
@@ -209,8 +210,8 @@ void BM_QssHistorySweep(benchmark::State& state) {
       static_cast<double>(filter_ns + apply_ns) / 1e3 / total_polls;
 }
 BENCHMARK(BM_QssHistorySweep)
-    ->ArgsProduct({{8, 32, 128}, {0, 1}})
-    ->ArgNames({"history", "incremental"})
+    ->ArgsProduct({{8, 32, 128}, {0, 1}, {0, 1}})
+    ->ArgNames({"history", "incremental", "vm"})
     ->Unit(benchmark::kMillisecond);
 
 // Filter evaluation strategy inside the QSS loop: direct vs. translated.

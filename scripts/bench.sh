@@ -1,18 +1,28 @@
 #!/usr/bin/env bash
-# Benchmark capture driver (DESIGN.md §6c, §6e).
+# Benchmark capture driver (DESIGN.md §6c, §6e, §6f).
 #
 #   scripts/bench.sh [build-dir] [--allow-debug]    # default: build
+#   scripts/bench.sh [build-dir] --compare BENCH_x.json [--compare ...]
 #
 # Runs the history-length sweeps — per-poll QSS filter cost and
 # engine-level per-delta maintenance cost, incremental vs rebuild — plus
-# the durability-layer sweeps, and writes google-benchmark JSON next to
-# the repo root:
+# the durability-layer sweeps and the bytecode-VM dispatch sweeps, and
+# writes google-benchmark JSON next to the repo root:
 #
 #   BENCH_qss_incremental.json     BM_QssHistorySweep
 #   BENCH_chorel_incremental.json  BM_ChorelDeltaMaintenance
 #   BENCH_obs_overhead.json        BM_QssObsOverhead + instrument microcosts
 #   BENCH_store_recovery.json      BM_StoreAppend / BM_StoreCheckpoint /
 #                                  BM_StoreRecovery
+#   BENCH_vm_dispatch.json         BM_VmPathLength / BM_VmChorelFilter /
+#                                  BM_VmDirectSeeded
+#
+# With --compare, captures go to a temporary directory instead of the
+# repo root and each named baseline is diffed against the fresh capture
+# with the same basename via scripts/bench_compare.py; the script exits
+# nonzero if any benchmark slowed by more than 15% (the regression
+# gate — `scripts/check.sh bench` runs it against the committed
+# baselines).
 #
 # The claims to check in the output: with incremental:1 the per-poll
 # counters stay flat as `history` grows; with incremental:0 they grow,
@@ -34,17 +44,37 @@ cd "$(dirname "$0")/.."
 
 build="build"
 allow_debug=0
+baselines=()
+expect_baseline=0
 for arg in "$@"; do
+  if [ "$expect_baseline" -eq 1 ]; then
+    baselines+=("$arg")
+    expect_baseline=0
+    continue
+  fi
   case "$arg" in
     --allow-debug) allow_debug=1 ;;
+    --compare) expect_baseline=1 ;;
     -*)
-      echo "usage: $0 [build-dir] [--allow-debug]" >&2
+      echo "usage: $0 [build-dir] [--allow-debug] [--compare BENCH_x.json]..." >&2
       exit 2
       ;;
     *) build="$arg" ;;
   esac
 done
+if [ "$expect_baseline" -eq 1 ]; then
+  echo "error: --compare needs a baseline JSON argument" >&2
+  exit 2
+fi
 jobs=$(nproc 2>/dev/null || echo 2)
+
+# Where captures land: the repo root normally, a scratch dir in compare
+# mode so the committed baselines are never clobbered by the run that is
+# checked against them.
+outdir="."
+if [ "${#baselines[@]}" -gt 0 ]; then
+  outdir=$(mktemp -d)
+fi
 
 cmake -B "$build" -S . >/dev/null
 
@@ -74,7 +104,7 @@ esac
 
 cmake --build "$build" -j "$jobs" --target \
   bench_qss_cycle bench_chorel_strategies bench_obs_overhead \
-  bench_store_recovery
+  bench_store_recovery bench_vm_dispatch
 
 # Stamps the cache-derived build type into the capture's context block so
 # downstream consumers can reject or flag non-release data.
@@ -84,26 +114,49 @@ annotate() {
 
 "$build"/bench/bench_qss_cycle \
   --benchmark_filter='BM_QssHistorySweep' \
-  --benchmark_out=BENCH_qss_incremental.json \
+  --benchmark_out="$outdir"/BENCH_qss_incremental.json \
   --benchmark_out_format=json
-annotate BENCH_qss_incremental.json
+annotate "$outdir"/BENCH_qss_incremental.json
 
 "$build"/bench/bench_chorel_strategies \
   --benchmark_filter='BM_ChorelDeltaMaintenance' \
-  --benchmark_out=BENCH_chorel_incremental.json \
+  --benchmark_out="$outdir"/BENCH_chorel_incremental.json \
   --benchmark_out_format=json
-annotate BENCH_chorel_incremental.json
+annotate "$outdir"/BENCH_chorel_incremental.json
 
 "$build"/bench/bench_obs_overhead \
-  --benchmark_out=BENCH_obs_overhead.json \
+  --benchmark_out="$outdir"/BENCH_obs_overhead.json \
   --benchmark_out_format=json
-annotate BENCH_obs_overhead.json
+annotate "$outdir"/BENCH_obs_overhead.json
 
 "$build"/bench/bench_store_recovery \
-  --benchmark_out=BENCH_store_recovery.json \
+  --benchmark_out="$outdir"/BENCH_store_recovery.json \
   --benchmark_out_format=json
-annotate BENCH_store_recovery.json
+annotate "$outdir"/BENCH_store_recovery.json
+
+"$build"/bench/bench_vm_dispatch \
+  --benchmark_out="$outdir"/BENCH_vm_dispatch.json \
+  --benchmark_out_format=json
+annotate "$outdir"/BENCH_vm_dispatch.json
 
 echo "wrote BENCH_qss_incremental.json, BENCH_chorel_incremental.json," \
-     "BENCH_obs_overhead.json, and BENCH_store_recovery.json" \
-     "(cmake_build_type=$build_type)"
+     "BENCH_obs_overhead.json, BENCH_store_recovery.json, and" \
+     "BENCH_vm_dispatch.json to $outdir (cmake_build_type=$build_type)"
+
+if [ "${#baselines[@]}" -gt 0 ]; then
+  failed=0
+  for baseline in "${baselines[@]}"; do
+    fresh="$outdir/$(basename "$baseline")"
+    if [ ! -f "$fresh" ]; then
+      echo "error: no fresh capture matching baseline '$baseline'" >&2
+      failed=1
+      continue
+    fi
+    echo
+    echo "== $(basename "$baseline"): committed baseline vs this run =="
+    if ! python3 scripts/bench_compare.py "$baseline" "$fresh"; then
+      failed=1
+    fi
+  done
+  exit "$failed"
+fi

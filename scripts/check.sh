@@ -2,7 +2,7 @@
 # Repo verification driver.
 #
 #   scripts/check.sh            # tier-1: default build + full ctest
-#   scripts/check.sh tsan       # DOEM_TSAN build + `ctest -L "qss|perf|obs|store"`
+#   scripts/check.sh tsan       # DOEM_TSAN build + `ctest -L "qss|perf|obs|store|vm"`
 #                               # (races the parallel poll engine, the
 #                               # incremental query caches, the
 #                               # metrics/trace instruments, and the
@@ -13,6 +13,12 @@
 #                               # matrices and the parser adversarial
 #                               # corpus under ASan/UBSan)
 #   scripts/check.sh all        # tier-1, then tsan, then asan
+#   scripts/check.sh bench      # opt-in regression gate: Release build
+#                               # (build-bench/), fresh benchmark capture,
+#                               # compared against the committed BENCH_*.json
+#                               # baselines; fails on any >15% slowdown.
+#                               # Not part of `all` — timing needs a quiet
+#                               # machine.
 #
 # Each mode uses its own build tree (build/, build-tsan/, build-asan/),
 # all ignored by git.
@@ -32,7 +38,7 @@ tsan() {
   cmake --build build-tsan -j "$jobs"
   # TSAN_OPTIONS makes any detected race fail the test run loudly.
   TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-tsan -L "qss|perf|obs|store" --output-on-failure -j "$jobs"
+    ctest --test-dir build-tsan -L "qss|perf|obs|store|vm" --output-on-failure -j "$jobs"
 }
 
 asan() {
@@ -44,14 +50,29 @@ asan() {
   ctest --test-dir build-asan --output-on-failure -j "$jobs"
 }
 
+bench() {
+  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  compare_args=()
+  for baseline in BENCH_*.json; do
+    [ -f "$baseline" ] && compare_args+=(--compare "$baseline")
+  done
+  if [ "${#compare_args[@]}" -eq 0 ]; then
+    echo "error: no committed BENCH_*.json baselines to compare against" >&2
+    echo "(capture one with scripts/bench.sh build-bench)" >&2
+    exit 2
+  fi
+  scripts/bench.sh build-bench "${compare_args[@]}"
+}
+
 mode="${1:-tier1}"
 case "$mode" in
   tier1) tier1 ;;
   tsan) tsan ;;
   asan) asan ;;
   all) tier1 && tsan && asan ;;
+  bench) bench ;;
   *)
-    echo "usage: $0 [tier1|tsan|asan|all]" >&2
+    echo "usage: $0 [tier1|tsan|asan|all|bench]" >&2
     exit 2
     ;;
 esac

@@ -51,6 +51,33 @@ ChorelEngine::ChorelEngine(const DoemDatabase& d, ChorelEngineOptions options)
                   "auxiliary encoding nodes allocated by patching");
   ins_.index_applied_ops = m->GetGauge(
       "index.applied_ops", "postings appended by annotation-index Apply");
+  ins_.vm_compiles =
+      m->GetCounter("vm.compiles", "queries compiled to bytecode");
+  ins_.vm_compile_fallbacks = m->GetCounter(
+      "vm.compile_fallbacks",
+      "queries outside VM coverage, pinned to the tree walker");
+  ins_.vm_runs = m->GetCounter("vm.runs", "evaluations completed by the VM");
+  ins_.vm_run_fallbacks = m->GetCounter(
+      "vm.run_fallbacks",
+      "VM runs that errored and were redone by the tree walker");
+  ins_.vm_reordered_runs = m->GetCounter(
+      "vm.reordered_runs", "VM runs executed under a cost-based step order");
+  ins_.vm_verify_failures = m->GetCounter(
+      "vm.verify_failures", "verify_vm cross-checks that found divergence");
+  ins_.vm_program_instructions = m->GetGauge(
+      "vm.program_instructions",
+      "instruction count of the most recently compiled program");
+  ins_.index_postings_cre = m->GetGauge(
+      "chorel.index_postings_cre", "cre postings in the annotation index");
+  ins_.index_postings_upd = m->GetGauge(
+      "chorel.index_postings_upd", "upd postings in the annotation index");
+  ins_.index_postings_add = m->GetGauge(
+      "chorel.index_postings_add", "add postings in the annotation index");
+  ins_.index_postings_rem = m->GetGauge(
+      "chorel.index_postings_rem", "rem postings in the annotation index");
+  ins_.distinct_labels = m->GetGauge(
+      "chorel.distinct_labels",
+      "distinct arc labels in the DOEM graph (cost-model input)");
 }
 
 void ChorelEngine::Invalidate() {
@@ -71,6 +98,16 @@ void ChorelEngine::PublishCacheStats() {
   if (index_.has_value() && ins_.index_applied_ops != nullptr) {
     ins_.index_applied_ops->Set(static_cast<int64_t>(index_->applied_ops()));
   }
+  if (index_.has_value() && ins_.index_postings_cre != nullptr) {
+    ins_.index_postings_cre->Set(static_cast<int64_t>(index_->cre_count()));
+    ins_.index_postings_upd->Set(static_cast<int64_t>(index_->upd_count()));
+    ins_.index_postings_add->Set(static_cast<int64_t>(index_->add_count()));
+    ins_.index_postings_rem->Set(static_cast<int64_t>(index_->rem_count()));
+  }
+  if (ins_.distinct_labels != nullptr) {
+    ins_.distinct_labels->Set(
+        static_cast<int64_t>(doem_.graph().DistinctLabelCount()));
+  }
 }
 
 Result<const OemDatabase*> ChorelEngine::Encoding() {
@@ -88,15 +125,66 @@ const AnnotationIndex* ChorelEngine::IndexForRun() {
   if (!index_.has_value()) {
     index_.emplace(doem_);
     Count(ins_.index_rebuilds);
+    PublishCacheStats();
   }
   return &*index_;
+}
+
+Result<lorel::QueryResult> ChorelEngine::Eval(const lorel::NormQuery& nq,
+                                              vm::ProgramCache* cache,
+                                              const lorel::GraphView& view,
+                                              const lorel::EvalOptions& opts) {
+  if (!options_.use_vm) return lorel::Evaluate(nq, view, opts);
+  if (cache->state == vm::ProgramCache::State::kUnknown) {
+    auto program = vm::Compile(nq);
+    if (program.ok()) {
+      cache->state = vm::ProgramCache::State::kReady;
+      cache->program = std::move(program).value();
+      Count(ins_.vm_compiles);
+      if (ins_.vm_program_instructions != nullptr) {
+        ins_.vm_program_instructions->Set(
+            static_cast<int64_t>(cache->program.identity_code.size()));
+      }
+    } else {
+      cache->state = vm::ProgramCache::State::kUnsupported;
+      Count(ins_.vm_compile_fallbacks);
+    }
+  }
+  if (cache->state == vm::ProgramCache::State::kUnsupported) {
+    return lorel::Evaluate(nq, view, opts);
+  }
+  vm::RunInfo info;
+  auto res = vm::Run(cache->program, view, opts, &info);
+  if (!res.ok()) {
+    // Any VM error — a view capability the hoisted checks rejected, a
+    // time operand that did not resolve, max_rows — defers to the tree
+    // walker, whose result (including which error, if any) is
+    // authoritative.
+    Count(ins_.vm_run_fallbacks);
+    return lorel::Evaluate(nq, view, opts);
+  }
+  Count(ins_.vm_runs);
+  if (info.reordered) Count(ins_.vm_reordered_runs);
+  if (options_.verify_vm) {
+    lorel::EvalOptions ref_opts = opts;
+    ref_opts.stats = nullptr;  // the VM already contributed its counters
+    auto ref = lorel::Evaluate(nq, view, ref_opts);
+    bool match = ref.ok() && ref->RowsToString() == res->RowsToString() &&
+                 (!opts.package_results || ref->answer.Equals(res->answer));
+    if (!match) {
+      Count(ins_.vm_verify_failures);
+      return Status::Internal(
+          "verify_vm: VM result diverges from the tree walker");
+    }
+  }
+  return res;
 }
 
 Result<lorel::QueryResult> ChorelEngine::RunCompiled(
     CompiledQuery* q, Strategy strategy, const lorel::EvalOptions& opts) {
   if (strategy == Strategy::kDirect) {
     DoemView view(doem_, IndexForRun());
-    return lorel::Evaluate(q->normalized, view, opts);
+    return Eval(q->normalized, &q->vm_direct, view, opts);
   }
   if (!q->translated.has_value()) {
     Count(ins_.translation_misses);
@@ -109,7 +197,7 @@ Result<lorel::QueryResult> ChorelEngine::RunCompiled(
   auto enc = Encoding();
   if (!enc.ok()) return enc.status();
   lorel::OemView view(**enc, /*amp_aware=*/true);
-  return lorel::Evaluate(*q->translated, view, opts);
+  return Eval(*q->translated, &q->vm_translated, view, opts);
 }
 
 Result<lorel::QueryResult> ChorelEngine::Run(const std::string& query,

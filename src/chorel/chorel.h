@@ -13,6 +13,8 @@
 #include "obs/metrics.h"
 #include "oem/change.h"
 #include "oem/oem.h"
+#include "vm/compile.h"
+#include "vm/vm.h"
 
 namespace doem {
 namespace chorel {
@@ -34,6 +36,11 @@ enum class Strategy {
 struct CompiledQuery {
   lorel::NormQuery normalized;
   std::optional<lorel::NormQuery> translated;
+  /// Lazily compiled bytecode programs, one per evaluated form
+  /// (DESIGN.md §6f). Compilation failure is sticky and falls back to the
+  /// tree walker forever; see ChorelEngineOptions::use_vm.
+  vm::ProgramCache vm_direct;
+  vm::ProgramCache vm_translated;
 };
 
 /// Parses and normalizes `query` for repeated evaluation.
@@ -54,6 +61,15 @@ struct ChorelEngineOptions {
   /// encoding back to a DOEM database and rebuild the index from scratch,
   /// failing if either diverges. Slow; for tests.
   bool verify_incremental = false;
+  /// Evaluate queries on the bytecode VM (DESIGN.md §6f) when they
+  /// compile, falling back to the tree-walking evaluator for uncovered
+  /// constructs and on any VM error. Rows, order, packaging, and errors
+  /// are identical either way; only speed differs.
+  bool use_vm = true;
+  /// Debug cross-check: run every VM evaluation through the tree walker
+  /// too and fail with Internal if rows or packaged answers diverge.
+  /// Slow; for tests.
+  bool verify_vm = false;
   /// Optional metrics sink (not owned; must outlive the engine). The
   /// engine counts cache patches vs. rebuilds, verify cross-check
   /// failures, and translation cache hits/misses, and mirrors the
@@ -109,6 +125,12 @@ class ChorelEngine {
   /// The annotation index to attach to direct evaluation (builds it on
   /// first use), or null when seeding is disabled.
   const AnnotationIndex* IndexForRun();
+  /// Evaluates `nq` on the bytecode VM when enabled and compilable,
+  /// otherwise (or on any VM error) on the tree walker.
+  Result<lorel::QueryResult> Eval(const lorel::NormQuery& nq,
+                                  vm::ProgramCache* cache,
+                                  const lorel::GraphView& view,
+                                  const lorel::EvalOptions& opts);
   Status VerifyCaches() const;
   /// Mirrors the encoder/index maintenance tallies into the metrics
   /// gauges after a successful patch.
@@ -132,6 +154,20 @@ class ChorelEngine {
     obs::Gauge* encoder_patch_ops = nullptr;
     obs::Gauge* encoder_aux_allocations = nullptr;
     obs::Gauge* index_applied_ops = nullptr;
+    // Bytecode VM (DESIGN.md §6f).
+    obs::Counter* vm_compiles = nullptr;
+    obs::Counter* vm_compile_fallbacks = nullptr;
+    obs::Counter* vm_runs = nullptr;
+    obs::Counter* vm_run_fallbacks = nullptr;
+    obs::Counter* vm_reordered_runs = nullptr;
+    obs::Counter* vm_verify_failures = nullptr;
+    obs::Gauge* vm_program_instructions = nullptr;
+    // Cost-model inputs (annotation-index posting sizes, label stats).
+    obs::Gauge* index_postings_cre = nullptr;
+    obs::Gauge* index_postings_upd = nullptr;
+    obs::Gauge* index_postings_add = nullptr;
+    obs::Gauge* index_postings_rem = nullptr;
+    obs::Gauge* distinct_labels = nullptr;
   };
   Instruments ins_;
 };

@@ -28,7 +28,9 @@ class Evaluator {
     PrepareSeeding();
     Env env;
     Status s = EnumDefs(0, &env, &result);
-    if (s.ok() && opts_.package_results) s = Package(&result);
+    if (s.ok() && opts_.package_results) {
+      s = PackageResult(view_, q_.select.size(), &result);
+    }
     FlushStats();
     if (!s.ok()) return s;
     return result;
@@ -640,7 +642,6 @@ class Evaluator {
       if (!*ok) return Status::OK();
     }
     std::vector<RtVal> row;
-    std::string key;
     for (const SelectItem& item : q_.select) {
       RtVal v;
       switch (item.expr->kind) {
@@ -667,16 +668,44 @@ class Evaluator {
                                      item.expr->ToString() +
                                      "' is not supported");
       }
-      key += v.Key() + "\x1f";
       row.push_back(std::move(v));
     }
-    if (!seen_rows_.insert(key).second) return Status::OK();
+    if (!seen_rows_.insert(RowDedupKey(row)).second) return Status::OK();
     result->rows.push_back(std::move(row));
     if (opts_.max_rows != 0 && result->rows.size() > opts_.max_rows) {
       return Status::InvalidArgument("query exceeded max_rows limit");
     }
     return Status::OK();
   }
+
+  void FlushStats() {
+    if (opts_.stats == nullptr) return;
+    opts_.stats->nodes_visited += stats_.nodes_visited;
+    opts_.stats->arcs_expanded += stats_.arcs_expanded;
+    opts_.stats->steps_index_seeded += stats_.steps_index_seeded;
+    opts_.stats->steps_scanned += stats_.steps_scanned;
+    opts_.stats->postings_scanned += stats_.postings_scanned;
+  }
+
+  const NormQuery& q_;
+  const GraphView& view_;
+  const EvalOptions& opts_;
+  // Profiling tallies, folded into opts_.stats by FlushStats. Kept local
+  // so the hot path costs one unconditional increment, not a branch.
+  EvalStats stats_;
+  // Annotation variables eligible for index seeding and their where-derived
+  // time bounds (PrepareSeeding).
+  std::unordered_set<std::string> seedable_vars_;
+  std::unordered_map<std::string, std::pair<Timestamp, Timestamp>>
+      time_bounds_;
+  std::unordered_set<std::string> seen_rows_;
+};
+
+/// Copies result subgraphs into the answer database, preserving node ids
+/// and reusing already-copied nodes across rows.
+class ResultPackager {
+ public:
+  explicit ResultPackager(const GraphView& view) : view_(view) {}
 
   /// Copies the subgraph below `n` (live arcs, current values) into the
   /// answer database, preserving node ids, reusing already-copied nodes.
@@ -710,66 +739,55 @@ class Evaluator {
     return n;
   }
 
-  Status Package(QueryResult* result) {
-    OemDatabase& answer = result->answer;
-    // Copied subgraphs preserve source node ids; allocate the answer's
-    // own nodes (root, tuples, value atoms) above the source id space.
-    answer.ReserveIdsBelow(view_.IdFloor());
-    NodeId root = answer.NewComplex();
-    DOEM_RETURN_IF_ERROR(answer.SetRoot(root));
-
-    bool single = q_.select.size() == 1;
-    for (const auto& row : result->rows) {
-      NodeId parent = root;
-      if (!single) {
-        parent = answer.NewComplex();
-        DOEM_RETURN_IF_ERROR(answer.AddArc(root, "answer", parent));
-      }
-      for (size_t i = 0; i < row.size(); ++i) {
-        const RtVal& v = row[i];
-        const std::string& label =
-            result->labels[i].empty() ? "value" : result->labels[i];
-        NodeId target;
-        if (v.kind == RtVal::Kind::kNode) {
-          auto copied = CopyIntoAnswer(v.node, &answer);
-          if (!copied.ok()) return copied.status();
-          target = *copied;
-        } else {
-          target = answer.NewNode(v.value);
-        }
-        if (!answer.HasArc(parent, label, target)) {
-          DOEM_RETURN_IF_ERROR(answer.AddArc(parent, label, target));
-        }
-      }
-    }
-    return Status::OK();
-  }
-
-  void FlushStats() {
-    if (opts_.stats == nullptr) return;
-    opts_.stats->nodes_visited += stats_.nodes_visited;
-    opts_.stats->arcs_expanded += stats_.arcs_expanded;
-    opts_.stats->steps_index_seeded += stats_.steps_index_seeded;
-    opts_.stats->steps_scanned += stats_.steps_scanned;
-    opts_.stats->postings_scanned += stats_.postings_scanned;
-  }
-
-  const NormQuery& q_;
+ private:
   const GraphView& view_;
-  const EvalOptions& opts_;
-  // Profiling tallies, folded into opts_.stats by FlushStats. Kept local
-  // so the hot path costs one unconditional increment, not a branch.
-  EvalStats stats_;
-  // Annotation variables eligible for index seeding and their where-derived
-  // time bounds (PrepareSeeding).
-  std::unordered_set<std::string> seedable_vars_;
-  std::unordered_map<std::string, std::pair<Timestamp, Timestamp>>
-      time_bounds_;
-  std::unordered_set<std::string> seen_rows_;
   std::unordered_map<NodeId, NodeId> copied_;
 };
 
 }  // namespace
+
+std::string RowDedupKey(const std::vector<RtVal>& row) {
+  std::string key;
+  for (const RtVal& v : row) key += v.Key() + "\x1f";
+  return key;
+}
+
+Status PackageResult(const GraphView& view, size_t select_count,
+                     QueryResult* result) {
+  OemDatabase& answer = result->answer;
+  // Copied subgraphs preserve source node ids; allocate the answer's
+  // own nodes (root, tuples, value atoms) above the source id space.
+  answer.ReserveIdsBelow(view.IdFloor());
+  NodeId root = answer.NewComplex();
+  DOEM_RETURN_IF_ERROR(answer.SetRoot(root));
+
+  ResultPackager packager(view);
+  bool single = select_count == 1;
+  for (const auto& row : result->rows) {
+    NodeId parent = root;
+    if (!single) {
+      parent = answer.NewComplex();
+      DOEM_RETURN_IF_ERROR(answer.AddArc(root, "answer", parent));
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      const RtVal& v = row[i];
+      const std::string& label =
+          result->labels[i].empty() ? "value" : result->labels[i];
+      NodeId target;
+      if (v.kind == RtVal::Kind::kNode) {
+        auto copied = packager.CopyIntoAnswer(v.node, &answer);
+        if (!copied.ok()) return copied.status();
+        target = *copied;
+      } else {
+        target = answer.NewNode(v.value);
+      }
+      if (!answer.HasArc(parent, label, target)) {
+        DOEM_RETURN_IF_ERROR(answer.AddArc(parent, label, target));
+      }
+    }
+  }
+  return Status::OK();
+}
 
 std::string RtVal::Key() const {
   if (kind == Kind::kNode) {

@@ -109,6 +109,23 @@ struct EvalOptions {
 Result<QueryResult> Evaluate(const NormQuery& q, const GraphView& view,
                              const EvalOptions& opts = {});
 
+// ---- Shared row machinery (tree-walker + bytecode VM) -----------------
+//
+// The bytecode VM (src/vm/) must produce byte-identical results to the
+// tree-walking evaluator, so row deduplication keys and answer packaging
+// are factored out and used by both.
+
+/// Canonical deduplication key of a result row: each item's RtVal::Key()
+/// followed by a field separator.
+std::string RowDedupKey(const std::vector<RtVal>& row);
+
+/// Packages result->rows as the Lorel-style answer database described on
+/// QueryResult (single-select rows hang off the root; multi-select rows
+/// become complex "answer" objects). `select_count` is the number of
+/// select items.
+Status PackageResult(const GraphView& view, size_t select_count,
+                     QueryResult* result);
+
 }  // namespace lorel
 }  // namespace doem
 

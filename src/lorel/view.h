@@ -50,6 +50,16 @@ class GraphView {
   virtual std::vector<NodeId> Children(NodeId n,
                                        const std::string& label) const = 0;
 
+  /// A stable, allocation-free reference to Children(n, label) when the
+  /// view can provide one (null otherwise, and callers materialize via
+  /// Children). The pointed-to vector must stay valid for the duration of
+  /// a query. Views that filter children on the fly (DoemView's liveness
+  /// check) cannot offer this and keep the default.
+  virtual const std::vector<NodeId>* ChildrenRef(NodeId,
+                                                 const std::string&) const {
+    return nullptr;
+  }
+
   /// All live out-arcs of n (for '#' wildcard traversal and result
   /// packaging).
   virtual std::vector<OutArc> LiveOutArcs(NodeId n) const = 0;
@@ -125,6 +135,39 @@ class GraphView {
     return false;
   }
 
+  // ---- Cardinality estimates (bytecode-VM cost model; DESIGN.md §6f) --
+  //
+  // The VM's step orderer ranks range definitions by estimated candidate
+  // cardinality before choosing a loop nesting. Estimates are advisory:
+  // kUnknownCardinality (or nullopt) makes the orderer keep the original
+  // left-to-right position, so views without statistics lose nothing.
+
+  static constexpr size_t kUnknownCardinality = static_cast<size_t>(-1);
+
+  /// Which annotation postings AnnotCountInRange estimates.
+  enum class AnnotStat { kCre, kUpd, kAdd, kRem };
+
+  /// Approximate node count of the database (wildcard-step cardinality).
+  virtual size_t TotalNodeEstimate() const { return kUnknownCardinality; }
+
+  /// Total arcs labeled `label` anywhere in the graph — the estimate for
+  /// a plain-label step whose source binding is not known statically.
+  virtual size_t LabelArcEstimate(const std::string&) const {
+    return kUnknownCardinality;
+  }
+
+  /// Exact `label`-child count of a specific node (root-sourced steps).
+  virtual size_t ChildCountEstimate(NodeId, const std::string&) const {
+    return kUnknownCardinality;
+  }
+
+  /// Number of index postings of `kind` in [from, to]; nullopt when the
+  /// view has no annotation index.
+  virtual std::optional<size_t> AnnotCountInRange(AnnotStat, Timestamp,
+                                                  Timestamp) const {
+    return std::nullopt;
+  }
+
   // ---- Virtual annotations (Section 4.2.2; default: unsupported) -----
 
   virtual bool SupportsTimeTravel() const { return false; }
@@ -153,10 +196,23 @@ class OemView : public GraphView {
                                const std::string& label) const override {
     return db_.Children(n, label);
   }
+  const std::vector<NodeId>* ChildrenRef(
+      NodeId n, const std::string& label) const override {
+    // Every OEM arc is live, so the by_label_ bucket is the child list.
+    return db_.ChildBucket(n, label);
+  }
   std::vector<OutArc> LiveOutArcs(NodeId n) const override {
     return db_.OutArcs(n);
   }
   bool SkipEncodingLabelsInWildcard() const override { return amp_aware_; }
+  size_t TotalNodeEstimate() const override { return db_.node_count(); }
+  size_t LabelArcEstimate(const std::string& label) const override {
+    return db_.ArcCountForLabel(label);
+  }
+  size_t ChildCountEstimate(NodeId n,
+                            const std::string& label) const override {
+    return db_.LabelChildCount(n, label);
+  }
   bool HasLiveArc(NodeId p, const std::string& l, NodeId c) const override {
     return db_.HasArc(p, l, c);
   }

@@ -115,6 +115,7 @@ Status OemDatabase::AddArcForce(NodeId parent, const std::string& label,
   }
   out_[parent].push_back(OutArc{label, child});
   by_label_[parent][label].push_back(child);
+  ++label_counts_[label];
   ++arc_count_;
   return Status::OK();
 }
@@ -135,6 +136,8 @@ Status OemDatabase::RemArc(NodeId parent, const std::string& label,
     by_label_[parent].erase(label);
     if (by_label_[parent].empty()) by_label_.erase(parent);
   }
+  auto lc = label_counts_.find(label);
+  if (lc != label_counts_.end() && --lc->second == 0) label_counts_.erase(lc);
   --arc_count_;
   return Status::OK();
 }
@@ -164,6 +167,25 @@ std::vector<NodeId> OemDatabase::Children(NodeId node,
   auto lit = it->second.find(label);
   if (lit == it->second.end()) return {};
   return lit->second;
+}
+
+const std::vector<NodeId>* OemDatabase::ChildBucket(
+    NodeId node, const std::string& label) const {
+  auto it = by_label_.find(node);
+  if (it == by_label_.end()) return nullptr;
+  auto lit = it->second.find(label);
+  return lit == it->second.end() ? nullptr : &lit->second;
+}
+
+size_t OemDatabase::LabelChildCount(NodeId node,
+                                    const std::string& label) const {
+  const std::vector<NodeId>* bucket = ChildBucket(node, label);
+  return bucket == nullptr ? 0 : bucket->size();
+}
+
+size_t OemDatabase::ArcCountForLabel(const std::string& label) const {
+  auto it = label_counts_.find(label);
+  return it == label_counts_.end() ? 0 : it->second;
 }
 
 NodeId OemDatabase::Child(NodeId node, const std::string& label) const {
@@ -219,6 +241,12 @@ std::vector<NodeId> OemDatabase::CollectGarbage() {
     auto it = out_.find(id);
     if (it != out_.end()) {
       arc_count_ -= it->second.size();
+      for (const OutArc& a : it->second) {
+        auto lc = label_counts_.find(a.label);
+        if (lc != label_counts_.end() && --lc->second == 0) {
+          label_counts_.erase(lc);
+        }
+      }
       out_.erase(it);
     }
     arc_keys_.erase(id);

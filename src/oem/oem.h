@@ -131,11 +131,29 @@ class OemDatabase {
   /// order.
   std::vector<NodeId> Children(NodeId node, const std::string& label) const;
 
+  /// A stable reference to the `label`-children bucket of `node`, or null
+  /// if there are none. Valid until the next mutation; lets read paths
+  /// (the bytecode VM's OpStepLabel) iterate without copying the bucket.
+  const std::vector<NodeId>* ChildBucket(NodeId node,
+                                         const std::string& label) const;
+
   /// First child via `label`, or kInvalidNode. Convenience for tests.
   NodeId Child(NodeId node, const std::string& label) const;
 
   size_t node_count() const { return values_.size(); }
   size_t arc_count() const { return arc_count_; }
+
+  // ---- Cardinality statistics (bytecode-VM cost model; DESIGN.md §6f) --
+
+  /// Number of `label`-children of `node` — the by_label_ bucket size.
+  size_t LabelChildCount(NodeId node, const std::string& label) const;
+
+  /// Total arcs labeled `label` anywhere in the graph, maintained
+  /// incrementally by the arc mutators.
+  size_t ArcCountForLabel(const std::string& label) const;
+
+  /// Number of distinct arc labels currently in use.
+  size_t DistinctLabelCount() const { return label_counts_.size(); }
 
   /// All node ids, sorted ascending (deterministic iteration).
   std::vector<NodeId> NodeIds() const;
@@ -184,6 +202,10 @@ class OemDatabase {
   std::unordered_map<NodeId,
                      std::unordered_map<std::string, std::vector<NodeId>>>
       by_label_;
+  // Global per-label arc tallies for the VM cost model's cardinality
+  // estimates. Derived state, maintained by AddArcForce / RemArc /
+  // CollectGarbage; entries are erased when they reach zero.
+  std::unordered_map<std::string, size_t> label_counts_;
   // Ids ever used, including deleted ones: "identifiers of deleted nodes
   // are not reused" (Section 2.2).
   std::unordered_set<NodeId> burned_ids_;

@@ -155,6 +155,8 @@ QuerySubscriptionService::GroupFor(const Subscription& sub) {
   eopts.incremental = options_.incremental_filter;
   eopts.seed_from_index = options_.seed_filter_from_index;
   eopts.verify_incremental = options_.verify_incremental_filter;
+  eopts.use_vm = options_.vm_filter;
+  eopts.verify_vm = options_.verify_vm_filter;
   eopts.metrics = options_.metrics;
   group->engine = std::make_unique<chorel::ChorelEngine>(group->doem, eopts);
   PollGroup* out = group.get();

@@ -86,6 +86,14 @@ struct QssOptions {
   /// maintained caches against from-scratch rebuilds; divergence surfaces
   /// as a filter PollError. Slow — for tests.
   bool verify_incremental_filter = false;
+  /// Run filter queries on the bytecode VM (DESIGN.md §6f) when they
+  /// compile, with tree-walker fallback. Byte-identical histories, rows,
+  /// and notifications either way.
+  bool vm_filter = true;
+  /// Debug cross-check: verify every VM filter evaluation against the
+  /// tree walker; divergence surfaces as a filter PollError. Slow — for
+  /// tests.
+  bool verify_vm_filter = false;
 
   // ---- Fault tolerance (the source is autonomous and may fail) --------
 

@@ -1,0 +1,30 @@
+#ifndef DOEM_VM_COMPILE_H_
+#define DOEM_VM_COMPILE_H_
+
+#include "common/result.h"
+#include "lorel/normalize.h"
+#include "vm/bytecode.h"
+
+namespace doem {
+namespace vm {
+
+/// Compiles a normalized query to a bytecode program. Fails with
+/// Unsupported for constructs the VM does not cover (exists / path
+/// operands in the where clause, variables reused across definitions,
+/// non-comparison conditions); callers fall back to the tree-walking
+/// evaluator, which handles everything.
+Result<Program> Compile(const lorel::NormQuery& q);
+
+/// Lazily compiled program attached to a cached query. kUnsupported is
+/// sticky: once compilation fails, the query keeps using the tree walker
+/// without retrying.
+struct ProgramCache {
+  enum class State { kUnknown, kReady, kUnsupported };
+  State state = State::kUnknown;
+  Program program;
+};
+
+}  // namespace vm
+}  // namespace doem
+
+#endif  // DOEM_VM_COMPILE_H_

@@ -1,0 +1,445 @@
+// DESIGN.md §6f guard tests: the bytecode VM must be observationally
+// identical to the tree-walking evaluator — byte-identical rows (order
+// included), packaged answers, and error statuses — across the random
+// query corpus, Chorel time-bound queries with polling times, and full
+// QSS twin runs; cost-based step reordering must never change the rows;
+// and uncovered constructs must fall back to the walker transparently.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chorel/chorel.h"
+#include "chorel/doem_view.h"
+#include "doem/annotation_index.h"
+#include "doem/doem.h"
+#include "encoding/doem_text.h"
+#include "lorel/eval.h"
+#include "obs/metrics.h"
+#include "qss/qss.h"
+#include "qss/source.h"
+#include "testing/generators.h"
+#include "vm/bytecode.h"
+#include "vm/compile.h"
+#include "vm/cost.h"
+#include "vm/vm.h"
+
+namespace doem {
+namespace {
+
+using testing::ChorelQueryCorpus;
+using testing::DatabaseOptions;
+using testing::HistoryOptions;
+using testing::RandomDatabase;
+using testing::RandomHistory;
+
+// Two engine runs are "identical" when they agree on success/failure,
+// the error text, the row text (order included), and the packaged
+// answer database.
+void ExpectSameResult(const Result<lorel::QueryResult>& a,
+                      const Result<lorel::QueryResult>& b,
+                      const std::string& context) {
+  ASSERT_EQ(a.ok(), b.ok()) << context << "\n"
+                            << (a.ok() ? b.status() : a.status()).ToString();
+  if (!a.ok()) {
+    EXPECT_EQ(a.status().ToString(), b.status().ToString()) << context;
+    return;
+  }
+  EXPECT_EQ(a->RowsToString(), b->RowsToString()) << context;
+  EXPECT_TRUE(a->answer.Equals(b->answer)) << context;
+}
+
+class VmDifferentialTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  DoemDatabase MakeDoem() const {
+    DatabaseOptions dbo;
+    dbo.seed = GetParam();
+    dbo.node_count = 60 + GetParam() % 40;
+    dbo.label_alphabet = 4 + GetParam() % 3;
+    OemDatabase db = RandomDatabase(dbo);
+    HistoryOptions ho;
+    ho.seed = GetParam() * 7 + 1;
+    ho.steps = 5 + GetParam() % 5;
+    ho.ops_per_step = 4 + GetParam() % 5;
+    auto d = DoemDatabase::Build(db, RandomHistory(db, ho));
+    EXPECT_TRUE(d.ok()) << d.status().ToString();
+    return std::move(d).value();
+  }
+
+  size_t alphabet() const { return 4 + GetParam() % 3; }
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmDifferentialTest, ::testing::Range(1u, 13u));
+
+// The core acceptance property: over the whole query corpus, both
+// strategies, and both seeding modes, the VM-backed engine returns
+// byte-identical results to a walker-only engine — and a verify_vm
+// engine (which cross-checks every run internally) never trips.
+TEST_P(VmDifferentialTest, VmMatchesTreeWalkerOverCorpus) {
+  DoemDatabase d = MakeDoem();
+  for (bool seed : {false, true}) {
+    chorel::ChorelEngineOptions vm_on;
+    vm_on.seed_from_index = seed;
+    chorel::ChorelEngineOptions vm_off = vm_on;
+    vm_off.use_vm = false;
+    chorel::ChorelEngineOptions checked = vm_on;
+    checked.verify_vm = true;
+    chorel::ChorelEngine fast(d, vm_on);
+    chorel::ChorelEngine slow(d, vm_off);
+    chorel::ChorelEngine veri(d, checked);
+    for (const std::string& q : ChorelQueryCorpus(alphabet())) {
+      for (chorel::Strategy strategy :
+           {chorel::Strategy::kDirect, chorel::Strategy::kTranslated}) {
+        auto a = fast.Run(q, strategy);
+        auto b = slow.Run(q, strategy);
+        ExpectSameResult(a, b, q);
+        auto c = veri.Run(q, strategy);
+        ExpectSameResult(c, b, "verify_vm: " + q);
+      }
+    }
+  }
+}
+
+// max_rows is a row-count error raised mid-enumeration; the VM must
+// surface exactly the walker's status (via fallback when it cannot).
+TEST_P(VmDifferentialTest, MaxRowsStatusParity) {
+  DoemDatabase d = MakeDoem();
+  chorel::ChorelEngineOptions vm_off;
+  vm_off.use_vm = false;
+  chorel::ChorelEngine fast(d);
+  chorel::ChorelEngine slow(d, vm_off);
+  lorel::EvalOptions opts;
+  opts.max_rows = 3;
+  for (const std::string& q : ChorelQueryCorpus(alphabet())) {
+    for (chorel::Strategy strategy :
+         {chorel::Strategy::kDirect, chorel::Strategy::kTranslated}) {
+      ExpectSameResult(fast.Run(q, strategy, opts),
+                       slow.Run(q, strategy, opts), "max_rows=3: " + q);
+    }
+  }
+}
+
+// ------------------------------------------ polling-time queries
+
+// Chorel filter queries with QSS time variables (t[0], t[-1], ...) over
+// a churning guide: the VM resolves the same windows, seeds from the
+// same index postings, and returns the same rows at every poll.
+TEST(VmPollingTimeTest, TimeWindowQueriesMatchWalkerEveryPoll) {
+  OemDatabase guide = testing::SyntheticGuide(14);
+  OemHistory churn = testing::SyntheticGuideChurn(guide, 10, 4);
+  auto d = DoemDatabase::Build(guide, churn);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  const std::vector<std::string> queries = {
+      "select guide.restaurant<cre at T> where T > t[-1]",
+      "select T, OV, NV from guide.restaurant.price"
+      "<upd at T from OV to NV> where T > t[-1] and T <= t[0]",
+      "select X from guide.<add at T>restaurant X where T > t[-1]",
+      "select R, T from guide.restaurant.<rem at T>parking R "
+      "where T > t[-2]",
+  };
+  for (bool seed : {false, true}) {
+    chorel::ChorelEngineOptions vm_on;
+    vm_on.seed_from_index = seed;
+    chorel::ChorelEngineOptions vm_off = vm_on;
+    vm_off.use_vm = false;
+    chorel::ChorelEngine fast(*d, vm_on);
+    chorel::ChorelEngine slow(*d, vm_off);
+    std::vector<Timestamp> polls;
+    polls.push_back(Timestamp(0));
+    for (const HistoryStep& step : churn.steps()) {
+      polls.push_back(step.time);
+      lorel::EvalOptions opts;
+      opts.polling_times = &polls;
+      for (const std::string& q : queries) {
+        for (chorel::Strategy strategy :
+             {chorel::Strategy::kDirect, chorel::Strategy::kTranslated}) {
+          ExpectSameResult(fast.Run(q, strategy, opts),
+                           slow.Run(q, strategy, opts),
+                           q + " @" + std::to_string(polls.size()));
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------ cost-based reordering
+
+// A database engineered so the left-to-right nesting is the wrong one:
+// `wide` has many children, `rare` has two.
+OemDatabase SkewedDb() {
+  OemDatabase db;
+  NodeId root = db.NewComplex();
+  void(db.SetRoot(root));
+  for (int i = 0; i < 64; ++i) {
+    NodeId n = db.NewInt(i);
+    void(db.AddArc(root, "wide", n));
+  }
+  for (int i = 0; i < 2; ++i) {
+    NodeId n = db.NewInt(100 + i);
+    void(db.AddArc(root, "rare", n));
+  }
+  return db;
+}
+
+// The compiler marks multi-definition, time-travel-free programs
+// reorderable; the planner then schedules the cheap slot outermost.
+TEST(VmCostModelTest, PlannerPutsNarrowSlotOutermost) {
+  auto d = DoemDatabase::Build(SkewedDb(), OemHistory());
+  ASSERT_TRUE(d.ok());
+  auto nq = lorel::ParseAndNormalize("select X, Y from wide X, rare Y");
+  ASSERT_TRUE(nq.ok()) << nq.status().ToString();
+  auto p = vm::Compile(*nq);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_TRUE(p->reorderable);
+  chorel::DoemView view(*d, nullptr);
+  vm::BoundsMap bounds = vm::ReplayBounds(*p, {});
+  EXPECT_GT(vm::EstimateSlot(*p, 0, view, bounds),
+            vm::EstimateSlot(*p, 1, view, bounds));
+  std::vector<uint32_t> order = vm::PlanOrder(*p, view, bounds);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1u);  // rare runs outermost
+  EXPECT_EQ(order[1], 0u);
+}
+
+// Reordered execution must be invisible in the output: rows come back
+// in the walker's nesting order even though the loops ran inverted.
+TEST(VmCostModelTest, ReorderedRunIsByteIdenticalToWalker) {
+  auto d = DoemDatabase::Build(SkewedDb(), OemHistory());
+  ASSERT_TRUE(d.ok());
+  auto nq = lorel::ParseAndNormalize(
+      "select X, Y from wide X, rare Y where X < 5");
+  ASSERT_TRUE(nq.ok());
+  auto p = vm::Compile(*nq);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  chorel::DoemView view(*d, nullptr);
+  vm::RunInfo info;
+  auto got = vm::Run(*p, view, {}, &info);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(info.reordered);
+  auto want = lorel::Evaluate(*nq, view);
+  ASSERT_TRUE(want.ok());
+  EXPECT_FALSE(want->rows.empty());
+  EXPECT_EQ(got->RowsToString(), want->RowsToString());
+  EXPECT_TRUE(got->answer.Equals(want->answer));
+}
+
+// A statistics-free nesting (dependent path steps) and a single-slot
+// query keep the identity order — no reorder, no rank machinery.
+TEST(VmCostModelTest, DependentSlotsKeepIdentityOrder) {
+  auto d = DoemDatabase::Build(SkewedDb(), OemHistory());
+  ASSERT_TRUE(d.ok());
+  auto nq = lorel::ParseAndNormalize("select wide");
+  ASSERT_TRUE(nq.ok());
+  auto p = vm::Compile(*nq);
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->reorderable);
+  chorel::DoemView view(*d, nullptr);
+  vm::RunInfo info;
+  auto got = vm::Run(*p, view, {}, &info);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(info.reordered);
+}
+
+// The engine counts reordered runs and still matches the walker.
+TEST(VmCostModelTest, EngineReordersAndCountsIt) {
+  auto d = DoemDatabase::Build(SkewedDb(), OemHistory());
+  ASSERT_TRUE(d.ok());
+  obs::MetricsRegistry metrics;
+  chorel::ChorelEngineOptions vm_on;
+  vm_on.metrics = &metrics;
+  chorel::ChorelEngineOptions vm_off;
+  vm_off.use_vm = false;
+  chorel::ChorelEngine fast(*d, vm_on);
+  chorel::ChorelEngine slow(*d, vm_off);
+  const std::string q = "select X, Y from wide X, rare Y where X < 9";
+  auto a = fast.Run(q, chorel::Strategy::kDirect);
+  auto b = slow.Run(q, chorel::Strategy::kDirect);
+  ExpectSameResult(a, b, q);
+  EXPECT_EQ(metrics.GetCounter("vm.runs", "")->value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("vm.reordered_runs", "")->value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("vm.verify_failures", "")->value(), 0u);
+}
+
+// ------------------------------------------ fallback coverage
+
+// `exists` is outside VM coverage: compilation fails once (sticky), the
+// walker answers, and the rows are exactly the walker's.
+TEST(VmFallbackTest, ExistsQueryFallsBackToWalker) {
+  OemDatabase guide = testing::SyntheticGuide(10);
+  auto d = DoemDatabase::Build(guide, testing::SyntheticGuideHistory(guide, 4, 3));
+  ASSERT_TRUE(d.ok());
+  obs::MetricsRegistry metrics;
+  chorel::ChorelEngineOptions vm_on;
+  vm_on.metrics = &metrics;
+  chorel::ChorelEngineOptions vm_off;
+  vm_off.use_vm = false;
+  chorel::ChorelEngine fast(*d, vm_on);
+  chorel::ChorelEngine slow(*d, vm_off);
+  const std::string q =
+      "select X from guide.restaurant X "
+      "where exists Y in X.name : Y = Y";
+  auto compiled = chorel::CompileChorel(q);
+  ASSERT_TRUE(compiled.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto a = fast.RunCompiled(&*compiled, chorel::Strategy::kDirect);
+    auto b = slow.Run(q, chorel::Strategy::kDirect);
+    ExpectSameResult(a, b, q);
+    ASSERT_TRUE(a.ok());
+    EXPECT_FALSE(a->rows.empty());
+  }
+  // One sticky compile failure, zero VM executions, three walker runs.
+  EXPECT_EQ(metrics.GetCounter("vm.compile_fallbacks", "")->value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("vm.runs", "")->value(), 0u);
+  EXPECT_EQ(metrics.GetCounter("vm.compiles", "")->value(), 0u);
+}
+
+// A supported query on the same engine still compiles and runs on the
+// VM — fallback is per-query, not per-engine.
+TEST(VmFallbackTest, SupportedQueryStillCompiles) {
+  OemDatabase guide = testing::SyntheticGuide(6);
+  auto d = DoemDatabase::Build(guide, OemHistory());
+  ASSERT_TRUE(d.ok());
+  obs::MetricsRegistry metrics;
+  chorel::ChorelEngineOptions vm_on;
+  vm_on.metrics = &metrics;
+  chorel::ChorelEngine engine(*d, vm_on);
+  auto r = engine.Run("select guide.restaurant.name",
+                      chorel::Strategy::kDirect);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->rows.empty());
+  EXPECT_EQ(metrics.GetCounter("vm.compiles", "")->value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("vm.runs", "")->value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("vm.compile_fallbacks", "")->value(), 0u);
+  EXPECT_GT(metrics.GetGauge("vm.program_instructions", "")->value(), 0);
+}
+
+// ------------------------------------------ cost-model inputs (gauges)
+
+// The satellite accessors: annotation-index posting sizes and the label
+// statistic surface as chorel.* gauges once the index is built.
+TEST(VmMetricsTest, CostModelInputGaugesArePublished) {
+  OemDatabase guide = testing::SyntheticGuide(8);
+  OemHistory churn = testing::SyntheticGuideChurn(guide, 6, 4);
+  auto d = DoemDatabase::Build(guide, churn);
+  ASSERT_TRUE(d.ok());
+  obs::MetricsRegistry metrics;
+  chorel::ChorelEngineOptions opts;
+  opts.seed_from_index = true;
+  opts.metrics = &metrics;
+  chorel::ChorelEngine engine(*d, opts);
+  auto r = engine.Run("select guide.restaurant<cre at T> where T > 0",
+                      chorel::Strategy::kDirect);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  AnnotationIndex fresh(*d);
+  EXPECT_EQ(metrics.GetGauge("chorel.index_postings_cre", "")->value(),
+            static_cast<int64_t>(fresh.cre_count()));
+  EXPECT_EQ(metrics.GetGauge("chorel.index_postings_upd", "")->value(),
+            static_cast<int64_t>(fresh.upd_count()));
+  EXPECT_EQ(metrics.GetGauge("chorel.index_postings_add", "")->value(),
+            static_cast<int64_t>(fresh.add_count()));
+  EXPECT_EQ(metrics.GetGauge("chorel.index_postings_rem", "")->value(),
+            static_cast<int64_t>(fresh.rem_count()));
+  EXPECT_GT(metrics.GetGauge("chorel.distinct_labels", "")->value(), 0);
+}
+
+// ------------------------------------------ disassembler smoke
+
+TEST(VmBytecodeTest, DisassembleListsOpcodes) {
+  auto nq = lorel::ParseAndNormalize(
+      "select guide.restaurant<cre at T> where T > 100");
+  ASSERT_TRUE(nq.ok());
+  auto p = vm::Compile(*nq);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  std::string listing = p->Disassemble();
+  EXPECT_NE(listing.find("SeedAnn"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("Emit"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("Halt"), std::string::npos) << listing;
+}
+
+// ------------------------------------------ QSS twin runs
+
+// End-to-end: a subscription service filtering on the VM produces
+// byte-identical histories, notification rows, and report counters to
+// one pinned to the tree walker. The VM run also self-checks every
+// filter evaluation (verify_vm_filter), so any divergence fails twice.
+struct QssRun {
+  std::map<std::string, std::string> history_text;
+  std::vector<std::string> notifications;
+  std::vector<std::string> errors;
+  size_t polls_ok = 0;
+  size_t polls_failed = 0;
+};
+
+QssRun RunQssScenario(bool vm) {
+  OemDatabase base = testing::SyntheticGuide(12);
+  OemHistory script = testing::SyntheticGuideHistory(base, 10, 4);
+  qss::ScriptedSource source(base, script, /*preserve_ids=*/true);
+  Timestamp start = Timestamp::FromDate(1997, 1, 1);
+
+  qss::QssOptions opts;
+  opts.vm_filter = vm;
+  opts.verify_vm_filter = vm;
+  qss::QuerySubscriptionService service(&source, start, opts);
+
+  QssRun out;
+  auto subscribe = [&](const std::string& name, const std::string& filter) {
+    qss::Subscription sub;
+    sub.name = name;
+    sub.frequency = *qss::FrequencySpec::Parse("every 1 ticks");
+    sub.polling_query = "select guide.restaurant";
+    sub.filter_query = filter;
+    Status st = service.Subscribe(
+        sub, [&out, name](const qss::Notification& n) {
+          out.notifications.push_back(
+              name + "@" + std::to_string(n.poll_time.ticks) + "#" +
+              std::to_string(n.poll_index) + "\n" + n.result.RowsToString());
+        });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  };
+  subscribe("Cre", "select Cre.restaurant<cre at T> where T > t[-1]");
+  subscribe("Upd",
+            "select T, OV, NV from Upd.restaurant.price"
+            "<upd at T from OV to NV> where T > t[-1]");
+  subscribe("Rem",
+            "select R, T from Rem.restaurant.<rem at T>parking R "
+            "where T > t[-1]");
+  if (::testing::Test::HasFatalFailure()) return out;
+
+  qss::PollReport report;
+  for (int i = 0; i < 10; ++i) {
+    Timestamp t(service.now().ticks + 1);
+    Status st = service.AdvanceTo(t, &report);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  for (const std::string name : {"Cre", "Upd", "Rem"}) {
+    const DoemDatabase* d = service.History(name);
+    if (d != nullptr) out.history_text[name] = WriteDoemText(*d);
+  }
+  for (const qss::PollError& e : report.errors) {
+    out.errors.push_back(e.subject + "@" + std::to_string(e.time.ticks) +
+                         ":" + e.status.ToString());
+  }
+  out.polls_ok = report.polls_ok;
+  out.polls_failed = report.polls_failed;
+  return out;
+}
+
+TEST(VmQssTest, VmFilteredServiceMatchesWalkerFilteredService) {
+  QssRun vm = RunQssScenario(true);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  QssRun walker = RunQssScenario(false);
+  EXPECT_TRUE(vm.errors.empty())
+      << "verify_vm_filter tripped: " << vm.errors.front();
+  EXPECT_FALSE(vm.notifications.empty())
+      << "comparison is vacuous: no notifications fired";
+  EXPECT_EQ(vm.history_text, walker.history_text);
+  EXPECT_EQ(vm.notifications, walker.notifications);
+  EXPECT_EQ(vm.errors, walker.errors);
+  EXPECT_EQ(vm.polls_ok, walker.polls_ok);
+  EXPECT_EQ(vm.polls_failed, walker.polls_failed);
+}
+
+}  // namespace
+}  // namespace doem
