@@ -34,11 +34,11 @@ void BM_QssObsOverhead(benchmark::State& state) {
   opts.strategy = chorel::Strategy::kTranslated;
   if (obs_level >= 1) {
     metrics.emplace();
-    opts.metrics = &*metrics;
+    opts.observability.metrics = &*metrics;
   }
   if (obs_level >= 2) {
     trace.emplace();
-    opts.trace = &*trace;
+    opts.observability.trace = &*trace;
   }
 
   std::optional<qss::ScriptedSource> source;

@@ -163,8 +163,8 @@ void BM_QssHistorySweep(benchmark::State& state) {
   Timestamp start(Timestamp::FromDate(1997, 1, 1).ticks);
   qss::QssOptions opts;
   opts.strategy = chorel::Strategy::kTranslated;
-  opts.incremental_filter = incremental;
-  opts.vm_filter = state.range(2) != 0;
+  opts.acceleration.incremental_filter = incremental;
+  opts.acceleration.vm_filter = state.range(2) != 0;
 
   int64_t filter_ns = 0;
   int64_t apply_ns = 0;

@@ -1,0 +1,203 @@
+// Fan-out cost of the split QSS API (DESIGN.md §6g): one poll loop over
+// G poll groups delivering to G×S registered filters through the
+// layered PollGroupManager + SubscriberRegistry path. Subscribers in one
+// group share an entry label and filter text, so the per-poll work is
+// one history append + one filter evaluation per group plus S
+// notification deliveries — the sweep's top case registers 1,000,000
+// filters over 100 distinct poll groups. Registration is untimed; the
+// timed region is the polling window. A twin-check benchmark re-runs a
+// small configuration through the legacy name-keyed facade and aborts
+// unless the notification digests are byte-identical.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "qss/qss.h"
+#include "testing/generators.h"
+
+namespace doem {
+namespace {
+
+constexpr int64_t kWindowTicks = 20;
+
+const char* const kLeaves[] = {"name", "price", "address", "parking", ""};
+
+// Distinct (polling query, frequency) pairs: leaf cycles fastest,
+// interval grows every 5 groups, so `groups` groups have `groups`
+// distinct poll-group keys.
+qss::Subscription GroupMember(size_t group, size_t member) {
+  const char* leaf = kLeaves[group % 5];
+  qss::Subscription sub;
+  sub.name = "G" + std::to_string(group) + "S" + std::to_string(member);
+  sub.entry = "G" + std::to_string(group);
+  sub.frequency.interval_ticks = static_cast<int64_t>(group / 5 + 1);
+  sub.polling_query = *leaf == '\0'
+                          ? std::string("select guide.restaurant")
+                          : "select guide.restaurant." + std::string(leaf);
+  std::string label = *leaf == '\0' ? "restaurant" : leaf;
+  sub.filter_query =
+      "select " + sub.entry + "." + label + "<cre at T> where T > t[-1]";
+  return sub;
+}
+
+// Order-sensitive FNV-1a over everything a subscriber observes.
+struct Digest {
+  uint64_t h = 1469598103934665603ull;
+  uint64_t count = 0;
+
+  void Mix(const std::string& bytes) {
+    for (unsigned char c : bytes) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+  }
+  // The full digest (rows rendered to text) for twin-run comparison.
+  void Add(const qss::Notification& n) {
+    AddCheap(n);
+    Mix(n.result.RowsToString());
+  }
+  // Cheap per-notification work for the timed sweep — a realistic
+  // subscriber callback, so the measurement is the fan-out path, not
+  // text rendering in the harness.
+  void AddCheap(const qss::Notification& n) {
+    ++count;
+    Mix(n.subscription);
+    Mix(std::to_string(n.poll_time.ticks));
+    Mix(std::to_string(n.poll_index));
+    Mix(std::to_string(n.result.rows.size()));
+  }
+};
+
+void BM_QssFanOut(benchmark::State& state) {
+  size_t groups = static_cast<size_t>(state.range(0));
+  size_t per_group = static_cast<size_t>(state.range(1));
+
+  OemDatabase base = testing::SyntheticGuide(50);
+  OemHistory script = testing::SyntheticGuideHistory(base, 64, 2);
+  Timestamp start = Timestamp::FromDate(1997, 1, 1);
+  qss::ScriptedSource source(base, script);
+
+  obs::MetricsRegistry metrics;
+  qss::QssOptions opts;
+  opts.observability.metrics = &metrics;
+  // Deliver at every poll regardless of filter matches, so the timed
+  // region always exercises the full notification path.
+  opts.notify_empty = true;
+  qss::PollGroupManager manager(&source, start, opts);
+  qss::SubscriberRegistry registry(&manager);
+
+  // Registration is untimed: it happens once, the polling loop is the
+  // steady state being measured.
+  Digest digest;
+  for (size_t g = 0; g < groups; ++g) {
+    for (size_t s = 0; s < per_group; ++s) {
+      auto handle = registry.Subscribe(
+          GroupMember(g, s),
+          [&digest](const qss::Notification& n) { digest.AddCheap(n); });
+      if (!handle.ok()) {
+        state.SkipWithError(handle.status().ToString().c_str());
+        return;
+      }
+    }
+  }
+  // One DOEM history (and one shared entry arc) per distinct poll group.
+  if (metrics.GaugeValue("qss.group.count") != static_cast<int64_t>(groups) ||
+      metrics.GaugeValue("qss.group.entries") != static_cast<int64_t>(groups) ||
+      metrics.GaugeValue("qss.group.subscribers") !=
+          static_cast<int64_t>(groups * per_group)) {
+    state.SkipWithError("qss.group.* gauges disagree with the registration");
+    return;
+  }
+
+  for (auto _ : state) {
+    Status st =
+        manager.AdvanceTo(Timestamp(manager.now().ticks + kWindowTicks));
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+
+  state.SetItemsProcessed(static_cast<int64_t>(digest.count));
+  state.counters["groups"] = static_cast<double>(groups);
+  state.counters["filters"] = static_cast<double>(groups * per_group);
+  state.counters["notifications"] = static_cast<double>(digest.count);
+  state.counters["notifications_per_tick"] =
+      benchmark::Counter(static_cast<double>(digest.count) /
+                         static_cast<double>(state.iterations() *
+                                             kWindowTicks));
+  state.counters["filter_evals"] =
+      static_cast<double>(metrics.CounterValue("qss.group.filter_evals"));
+  state.counters["filter_shared"] =
+      static_cast<double>(metrics.CounterValue("qss.group.filter_shared"));
+}
+BENCHMARK(BM_QssFanOut)
+    ->Args({4, 1000})      //   4k filters, every group due every tick
+    ->Args({100, 100})     //  10k filters over 100 distinct groups
+    ->Args({100, 10000})   //   1M filters over 100 distinct groups
+    ->ArgNames({"groups", "per_group"})
+    ->Unit(benchmark::kMillisecond);
+
+// The layered path must be byte-identical to the legacy facade: same
+// notifications, same order, same rows. Runs the same small scenario
+// both ways and compares order-sensitive digests.
+void BM_QssFanOutTwinCheck(benchmark::State& state) {
+  constexpr size_t kGroups = 4;
+  constexpr size_t kPerGroup = 50;
+  OemDatabase base = testing::SyntheticGuide(20);
+  OemHistory script = testing::SyntheticGuideHistory(base, 12, 3);
+  Timestamp start = Timestamp::FromDate(1997, 1, 1);
+
+  auto run = [&](bool layered) {
+    qss::ScriptedSource source(base, script);
+    qss::QssOptions opts;
+    opts.notify_empty = true;
+    Digest digest;
+    auto record = [&digest](const qss::Notification& n) { digest.Add(n); };
+    if (layered) {
+      qss::PollGroupManager manager(&source, start, opts);
+      qss::SubscriberRegistry registry(&manager);
+      for (size_t g = 0; g < kGroups; ++g) {
+        for (size_t s = 0; s < kPerGroup; ++s) {
+          auto h = registry.Subscribe(GroupMember(g, s), record);
+          if (!h.ok()) return Digest{};
+        }
+      }
+      if (!manager.AdvanceTo(Timestamp(start.ticks + 11)).ok()) {
+        return Digest{};
+      }
+    } else {
+      qss::QuerySubscriptionService qss(&source, start, opts);
+      for (size_t g = 0; g < kGroups; ++g) {
+        for (size_t s = 0; s < kPerGroup; ++s) {
+          if (!qss.Subscribe(GroupMember(g, s), record).ok()) {
+            return Digest{};
+          }
+        }
+      }
+      if (!qss.AdvanceTo(Timestamp(start.ticks + 11)).ok()) return Digest{};
+    }
+    return digest;
+  };
+
+  for (auto _ : state) {
+    Digest layered = run(/*layered=*/true);
+    Digest facade = run(/*layered=*/false);
+    if (layered.count == 0 || layered.h != facade.h ||
+        layered.count != facade.count) {
+      state.SkipWithError("layered and facade notification digests differ");
+      return;
+    }
+    benchmark::DoNotOptimize(layered.h);
+  }
+}
+BENCHMARK(BM_QssFanOutTwinCheck)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace doem
+
+BENCHMARK_MAIN();

@@ -63,9 +63,9 @@ void BM_QssFaultInjectorPassthrough(benchmark::State& state) {
       testing::SyntheticGuide(static_cast<size_t>(state.range(0)));
   OemHistory script = testing::SyntheticGuideHistory(base, kPolls, 5);
   qss::QssOptions opts;
-  opts.retry.max_attempts = 3;
-  opts.retry.backoff_base_ticks = 1;
-  opts.retry.poll_deadline_ticks = 1000;
+  opts.fault_tolerance.retry.max_attempts = 3;
+  opts.fault_tolerance.retry.backoff_base_ticks = 1;
+  opts.fault_tolerance.retry.poll_deadline_ticks = 1000;
   for (auto _ : state) {
     state.PauseTiming();
     qss::ScriptedSource inner(base, script);
@@ -95,7 +95,7 @@ void BM_QssTransientFaultRetry(benchmark::State& state) {
   OemDatabase base = testing::SyntheticGuide(200);
   OemHistory script = testing::SyntheticGuideHistory(base, kPolls, 5);
   qss::QssOptions opts;
-  opts.retry.max_attempts = 2;
+  opts.fault_tolerance.retry.max_attempts = 2;
   for (auto _ : state) {
     state.PauseTiming();
     qss::ScriptedSource inner(base, script);
@@ -128,9 +128,9 @@ BENCHMARK(BM_QssTransientFaultRetry)->Unit(benchmark::kMillisecond);
 void BM_QssQuarantinedGroupSkips(benchmark::State& state) {
   OemDatabase base = testing::SyntheticGuide(200);
   qss::QssOptions opts;
-  opts.quarantine_after = 2;
-  opts.quarantine_cooldown_ticks = 1000000;  // stay dark for the whole run
-  opts.on_error = [](const qss::PollError&) {};
+  opts.fault_tolerance.quarantine_after = 2;
+  opts.fault_tolerance.quarantine_cooldown_ticks = 1000000;  // stay dark for the whole run
+  opts.fault_tolerance.on_error = [](const qss::PollError&) {};
   constexpr int64_t kDays = 1000;
   for (auto _ : state) {
     state.PauseTiming();

@@ -92,7 +92,7 @@ RunResult RunProcess(const std::string& store_dir, int from, int to) {
   qss::ScriptedSource source(lib.db, script);
   store::DirectoryStoreManager stores(store_dir);
   qss::QssOptions options;
-  options.store = &stores;
+  options.durability.store = &stores;
   qss::QuerySubscriptionService service(&source, Timestamp(0), options);
 
   qss::Subscription sub;

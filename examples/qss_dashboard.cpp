@@ -58,13 +58,13 @@ int main(int argc, char** argv) {
   qss::ThreadPoolExecutor pool(2);
 
   qss::QssOptions opts;
-  opts.metrics = &metrics;
-  opts.trace = &trace;
+  opts.observability.metrics = &metrics;
+  opts.observability.trace = &trace;
   opts.executor = &pool;
-  opts.retry.max_attempts = 2;
-  opts.quarantine_after = 2;
-  opts.quarantine_cooldown_ticks = 2;
-  opts.on_error = [](const qss::PollError& e) {
+  opts.fault_tolerance.retry.max_attempts = 2;
+  opts.fault_tolerance.quarantine_after = 2;
+  opts.fault_tolerance.quarantine_cooldown_ticks = 2;
+  opts.fault_tolerance.on_error = [](const qss::PollError& e) {
     std::printf("  [error] %s at %s: %s\n", e.subject.c_str(),
                 e.time.ToString().c_str(), e.status.ToString().c_str());
   };

@@ -16,6 +16,9 @@
 #                                  BM_StoreRecovery
 #   BENCH_vm_dispatch.json         BM_VmPathLength / BM_VmChorelFilter /
 #                                  BM_VmDirectSeeded
+#   BENCH_qss_fanout.json          BM_QssFanOut (layered poll-group fan-out,
+#                                  up to 1M filters / 100 groups) +
+#                                  BM_QssFanOutTwinCheck
 #
 # With --compare, captures go to a temporary directory instead of the
 # repo root and each named baseline is diffed against the fresh capture
@@ -104,7 +107,7 @@ esac
 
 cmake --build "$build" -j "$jobs" --target \
   bench_qss_cycle bench_chorel_strategies bench_obs_overhead \
-  bench_store_recovery bench_vm_dispatch
+  bench_store_recovery bench_vm_dispatch bench_qss_fanout
 
 # Stamps the cache-derived build type into the capture's context block so
 # downstream consumers can reject or flag non-release data.
@@ -139,9 +142,15 @@ annotate "$outdir"/BENCH_store_recovery.json
   --benchmark_out_format=json
 annotate "$outdir"/BENCH_vm_dispatch.json
 
+"$build"/bench/bench_qss_fanout \
+  --benchmark_out="$outdir"/BENCH_qss_fanout.json \
+  --benchmark_out_format=json
+annotate "$outdir"/BENCH_qss_fanout.json
+
 echo "wrote BENCH_qss_incremental.json, BENCH_chorel_incremental.json," \
-     "BENCH_obs_overhead.json, BENCH_store_recovery.json, and" \
-     "BENCH_vm_dispatch.json to $outdir (cmake_build_type=$build_type)"
+     "BENCH_obs_overhead.json, BENCH_store_recovery.json," \
+     "BENCH_vm_dispatch.json, and BENCH_qss_fanout.json to $outdir" \
+     "(cmake_build_type=$build_type)"
 
 if [ "${#baselines[@]}" -gt 0 ]; then
   failed=0

@@ -2,7 +2,7 @@
 # Repo verification driver.
 #
 #   scripts/check.sh            # tier-1: default build + full ctest
-#   scripts/check.sh tsan       # DOEM_TSAN build + `ctest -L "qss|perf|obs|store|vm"`
+#   scripts/check.sh tsan       # DOEM_TSAN build + `ctest -L "qss|perf|obs|store|vm|server"`
 #                               # (races the parallel poll engine, the
 #                               # incremental query caches, the
 #                               # metrics/trace instruments, and the
@@ -38,7 +38,7 @@ tsan() {
   cmake --build build-tsan -j "$jobs"
   # TSAN_OPTIONS makes any detected race fail the test run loudly.
   TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-tsan -L "qss|perf|obs|store|vm" --output-on-failure -j "$jobs"
+    ctest --test-dir build-tsan -L "qss|perf|obs|store|vm|server" --output-on-failure -j "$jobs"
 }
 
 asan() {

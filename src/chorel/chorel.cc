@@ -22,6 +22,32 @@ Result<CompiledQuery> CompileChorel(const std::string& query) {
   return out;
 }
 
+Result<std::shared_ptr<CompiledQuery>> CompiledQueryPool::Get(
+    const std::string& query) {
+  auto it = pool_.find(query);
+  if (it != pool_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  auto compiled = CompileChorel(query);
+  if (!compiled.ok()) return compiled.status();
+  auto shared = std::make_shared<CompiledQuery>(std::move(compiled).value());
+  pool_.emplace(query, shared);
+  return shared;
+}
+
+std::shared_ptr<CompiledQuery> CompiledQueryPool::Intern(
+    const std::string& query, CompiledQuery compiled) {
+  auto it = pool_.find(query);
+  if (it != pool_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  auto shared = std::make_shared<CompiledQuery>(std::move(compiled));
+  pool_.emplace(query, shared);
+  return shared;
+}
+
 ChorelEngine::ChorelEngine(const DoemDatabase& d, ChorelEngineOptions options)
     : doem_(d), options_(options) {
   obs::MetricsRegistry* m = options_.metrics;

@@ -1,8 +1,10 @@
 #ifndef DOEM_CHOREL_CHOREL_H_
 #define DOEM_CHOREL_CHOREL_H_
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "common/result.h"
 #include "chorel/doem_view.h"
@@ -45,6 +47,34 @@ struct CompiledQuery {
 
 /// Parses and normalizes `query` for repeated evaluation.
 Result<CompiledQuery> CompileChorel(const std::string& query);
+
+/// Interns compiled filters by query text so many subscribers that watch
+/// one group through the same filter share a single compiled form — the
+/// lazily cached Section 5.2 translation and the bytecode programs are
+/// built once and reused across the whole cohort (DESIGN.md §6g). A pool
+/// belongs to one engine's single-threaded evaluation context (QSS: the
+/// serial commit phase); entries live as long as the pool plus any
+/// subscriber still holding the shared_ptr.
+class CompiledQueryPool {
+ public:
+  /// The pooled compiled form of `query`, compiling it on first use.
+  Result<std::shared_ptr<CompiledQuery>> Get(const std::string& query);
+
+  /// Interns an already-compiled form (skips the re-parse when the
+  /// caller validated the query separately). If the text is already
+  /// pooled, the existing entry wins and `compiled` is discarded.
+  std::shared_ptr<CompiledQuery> Intern(const std::string& query,
+                                        CompiledQuery compiled);
+
+  /// Distinct filter texts pooled.
+  size_t size() const { return pool_.size(); }
+  /// Lookups served by an existing entry (the sharing win).
+  uint64_t hits() const { return hits_; }
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<CompiledQuery>> pool_;
+  uint64_t hits_ = 0;
+};
 
 struct ChorelEngineOptions {
   /// Maintain the cached OEM encoding and annotation index incrementally

@@ -56,6 +56,12 @@ void FaultInjectingSource::GarbagePolls(size_t skip, size_t count,
 
 Result<OemDatabase> FaultInjectingSource::Poll(const std::string& lorel_query,
                                                Timestamp now) {
+  return PollForGroup(lorel_query, lorel_query, now);
+}
+
+Result<OemDatabase> FaultInjectingSource::PollForGroup(
+    const std::string& group_key, const std::string& lorel_query,
+    Timestamp now) {
   ++calls_;
   last_duration_ = 0;
   for (ActiveSpec& active : faults_) {
@@ -85,7 +91,7 @@ Result<OemDatabase> FaultInjectingSource::Poll(const std::string& lorel_query,
     break;  // the first spec that fires wins
   }
   ++forwarded_;
-  return inner_->Poll(lorel_query, now);
+  return inner_->PollForGroup(group_key, lorel_query, now);
 }
 
 }  // namespace qss

@@ -69,6 +69,11 @@ class FaultInjectingSource : public InformationSource {
 
   Result<OemDatabase> Poll(const std::string& lorel_query,
                            Timestamp now) override;
+  /// Fault matching stays on the query text (`query_contains`); the
+  /// group key is forwarded to the inner source untouched.
+  Result<OemDatabase> PollForGroup(const std::string& group_key,
+                                   const std::string& lorel_query,
+                                   Timestamp now) override;
   bool PreservesIds() const override { return inner_->PreservesIds(); }
   int64_t LastPollDurationTicks() const override { return last_duration_; }
 

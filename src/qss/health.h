@@ -89,32 +89,61 @@ struct PollHealth {
   size_t missed_dropped = 0;
 };
 
-/// One failure surfaced during a tick: a poll of a group failed (after
-/// exhausting retries), one member's filter query failed, or the group's
-/// durable store could not commit the poll.
+/// One failure surfaced during a tick or a registration call: a poll of
+/// a group failed (after exhausting retries), one member's filter query
+/// failed, the group's durable store could not commit the poll, or a
+/// Subscribe was rejected.
 struct PollError {
   enum class Kind {
-    /// The poll pipeline failed; `subject` is the comma-joined member
+    /// The poll pipeline failed; `subject` is the comma-joined entry
     /// list of the group.
     kPoll,
-    /// A filter query failed (`subject` is the member subscription), or
-    /// the group's filter-cache maintenance failed its patch or verify
-    /// cross-check (`subject` is the comma-joined member list; the poll
-    /// itself still succeeds — the caches rebuild on the next filter
-    /// run).
+    /// A filter query failed at poll time (`subject` is the member
+    /// subscription), or the group's filter-cache maintenance failed its
+    /// patch or verify cross-check (`subject` is the comma-joined entry
+    /// list; the poll itself still succeeds — the caches rebuild on the
+    /// next filter run).
     kFilter,
     /// The durable store failed to commit a poll's record (`subject` is
-    /// the comma-joined member list). Availability over durability: the
+    /// the comma-joined entry list). Availability over durability: the
     /// poll itself stands — history, rows, and notifications are
     /// unaffected — but the store is broken until the group's store is
     /// reopened, and a crash now loses polls since the failure.
     kStore,
+    /// Subscribe rejected: the subscription name is already registered
+    /// (`subject` is the name). Only the name-keyed facade and the
+    /// server's per-connection namespace enforce uniqueness; the
+    /// handle-keyed registry accepts duplicates by design.
+    kDuplicateSubscription,
+    /// Subscribe rejected: the Lorel polling query did not validate
+    /// (parse error, or annotation expressions outside the filter).
+    kBadPollingQuery,
+    /// Subscribe rejected: the Chorel filter query did not compile.
+    kBadFilterQuery,
   };
   Kind kind = Kind::kPoll;
   std::string subject;
   Timestamp time;
   Status status;
 };
+
+inline const char* PollErrorKindToString(PollError::Kind k) {
+  switch (k) {
+    case PollError::Kind::kPoll:
+      return "poll";
+    case PollError::Kind::kFilter:
+      return "filter";
+    case PollError::Kind::kStore:
+      return "store";
+    case PollError::Kind::kDuplicateSubscription:
+      return "duplicate-subscription";
+    case PollError::Kind::kBadPollingQuery:
+      return "bad-polling-query";
+    case PollError::Kind::kBadFilterQuery:
+      return "bad-filter-query";
+  }
+  return "unknown";
+}
 
 /// Invoked synchronously for every PollError as it happens.
 using ErrorCallback = std::function<void(const PollError&)>;

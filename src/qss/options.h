@@ -1,0 +1,224 @@
+#ifndef DOEM_QSS_OPTIONS_H_
+#define DOEM_QSS_OPTIONS_H_
+
+#include <cstdint>
+
+#include "chorel/chorel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "qss/executor.h"
+#include "qss/health.h"
+#include "store/store.h"
+
+namespace doem {
+namespace qss {
+
+/// How much history each poll group's DOEM database retains — the
+/// space-saving spectrum of Section 6.1.
+enum class HistoryRetention {
+  /// The full DOEM history since subscription time.
+  kFull,
+  /// Only the previous snapshot plus the latest delta, like the paper's
+  /// first prototype ("supports only two snapshots ... per subscription").
+  /// Filter queries can then only see the most recent changes.
+  kTwoSnapshots,
+};
+
+/// Configuration shared by the layered QSS API (PollGroupManager +
+/// SubscriberRegistry) and the QuerySubscriptionService facade. The
+/// fifteen-odd knobs are grouped by concern; the old flat field names
+/// remain as deprecated reference aliases for one release so existing
+/// call sites keep compiling (they bind to the nested storage, so either
+/// spelling reads and writes the same value).
+struct QssOptions {
+  /// Evaluation strategy for filter queries.
+  chorel::Strategy strategy = chorel::Strategy::kDirect;
+  HistoryRetention retention = HistoryRetention::kFull;
+  /// Merge subscriptions with identical polling query and frequency into
+  /// one shared DOEM database (Section 6.1, proposal (1)). When false,
+  /// every subscriber gets a private poll group.
+  bool merge_similar_polls = true;
+  /// Deliver notifications with empty results too (default: only
+  /// non-empty, as in Example 6.1 where the unchanged poll at t2
+  /// notifies nobody).
+  bool notify_empty = false;
+
+  /// Query acceleration (DESIGN.md §6c, §6f).
+  struct Acceleration {
+    /// Maintain each group's Chorel engine caches (the Section 5.1 OEM
+    /// encoding and the annotation index) incrementally with each poll's
+    /// delta — O(delta) per poll instead of a from-scratch rebuild over
+    /// the whole accumulated history. false = ablation baseline. Either
+    /// setting yields byte-identical histories, rows, and notifications.
+    bool incremental_filter = true;
+    /// Seed direct-strategy annotation expressions whose time variables
+    /// are range-bounded by the where clause (the QSS shape: T > t[-1])
+    /// from the annotation index, instead of scanning every child per
+    /// step.
+    bool seed_filter_from_index = true;
+    /// Debug cross-check: after every poll, verify the incrementally
+    /// maintained caches against from-scratch rebuilds; divergence
+    /// surfaces as a filter PollError. Slow — for tests.
+    bool verify_incremental_filter = false;
+    /// Run filter queries on the bytecode VM (DESIGN.md §6f) when they
+    /// compile, with tree-walker fallback. Byte-identical histories,
+    /// rows, and notifications either way.
+    bool vm_filter = true;
+    /// Debug cross-check: verify every VM filter evaluation against the
+    /// tree walker; divergence surfaces as a filter PollError. Slow —
+    /// for tests.
+    bool verify_vm_filter = false;
+  };
+
+  /// Fault tolerance (the source is autonomous and may fail;
+  /// DESIGN.md §6a).
+  struct FaultTolerance {
+    /// Retry/backoff/deadline policy applied to every scheduled poll.
+    RetryPolicy retry;
+    /// Quarantine a poll group after this many consecutive failed polls
+    /// (circuit breaker). 0 disables quarantine: failed polls keep being
+    /// attempted on schedule forever.
+    int quarantine_after = 3;
+    /// How long a quarantined group sits out before a half-open probe,
+    /// in clock ticks. Scheduled polls inside the window are recorded as
+    /// MissedPoll; the DOEM history is untouched.
+    int64_t quarantine_cooldown_ticks = 2;
+    /// Invoked synchronously for every poll, filter-query, store, or
+    /// Subscribe failure. When set (or when a PollReport is passed), the
+    /// polling entry points return OK on poll failures — the tick always
+    /// completes and errors flow through these channels instead.
+    ErrorCallback on_error;
+    /// Bound on PollHealth::missed: only the most recent N quarantine
+    /// skips are kept, older entries are evicted (and tallied in
+    /// PollHealth::missed_dropped and the qss.missed_log_dropped
+    /// counter). 0 keeps the log unbounded.
+    size_t max_missed_log = 64;
+  };
+
+  /// Durability (DESIGN.md §6e).
+  struct Durability {
+    /// Optional durable store (not owned; must outlive the service).
+    /// When set, each poll group persists its DOEM history to the
+    /// manager's store for the group key: the first Subscribe opens (and
+    /// recovers) the store, adopting any committed history — the group
+    /// resumes polling at the cadence-preserving next tick after the
+    /// last committed poll instead of starting over — and every
+    /// committed poll appends one durable record before the tick
+    /// returns. A store commit failure does not fail the poll
+    /// (availability over durability): it surfaces as a
+    /// PollError::Kind::kStore and the store stays broken until
+    /// reopened. Histories, rows, and notifications are byte-identical
+    /// with or without a store, and across a crash + reopen at any byte
+    /// offset.
+    store::StoreManager* store = nullptr;
+  };
+
+  /// Observability (DESIGN.md §6d).
+  struct Observability {
+    /// Optional metrics sink (not owned; must outlive the service).
+    /// Feeds the qss.*, qss.group.*, and qss.server.* families and is
+    /// handed to each group's Chorel engine for the
+    /// chorel.*/encoding.*/index.* families. Purely observational:
+    /// histories, rows, and notifications are byte-identical with or
+    /// without it.
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Optional span recorder (not owned; must outlive the service).
+    /// Records qss.advance/poll_now/source_changed top-level spans with
+    /// nested per-group prepare (fetch, diff) and commit (apply, filter)
+    /// spans, exportable as Chrome trace JSON. Same determinism
+    /// guarantee as `metrics`.
+    obs::TraceRecorder* trace = nullptr;
+  };
+
+  Acceleration acceleration;
+  FaultTolerance fault_tolerance;
+  Durability durability;
+  Observability observability;
+
+  // ---- Concurrency (DESIGN.md §6b) ------------------------------------
+
+  /// Runs the parallelizable stage of every wave of due polls: each
+  /// group's fetch (serialized on the source mutex), retry/backoff, and
+  /// OEMdiff. Null runs the stage inline on the calling thread. The
+  /// commit stage — DOEM apply, filter evaluation, notification fan-out,
+  /// and report/health merging — always executes on the calling thread
+  /// in group-key order, so any executor yields byte-identical
+  /// histories, reports, and notification order to a serial run. Not
+  /// owned; must outlive the service. Callbacks (notifications,
+  /// on_error) keep firing on the thread that called the polling entry
+  /// point.
+  Executor* executor = nullptr;
+
+  // ---- Deprecated flat aliases (one release) --------------------------
+  // Bound to the nested storage above; reading or writing an alias is
+  // exactly reading or writing the grouped field.
+
+  [[deprecated("use acceleration.incremental_filter")]]
+  bool& incremental_filter = acceleration.incremental_filter;
+  [[deprecated("use acceleration.seed_filter_from_index")]]
+  bool& seed_filter_from_index = acceleration.seed_filter_from_index;
+  [[deprecated("use acceleration.verify_incremental_filter")]]
+  bool& verify_incremental_filter = acceleration.verify_incremental_filter;
+  [[deprecated("use acceleration.vm_filter")]]
+  bool& vm_filter = acceleration.vm_filter;
+  [[deprecated("use acceleration.verify_vm_filter")]]
+  bool& verify_vm_filter = acceleration.verify_vm_filter;
+  [[deprecated("use fault_tolerance.retry")]]
+  RetryPolicy& retry = fault_tolerance.retry;
+  [[deprecated("use fault_tolerance.quarantine_after")]]
+  int& quarantine_after = fault_tolerance.quarantine_after;
+  [[deprecated("use fault_tolerance.quarantine_cooldown_ticks")]]
+  int64_t& quarantine_cooldown_ticks = fault_tolerance.quarantine_cooldown_ticks;
+  [[deprecated("use fault_tolerance.on_error")]]
+  ErrorCallback& on_error = fault_tolerance.on_error;
+  [[deprecated("use fault_tolerance.max_missed_log")]]
+  size_t& max_missed_log = fault_tolerance.max_missed_log;
+  [[deprecated("use durability.store")]]
+  store::StoreManager*& store = durability.store;
+  [[deprecated("use observability.metrics")]]
+  obs::MetricsRegistry*& metrics = observability.metrics;
+  [[deprecated("use observability.trace")]]
+  obs::TraceRecorder*& trace = observability.trace;
+
+  // The reference aliases would otherwise delete copying (and a
+  // defaulted copy would re-bind them to the *source's* subobjects);
+  // these copy the nested storage and let the aliases re-bind to the new
+  // object's own members via their default initializers. Constructing an
+  // alias is not a *use* of the deprecated name, so silence the
+  // self-inflicted warnings the initializers would emit.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  QssOptions() = default;
+  QssOptions(const QssOptions& o)
+      : strategy(o.strategy),
+        retention(o.retention),
+        merge_similar_polls(o.merge_similar_polls),
+        notify_empty(o.notify_empty),
+        acceleration(o.acceleration),
+        fault_tolerance(o.fault_tolerance),
+        durability(o.durability),
+        observability(o.observability),
+        executor(o.executor) {}
+  QssOptions& operator=(const QssOptions& o) {
+    strategy = o.strategy;
+    retention = o.retention;
+    merge_similar_polls = o.merge_similar_polls;
+    notify_empty = o.notify_empty;
+    acceleration = o.acceleration;
+    fault_tolerance = o.fault_tolerance;
+    durability = o.durability;
+    observability = o.observability;
+    executor = o.executor;
+    return *this;
+  }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+};
+
+}  // namespace qss
+}  // namespace doem
+
+#endif  // DOEM_QSS_OPTIONS_H_

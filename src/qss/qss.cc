@@ -1,687 +1,95 @@
 #include "qss/qss.h"
 
-#include <algorithm>
-
-#include "lorel/lorel.h"
-#include "obs/clock.h"
-
 namespace doem {
 namespace qss {
-
-namespace {
-
-// Fixed identifiers for the canonical wrapper nodes, far above any id a
-// source will produce. Keeping them stable across polls is what makes
-// keyed diffs of successive results well-defined.
-constexpr NodeId kQssRoot = NodeId{1} << 62;
-constexpr NodeId kQssContainer = kQssRoot + 1;
-
-// A polling query must be plain Lorel: it runs against the autonomous
-// source, which has no annotations.
-Status ValidatePollingQuery(const std::string& text) {
-  auto nq = lorel::ParseAndNormalize(text);
-  if (!nq.ok()) {
-    return Status(nq.status().code(),
-                  "polling query: " + nq.status().message());
-  }
-  for (const lorel::RangeDef& def : nq->defs) {
-    if (def.step.arc_annot || def.step.node_annot) {
-      return Status::InvalidArgument(
-          "polling query must be plain Lorel; annotation expressions "
-          "belong in the filter query");
-    }
-  }
-  return Status::OK();
-}
-
-// Instrument-update helpers: every instrument pointer is null when no
-// MetricsRegistry is configured.
-void Count(obs::Counter* c, uint64_t by = 1) {
-  if (c != nullptr && by > 0) c->Increment(by);
-}
-
-void SetGauge(obs::Gauge* g, int64_t v) {
-  if (g != nullptr) g->Set(v);
-}
-
-void AddGauge(obs::Gauge* g, int64_t delta) {
-  if (g != nullptr) g->Add(delta);
-}
-
-void Observe(obs::Histogram* h, int64_t v) {
-  if (h != nullptr) h->Observe(v);
-}
-
-}  // namespace
 
 QuerySubscriptionService::QuerySubscriptionService(InformationSource* source,
                                                    Timestamp start,
                                                    QssOptions options)
-    : source_(source),
-      now_(start),
-      options_(options),
-      diff_mode_(source->PreservesIds() ? DiffMode::kKeyed
-                                        : DiffMode::kStructural) {
-  obs::MetricsRegistry* m = options_.metrics;
-  if (m == nullptr) return;
-  ins_.polls_attempted = m->GetCounter(
-      "qss.polls_attempted", "scheduled polls that ran (not quarantine skips)");
-  ins_.polls_ok = m->GetCounter("qss.polls_ok", "polls that committed");
-  ins_.polls_failed =
-      m->GetCounter("qss.polls_failed", "polls that failed after retries");
-  ins_.polls_missed = m->GetCounter(
-      "qss.polls_missed", "scheduled polls skipped inside quarantine windows");
-  ins_.retries = m->GetCounter(
-      "qss.retries", "extra source attempts beyond the first, across polls");
-  ins_.notifications =
-      m->GetCounter("qss.notifications", "notifications delivered to clients");
-  ins_.quarantine_trips = m->GetCounter(
-      "qss.quarantine_trips", "circuit-breaker trips into the Open state");
-  ins_.missed_log_dropped = m->GetCounter(
-      "qss.missed_log_dropped",
-      "missed-poll log entries evicted by QssOptions::max_missed_log");
-  ins_.groups = m->GetGauge("qss.groups", "distinct poll groups maintained");
-  ins_.circuits_open =
-      m->GetGauge("qss.circuits_open", "poll groups currently quarantined");
-  ins_.circuits_half_open = m->GetGauge(
-      "qss.circuits_half_open", "poll groups currently probing (half-open)");
-  ins_.fetch_ns = m->GetHistogram(
-      "qss.fetch_ns", obs::LatencyBucketsNs(),
-      "per-poll source fetch wall time (incl. retries), ns");
-  ins_.diff_ns = m->GetHistogram("qss.diff_ns", obs::LatencyBucketsNs(),
-                                 "per-poll OEMdiff wall time, ns");
-  ins_.apply_ns = m->GetHistogram(
-      "qss.apply_ns", obs::LatencyBucketsNs(),
-      "per-poll DOEM apply + cache maintenance wall time, ns");
-  ins_.filter_ns = m->GetHistogram(
-      "qss.filter_ns", obs::LatencyBucketsNs(),
-      "per-member filter evaluation wall time, ns");
-}
-
-std::string QuerySubscriptionService::GroupKey(const Subscription& sub) const {
-  if (!options_.merge_similar_polls) return "sub:" + sub.name;
-  return sub.polling_query + "\x1f" +
-         std::to_string(sub.frequency.interval_ticks);
-}
-
-Result<QuerySubscriptionService::PollGroup*>
-QuerySubscriptionService::GroupFor(const Subscription& sub) {
-  std::string key = GroupKey(sub);
-  auto it = groups_.find(key);
-  if (it != groups_.end()) {
-    it->second->members.push_back(sub.name);
-    return it->second.get();
-  }
-  auto group = std::make_unique<PollGroup>();
-  group->polling_query = sub.polling_query;
-  group->frequency = sub.frequency;
-  group->next_poll = sub.frequency.FirstPoll(now_);
-  group->members.push_back(sub.name);
-  if (options_.store != nullptr) {
-    auto opened = options_.store->OpenStore(key);
-    if (!opened.ok()) {
-      return Status(opened.status().code(),
-                    "durable store for group '" + key +
-                        "': " + opened.status().message());
-    }
-    group->store = std::move(opened).value();
-  }
-  if (group->store != nullptr && group->store->has_state()) {
-    // Resume from the committed history instead of starting over. The
-    // next poll keeps the group's cadence: the tick after the last
-    // committed poll, even if that is already in the past (AdvanceTo
-    // then runs the catch-up waves at their scheduled times).
-    group->polls = group->store->recovered_times();
-    group->doem = group->store->TakeRecoveredDb();
-    if (!group->polls.empty()) {
-      group->next_poll = sub.frequency.NextPoll(group->polls.back());
-    }
-  } else {
-    // R_0: the canonical wrapper with an empty container (the "empty OEM
-    // database" of Section 6, anchored so reachability-deletion works).
-    OemDatabase base;
-    DOEM_RETURN_IF_ERROR(base.CreNode(kQssRoot, Value::Complex()));
-    DOEM_RETURN_IF_ERROR(base.CreNode(kQssContainer, Value::Complex()));
-    DOEM_RETURN_IF_ERROR(base.SetRoot(kQssRoot));
-    DOEM_RETURN_IF_ERROR(base.AddArc(kQssRoot, sub.name, kQssContainer));
-    auto doem = DoemDatabase::FromSnapshot(std::move(base));
-    if (!doem.ok()) return doem.status();
-    group->doem = std::move(doem).value();
-    if (group->store != nullptr) {
-      DOEM_RETURN_IF_ERROR(group->store->Start(group->doem));
-    }
-  }
-  chorel::ChorelEngineOptions eopts;
-  eopts.incremental = options_.incremental_filter;
-  eopts.seed_from_index = options_.seed_filter_from_index;
-  eopts.verify_incremental = options_.verify_incremental_filter;
-  eopts.use_vm = options_.vm_filter;
-  eopts.verify_vm = options_.verify_vm_filter;
-  eopts.metrics = options_.metrics;
-  group->engine = std::make_unique<chorel::ChorelEngine>(group->doem, eopts);
-  PollGroup* out = group.get();
-  groups_.emplace(std::move(key), std::move(group));
-  SetGauge(ins_.groups, static_cast<int64_t>(groups_.size()));
-  return out;
-}
+    : manager_(source, start, std::move(options)), registry_(&manager_) {}
 
 Status QuerySubscriptionService::Subscribe(const Subscription& sub,
                                            NotificationCallback callback) {
-  if (subs_.contains(sub.name)) {
-    return Status::AlreadyExists("subscription '" + sub.name + "' exists");
+  std::lock_guard<std::recursive_mutex> lock(manager_.service_mutex());
+  if (by_name_.contains(sub.name)) {
+    Status taken =
+        Status::AlreadyExists("subscription '" + sub.name + "' exists");
+    const ErrorCallback& on_error =
+        manager_.options().fault_tolerance.on_error;
+    if (on_error) {
+      PollError error;
+      error.kind = PollError::Kind::kDuplicateSubscription;
+      error.subject = sub.name;
+      error.time = manager_.now();
+      error.status = taken;
+      on_error(error);
+    }
+    return taken;
   }
-  DOEM_RETURN_IF_ERROR(ValidatePollingQuery(sub.polling_query));
-  // Parse and normalize the filter once; every poll reuses the compiled
-  // form instead of re-parsing the query text.
-  auto filter = chorel::CompileChorel(sub.filter_query);
-  if (!filter.ok()) {
-    return Status(filter.status().code(),
-                  "filter query: " + filter.status().message());
-  }
-  auto group = GroupFor(sub);
-  if (!group.ok()) return group.status();
-  SubState state;
-  state.sub = sub;
-  state.callback = std::move(callback);
-  state.group_key = GroupKey(sub);
-  state.filter = std::move(filter).value();
-  subs_.emplace(sub.name, std::move(state));
+  auto handle = registry_.Subscribe(sub, std::move(callback));
+  if (!handle.ok()) return handle.status();
+  by_name_.emplace(sub.name, *handle);
   return Status::OK();
 }
 
 Status QuerySubscriptionService::Unsubscribe(const std::string& name) {
-  auto it = subs_.find(name);
-  if (it == subs_.end()) {
+  std::lock_guard<std::recursive_mutex> lock(manager_.service_mutex());
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
     return Status::NotFound("no subscription '" + name + "'");
   }
-  auto git = groups_.find(it->second.group_key);
-  if (git != groups_.end()) {
-    auto& members = git->second->members;
-    members.erase(std::find(members.begin(), members.end(), name));
-    if (members.empty()) {
-      // Retire the group's contribution to the circuit gauges with it.
-      CircuitState state = git->second->health.state;
-      if (state == CircuitState::kOpen) AddGauge(ins_.circuits_open, -1);
-      if (state == CircuitState::kHalfOpen) {
-        AddGauge(ins_.circuits_half_open, -1);
-      }
-      groups_.erase(git);
-      SetGauge(ins_.groups, static_cast<int64_t>(groups_.size()));
-    }
-  }
-  subs_.erase(it);
-  return Status::OK();
-}
-
-Result<OemDatabase> QuerySubscriptionService::CanonicalWrap(
-    const OemDatabase& answer, const PollGroup& group) const {
-  if (answer.HasNode(kQssRoot) || answer.HasNode(kQssContainer)) {
-    return Status::Internal("source id space collides with QSS wrapper ids");
-  }
-  OemDatabase out;
-  DOEM_RETURN_IF_ERROR(out.CreNode(kQssRoot, Value::Complex()));
-  DOEM_RETURN_IF_ERROR(out.CreNode(kQssContainer, Value::Complex()));
-  DOEM_RETURN_IF_ERROR(out.SetRoot(kQssRoot));
-  for (const std::string& member : group.members) {
-    DOEM_RETURN_IF_ERROR(out.AddArc(kQssRoot, member, kQssContainer));
-  }
-  // Copy the answer's nodes (ids preserved) and re-source the answer
-  // root's arcs onto the container.
-  NodeId ans_root = answer.root();
-  for (NodeId n : answer.NodeIds()) {
-    if (n == ans_root) continue;
-    DOEM_RETURN_IF_ERROR(out.CreNode(n, *answer.GetValue(n)));
-  }
-  for (const Arc& a : answer.AllArcs()) {
-    NodeId p = a.parent == ans_root ? kQssContainer : a.parent;
-    DOEM_RETURN_IF_ERROR(out.AddArc(p, a.label, a.child));
-  }
-  return out;
-}
-
-namespace {
-
-std::string JoinMembers(const std::vector<std::string>& members) {
-  std::string out;
-  for (const std::string& m : members) {
-    if (!out.empty()) out += ",";
-    out += m;
-  }
-  return out;
-}
-
-}  // namespace
-
-Result<OemDatabase> QuerySubscriptionService::AttemptPoll(
-    PollGroup* group, Timestamp t, int max_attempts, PreparedPoll* pending) {
-  PollHealth& health = group->health;
-  if (max_attempts < 1) max_attempts = 1;
-  Status attempt_status;
-  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    if (attempt > 1) {
-      // Deterministic exponential backoff, accounted in simulated ticks.
-      // It is sub-tick bookkeeping: the poll timestamp stays t, so the
-      // history and the schedule are unaffected (see health.h).
-      ++health.retries;
-      ++pending->retries;
-      health.backoff_ticks += options_.retry.backoff_base_ticks
-                              << (attempt - 2);
-    }
-    int64_t took = 0;
-    auto answer = [&] {
-      // The source need not be thread-safe (see source.h): the poll and
-      // its duration read from one critical section, so concurrent
-      // groups cannot interleave inside a call or misattribute the
-      // duration of someone else's poll.
-      std::lock_guard<std::mutex> lock(source_mu_);
-      auto polled = source_->Poll(group->polling_query, t);
-      took = source_->LastPollDurationTicks();
-      return polled;
-    }();
-    attempt_status = answer.ok() ? Status::OK() : answer.status();
-    if (attempt_status.ok() && options_.retry.poll_deadline_ticks > 0 &&
-        took > options_.retry.poll_deadline_ticks) {
-      attempt_status = Status::DeadlineExceeded(
-          "poll took " + std::to_string(took) + " ticks, deadline " +
-          std::to_string(options_.retry.poll_deadline_ticks));
-    }
-    if (attempt_status.ok()) {
-      // A snapshot from an autonomous wrapper can arrive truncated or
-      // malformed; treat it as a failed attempt, not as source data.
-      Status valid = answer->Validate();
-      if (!valid.ok()) {
-        attempt_status = Status::Unavailable(
-            "source returned malformed snapshot: " + valid.message());
-      }
-    }
-    if (attempt_status.ok()) return answer;
-    health.last_error = attempt_status;
-  }
-  return attempt_status;
-}
-
-QuerySubscriptionService::PreparedPoll QuerySubscriptionService::PreparePoll(
-    PollGroup* group, Timestamp t) {
-  obs::TraceSpan span(options_.trace, "qss.prepare", "qss", t,
-                      JoinMembers(group->members));
-  PreparedPoll pending;
-  pending.group = group;
-  pending.time = t;
-  PollHealth& health = group->health;
-
-  // Quarantined: sit out the cool-down, then probe (half-open).
-  if (health.state == CircuitState::kOpen) {
-    if (t < health.quarantined_until) {
-      pending.quarantined = true;
-      pending.missed_reason = "quarantined until " +
-                              health.quarantined_until.ToString() + " after " +
-                              health.last_error.ToString();
-      return pending;
-    }
-    health.state = CircuitState::kHalfOpen;
-    AddGauge(ins_.circuits_open, -1);
-    AddGauge(ins_.circuits_half_open, 1);
-  }
-
-  ++health.polls_attempted;
-
-  // 1. Query manager: send Q_l to the wrapper, get R_k — retrying per
-  // policy, except that a half-open probe gets a single attempt.
-  int max_attempts = health.state == CircuitState::kHalfOpen
-                         ? 1
-                         : std::max(1, options_.retry.max_attempts);
-  auto answer = [&] {
-    obs::TraceSpan fetch_span(options_.trace, "qss.fetch", "qss", t);
-    int64_t fetch_start = obs::NowNs();
-    auto polled = AttemptPoll(group, t, max_attempts, &pending);
-    pending.fetch_ns = obs::ElapsedNs(fetch_start);
-    return polled;
-  }();
-  if (!answer.ok()) {
-    pending.failure = answer.status();
-    return pending;
-  }
-
-  auto wrapped = CanonicalWrap(*answer, *group);
-  if (!wrapped.ok()) {
-    pending.failure = wrapped.status();
-    return pending;
-  }
-
-  // 2. R_{k-1} is the current snapshot of the DOEM database. Safe off
-  // the commit thread: nothing else touches this group during its wave.
-  // 3. OEMdiff.
-  obs::TraceSpan diff_span(options_.trace, "qss.diff", "qss", t);
-  int64_t diff_start = obs::NowNs();
-  OemDatabase previous = group->doem.CurrentSnapshot();
-  auto delta = DiffSnapshots(previous, *wrapped, diff_mode_);
-  pending.diff_ns = obs::ElapsedNs(diff_start);
-  if (!delta.ok()) {
-    pending.failure = delta.status();
-    return pending;
-  }
-  pending.delta = std::move(delta).value();
-  return pending;
-}
-
-void QuerySubscriptionService::CommitPoll(PreparedPoll* pending,
-                                          PollReport* report) {
-  PollGroup* group = pending->group;
-  PollHealth& health = group->health;
-  const Timestamp t = pending->time;
-  obs::TraceSpan span(options_.trace, "qss.commit", "qss", t,
-                      JoinMembers(group->members));
-
-  if (pending->quarantined) {
-    MissedPoll missed;
-    missed.time = t;
-    missed.reason = std::move(pending->missed_reason);
-    health.missed.push_back(std::move(missed));
-    if (options_.max_missed_log > 0 &&
-        health.missed.size() > options_.max_missed_log) {
-      size_t drop = health.missed.size() - options_.max_missed_log;
-      health.missed.erase(health.missed.begin(),
-                          health.missed.begin() + drop);
-      health.missed_dropped += drop;
-      Count(ins_.missed_log_dropped, drop);
-    }
-    ++report->polls_missed;
-    Count(ins_.polls_missed);
-    return;
-  }
-
-  ++report->polls_attempted;
-  report->retries += pending->retries;
-  report->fetch_ns += pending->fetch_ns;
-  report->diff_ns += pending->diff_ns;
-  Count(ins_.polls_attempted);
-  Count(ins_.retries, pending->retries);
-  Observe(ins_.fetch_ns, pending->fetch_ns);
-  Observe(ins_.diff_ns, pending->diff_ns);
-
-  Status failure = pending->failure;
-  Status maintain;  // engine-cache maintenance outcome (see below)
-  if (failure.ok()) {
-    // 4. DOEM manager: incorporate (t, U_k). Build the new state off to
-    // the side and commit only on success, so a failed incorporation
-    // never costs history (kTwoSnapshots used to drop it before
-    // applying). On success, bring the group engine's caches along:
-    // patched in O(delta) under kFull, dropped under kTwoSnapshots (the
-    // rebase replaced the history wholesale, so a patch of the old
-    // encoding would describe the wrong database). A failed apply leaves
-    // both the history and the caches untouched and consistent.
-    obs::TraceSpan apply_span(options_.trace, "qss.apply", "qss", t);
-    int64_t apply_start = obs::NowNs();
-    if (options_.retention == HistoryRetention::kTwoSnapshots) {
-      auto rebased = DoemDatabase::FromSnapshot(group->doem.CurrentSnapshot());
-      if (rebased.ok()) {
-        failure = rebased->ApplyChangeSet(t, pending->delta);
-        if (failure.ok()) {
-          group->doem = std::move(rebased).value();
-          group->engine->Invalidate();
-        }
-      } else {
-        failure = rebased.status();
-      }
-    } else {
-      failure = group->doem.ApplyChangeSet(t, pending->delta);
-      if (failure.ok()) {
-        maintain = group->engine->ApplyDelta(t, pending->delta);
-      }
-    }
-    int64_t apply_ns = obs::ElapsedNs(apply_start);
-    report->apply_ns += apply_ns;
-    Observe(ins_.apply_ns, apply_ns);
-  }
-
-  if (!failure.ok()) {
-    ++health.polls_failed;
-    ++health.consecutive_failures;
-    health.last_error = failure;
-    ++report->polls_failed;
-    Count(ins_.polls_failed);
-    PollError error;
-    error.kind = PollError::Kind::kPoll;
-    error.subject = JoinMembers(group->members);
-    error.time = t;
-    error.status = failure;
-    report->errors.push_back(error);
-    if (options_.on_error) options_.on_error(error);
-    // A failed probe re-opens immediately; otherwise the breaker trips
-    // after `quarantine_after` consecutive failed polls.
-    if (health.state == CircuitState::kHalfOpen ||
-        (options_.quarantine_after > 0 &&
-         health.consecutive_failures >= options_.quarantine_after)) {
-      if (health.state == CircuitState::kHalfOpen) {
-        AddGauge(ins_.circuits_half_open, -1);
-      }
-      health.state = CircuitState::kOpen;
-      health.quarantined_until =
-          Timestamp(t.ticks + options_.quarantine_cooldown_ticks);
-      AddGauge(ins_.circuits_open, 1);
-      Count(ins_.quarantine_trips);
-    }
-    return;
-  }
-  group->polls.push_back(t);
-  ++health.polls_succeeded;
-  ++report->polls_ok;
-  Count(ins_.polls_ok);
-  health.consecutive_failures = 0;
-  if (health.state == CircuitState::kHalfOpen) {
-    AddGauge(ins_.circuits_half_open, -1);  // probe succeeded: close
-  }
-  health.state = CircuitState::kClosed;
-
-  if (group->store != nullptr) {
-    // Persist the committed poll. The in-memory commit above stands
-    // either way (availability over durability); a failure here means
-    // polls from now on are not durable until the store is reopened.
-    Status stored =
-        options_.retention == HistoryRetention::kTwoSnapshots
-            ? group->store->CommitCheckpoint(t, group->doem)
-            : group->store->Append(t, pending->delta, group->doem);
-    if (!stored.ok()) {
-      PollError error;
-      error.kind = PollError::Kind::kStore;
-      error.subject = JoinMembers(group->members);
-      error.time = t;
-      error.status = Status(stored.code(),
-                            "durable store commit: " + stored.message());
-      report->errors.push_back(error);
-      if (options_.on_error) options_.on_error(error);
-    }
-  }
-
-  if (!maintain.ok()) {
-    // The cache patch (or its verify cross-check) failed. The engine has
-    // already dropped the affected caches, so the next filter run
-    // rebuilds from the (correct) history — surface the event without
-    // failing the poll.
-    PollError error;
-    error.kind = PollError::Kind::kFilter;
-    error.subject = JoinMembers(group->members);
-    error.time = t;
-    error.status = Status(maintain.code(), "filter cache maintenance: " +
-                                               maintain.message());
-    report->errors.push_back(error);
-    if (options_.on_error) options_.on_error(error);
-  }
-
-  // 5. Chorel engine: evaluate each member's compiled filter query on the
-  // group's persistent engine. One member's failure must not starve the
-  // rest: collect the error, keep going.
-  for (const std::string& member : group->members) {
-    SubState& state = subs_.at(member);
-    lorel::EvalOptions opts;
-    opts.polling_times = &group->polls;
-    int64_t filter_start = obs::NowNs();
-    auto result = [&] {
-      obs::TraceSpan filter_span(options_.trace, "qss.filter", "qss", t,
-                                 member);
-      return group->engine->RunCompiled(&state.filter, options_.strategy,
-                                        opts);
-    }();
-    int64_t filter_ns = obs::ElapsedNs(filter_start);
-    report->filter_ns += filter_ns;
-    Observe(ins_.filter_ns, filter_ns);
-    if (!result.ok()) {
-      PollError error;
-      error.kind = PollError::Kind::kFilter;
-      error.subject = member;
-      error.time = t;
-      error.status = Status(result.status().code(),
-                            "filter query of '" + member +
-                                "': " + result.status().message());
-      report->errors.push_back(error);
-      if (options_.on_error) options_.on_error(error);
-      continue;
-    }
-    // 6. Notify.
-    if (!result->rows.empty() || options_.notify_empty) {
-      if (state.callback) {
-        Notification n;
-        n.subscription = member;
-        n.poll_time = t;
-        n.poll_index = group->polls.size();
-        n.result = std::move(result).value();
-        state.callback(n);
-        ++report->notifications;
-        Count(ins_.notifications);
-      }
-    }
-  }
-}
-
-void QuerySubscriptionService::RunWave(const std::vector<PollGroup*>& wave,
-                                       Timestamp t, PollReport* report) {
-  std::vector<PreparedPoll> prepared(wave.size());
-  if (options_.executor != nullptr && wave.size() > 1) {
-    options_.executor->ParallelFor(wave.size(), [&](size_t i) {
-      prepared[i] = PreparePoll(wave[i], t);
-    });
-  } else {
-    for (size_t i = 0; i < wave.size(); ++i) {
-      prepared[i] = PreparePoll(wave[i], t);
-    }
-  }
-  // Deterministic merge: `wave` is in group-key order, so error and
-  // notification order, report counters, and the histories are
-  // byte-identical to a serial run no matter how the prepare stage was
-  // scheduled.
-  std::lock_guard<std::mutex> lock(commit_mu_);
-  for (PreparedPoll& pending : prepared) {
-    CommitPoll(&pending, report);
-  }
-}
-
-Status QuerySubscriptionService::SettleReport(const PollReport& report,
-                                              size_t first_new_error,
-                                              bool caller_has_report) const {
-  if (caller_has_report || options_.on_error) return Status::OK();
-  if (report.errors.size() <= first_new_error) return Status::OK();
-  return report.errors[first_new_error].status;
+  SubscriptionHandle handle = it->second;
+  by_name_.erase(it);
+  return registry_.Unsubscribe(handle);
 }
 
 Status QuerySubscriptionService::AdvanceTo(Timestamp t, PollReport* report) {
-  if (t < now_) {
-    return Status::InvalidArgument("clock cannot run backwards");
-  }
-  obs::TraceSpan span(options_.trace, "qss.advance", "qss", t);
-  int64_t call_start = obs::NowNs();
-  PollReport local;
-  PollReport* r = report != nullptr ? report : &local;
-  size_t first_new_error = r->errors.size();
-  // Execute all due polls across groups in time order, wave by wave: a
-  // wave is every group due at the earliest outstanding poll time (tie
-  // order = group-key order, as before). A failing group no longer
-  // aborts the tick: its schedule still advances (the failure is
-  // recorded, feeding the circuit breaker), the other groups still
-  // poll, and the clock always reaches t.
-  while (true) {
-    Timestamp wave_time;
-    bool any_due = false;
-    for (auto& [key, group] : groups_) {
-      if (group->next_poll <= t &&
-          (!any_due || group->next_poll < wave_time)) {
-        wave_time = group->next_poll;
-        any_due = true;
-      }
-    }
-    if (!any_due) break;
-    std::vector<PollGroup*> wave;
-    for (auto& [key, group] : groups_) {
-      if (group->next_poll == wave_time) {
-        wave.push_back(group.get());
-        group->next_poll = group->frequency.NextPoll(wave_time);
-      }
-    }
-    RunWave(wave, wave_time, r);
-  }
-  now_ = t;
-  r->elapsed_ns += obs::ElapsedNs(call_start);
-  return SettleReport(*r, first_new_error, report != nullptr);
+  return manager_.AdvanceTo(t, report);
 }
 
 Status QuerySubscriptionService::PollNow(const std::string& name,
                                          PollReport* report) {
-  auto it = subs_.find(name);
-  if (it == subs_.end()) {
+  std::lock_guard<std::recursive_mutex> lock(manager_.service_mutex());
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
     return Status::NotFound("no subscription '" + name + "'");
   }
-  PollGroup* group = groups_.at(it->second.group_key).get();
-  if (!group->polls.empty() && group->polls.back() >= now_) {
-    return Status::InvalidArgument(
-        "already polled at tick " + now_.ToString() +
-        "; advance the clock first");
-  }
-  obs::TraceSpan span(options_.trace, "qss.poll_now", "qss", now_, name);
-  int64_t call_start = obs::NowNs();
-  PollReport local;
-  PollReport* r = report != nullptr ? report : &local;
-  size_t first_new_error = r->errors.size();
-  RunWave({group}, now_, r);
-  r->elapsed_ns += obs::ElapsedNs(call_start);
-  return SettleReport(*r, first_new_error, report != nullptr);
+  return manager_.PollGroupNow(registry_.GroupOf(it->second), report);
 }
 
 Status QuerySubscriptionService::NotifySourceChanged(PollReport* report) {
-  obs::TraceSpan span(options_.trace, "qss.source_changed", "qss", now_);
-  int64_t call_start = obs::NowNs();
-  PollReport local;
-  PollReport* r = report != nullptr ? report : &local;
-  size_t first_new_error = r->errors.size();
-  // Every group not already covered at this tick polls now — one wave.
-  std::vector<PollGroup*> wave;
-  for (auto& [key, group] : groups_) {
-    if (!group->polls.empty() && group->polls.back() >= now_) {
-      continue;  // this tick is already covered
-    }
-    wave.push_back(group.get());
-  }
-  RunWave(wave, now_, r);
-  r->elapsed_ns += obs::ElapsedNs(call_start);
-  return SettleReport(*r, first_new_error, report != nullptr);
+  return manager_.NotifySourceChanged(report);
 }
 
 PollHealth QuerySubscriptionService::Health(const std::string& name) const {
-  auto it = subs_.find(name);
-  if (it == subs_.end()) return PollHealth{};
-  return groups_.at(it->second.group_key)->health;
+  std::lock_guard<std::recursive_mutex> lock(manager_.service_mutex());
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return PollHealth{};
+  return manager_.GroupHealth(registry_.GroupOf(it->second));
 }
 
 const DoemDatabase* QuerySubscriptionService::History(
     const std::string& name) const {
-  auto it = subs_.find(name);
-  if (it == subs_.end()) return nullptr;
-  return &groups_.at(it->second.group_key)->doem;
+  std::lock_guard<std::recursive_mutex> lock(manager_.service_mutex());
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  PollGroup* group = registry_.GroupOf(it->second);
+  return group == nullptr ? nullptr : &group->doem;
 }
 
 std::vector<Timestamp> QuerySubscriptionService::PollingTimes(
     const std::string& name) const {
-  auto it = subs_.find(name);
-  if (it == subs_.end()) return {};
-  return groups_.at(it->second.group_key)->polls;
+  std::lock_guard<std::recursive_mutex> lock(manager_.service_mutex());
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return {};
+  return manager_.GroupPollingTimes(registry_.GroupOf(it->second));
+}
+
+SubscriptionHandle QuerySubscriptionService::Handle(
+    const std::string& name) const {
+  std::lock_guard<std::recursive_mutex> lock(manager_.service_mutex());
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? SubscriptionHandle{} : it->second;
 }
 
 }  // namespace qss

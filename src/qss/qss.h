@@ -1,166 +1,18 @@
 #ifndef DOEM_QSS_QSS_H_
 #define DOEM_QSS_QSS_H_
 
-#include <functional>
 #include <map>
-#include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
-#include "chorel/chorel.h"
 #include "common/result.h"
-#include "diff/diff.h"
-#include "doem/doem.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "qss/executor.h"
-#include "qss/frequency.h"
-#include "qss/health.h"
-#include "qss/source.h"
-#include "store/store.h"
+#include "qss/options.h"
+#include "qss/poll_group.h"
+#include "qss/registry.h"
+#include "qss/subscription.h"
 
 namespace doem {
 namespace qss {
-
-/// A subscription S = <f, Q_l, Q_c> (paper Section 6): a frequency
-/// specification, a Lorel polling query, and a Chorel filter query. The
-/// name identifies the subscription and doubles as the name of its DOEM
-/// database — the filter query's paths start with it
-/// (LyttonRestaurants.restaurant<cre at T> ...).
-struct Subscription {
-  std::string name;
-  FrequencySpec frequency;
-  std::string polling_query;
-  std::string filter_query;
-};
-
-/// What a Query Subscription Client receives when a filter query produces
-/// results at a polling time.
-struct Notification {
-  std::string subscription;
-  Timestamp poll_time;
-  size_t poll_index = 0;  // 1-based k of t_k
-  lorel::QueryResult result;
-};
-
-using NotificationCallback = std::function<void(const Notification&)>;
-
-/// How much history each subscription's DOEM database retains — the
-/// space-saving spectrum of Section 6.1.
-enum class HistoryRetention {
-  /// The full DOEM history since subscription time.
-  kFull,
-  /// Only the previous snapshot plus the latest delta, like the paper's
-  /// first prototype ("supports only two snapshots ... per subscription").
-  /// Filter queries can then only see the most recent changes.
-  kTwoSnapshots,
-};
-
-struct QssOptions {
-  /// Evaluation strategy for filter queries.
-  chorel::Strategy strategy = chorel::Strategy::kDirect;
-  HistoryRetention retention = HistoryRetention::kFull;
-  /// Merge subscriptions with identical polling query and frequency into
-  /// one shared DOEM database (Section 6.1, proposal (1)).
-  bool merge_similar_polls = true;
-  /// Deliver notifications with empty results too (default: only
-  /// non-empty, as in Example 6.1 where the unchanged poll at t2
-  /// notifies nobody).
-  bool notify_empty = false;
-
-  // ---- Query acceleration (DESIGN.md §6c) -----------------------------
-
-  /// Maintain each group's Chorel engine caches (the Section 5.1 OEM
-  /// encoding and the annotation index) incrementally with each poll's
-  /// delta — O(delta) per poll instead of a from-scratch rebuild over the
-  /// whole accumulated history. false = ablation baseline: drop the
-  /// caches every poll and rebuild on the next filter evaluation. Either
-  /// setting yields byte-identical histories, rows, and notifications.
-  bool incremental_filter = true;
-  /// Seed direct-strategy annotation expressions whose time variables are
-  /// range-bounded by the where clause (the QSS shape: T > t[-1]) from
-  /// the annotation index, instead of scanning every child per step.
-  bool seed_filter_from_index = true;
-  /// Debug cross-check: after every poll, verify the incrementally
-  /// maintained caches against from-scratch rebuilds; divergence surfaces
-  /// as a filter PollError. Slow — for tests.
-  bool verify_incremental_filter = false;
-  /// Run filter queries on the bytecode VM (DESIGN.md §6f) when they
-  /// compile, with tree-walker fallback. Byte-identical histories, rows,
-  /// and notifications either way.
-  bool vm_filter = true;
-  /// Debug cross-check: verify every VM filter evaluation against the
-  /// tree walker; divergence surfaces as a filter PollError. Slow — for
-  /// tests.
-  bool verify_vm_filter = false;
-
-  // ---- Fault tolerance (the source is autonomous and may fail) --------
-
-  /// Retry/backoff/deadline policy applied to every scheduled poll.
-  RetryPolicy retry;
-  /// Quarantine a poll group after this many consecutive failed polls
-  /// (circuit breaker). 0 disables quarantine: failed polls keep being
-  /// attempted on schedule forever.
-  int quarantine_after = 3;
-  /// How long a quarantined group sits out before a half-open probe, in
-  /// clock ticks. Scheduled polls inside the window are recorded as
-  /// MissedPoll; the DOEM history is untouched.
-  int64_t quarantine_cooldown_ticks = 2;
-  /// Invoked synchronously for every poll or filter-query failure. When
-  /// set (or when a PollReport is passed), AdvanceTo/PollNow/
-  /// NotifySourceChanged return OK on poll failures — the tick always
-  /// completes and errors flow through these channels instead.
-  ErrorCallback on_error;
-  /// Bound on PollHealth::missed: only the most recent N quarantine
-  /// skips are kept, older entries are evicted (and tallied in
-  /// PollHealth::missed_dropped and the qss.missed_log_dropped counter).
-  /// 0 keeps the log unbounded.
-  size_t max_missed_log = 64;
-
-  // ---- Durability (DESIGN.md §6e) -------------------------------------
-
-  /// Optional durable store (not owned; must outlive the service). When
-  /// set, each poll group persists its DOEM history to the manager's
-  /// store for the group key: Subscribe opens (and recovers) the store,
-  /// adopting any committed history — the group resumes polling at the
-  /// cadence-preserving next tick after the last committed poll instead
-  /// of starting over — and every committed poll appends one durable
-  /// record before the tick returns. A store commit failure does not
-  /// fail the poll (availability over durability): it surfaces as a
-  /// PollError::Kind::kStore and the store stays broken until reopened.
-  /// Histories, rows, and notifications are byte-identical with or
-  /// without a store, and across a crash + reopen at any byte offset.
-  store::StoreManager* store = nullptr;
-
-  // ---- Observability (DESIGN.md §6d) ----------------------------------
-
-  /// Optional metrics sink (not owned; must outlive the service). Feeds
-  /// the qss.* counters/gauges/histograms and is handed to each group's
-  /// Chorel engine for the chorel.*/encoding.*/index.* families. Purely
-  /// observational: histories, rows, and notifications are byte-identical
-  /// with or without it.
-  obs::MetricsRegistry* metrics = nullptr;
-  /// Optional span recorder (not owned; must outlive the service).
-  /// Records qss.advance/poll_now/source_changed top-level spans with
-  /// nested per-group prepare (fetch, diff) and commit (apply, filter)
-  /// spans, exportable as Chrome trace JSON. Same determinism guarantee
-  /// as `metrics`.
-  obs::TraceRecorder* trace = nullptr;
-
-  // ---- Concurrency (DESIGN.md §6b) ------------------------------------
-
-  /// Runs the parallelizable stage of every wave of due polls: each
-  /// group's fetch (serialized on the source mutex), retry/backoff, and
-  /// OEMdiff. Null runs the stage inline on the calling thread. The
-  /// commit stage — DOEM apply, filter evaluation, notification, and
-  /// report/health merging — always executes on the calling thread in
-  /// group-key order, so any executor yields byte-identical histories,
-  /// reports, and notification order to a serial run. Not owned; must
-  /// outlive the service. Callbacks (notifications, on_error) keep
-  /// firing on the thread that called AdvanceTo/PollNow.
-  Executor* executor = nullptr;
-};
 
 /// The QSS server (Figure 7): subscription manager, query manager,
 /// OEMdiff, DOEM manager, and Chorel engine, wired over one information
@@ -174,6 +26,18 @@ struct QssOptions {
 ///   4. apply (t_k, U_k) to the DOEM database;
 ///   5. evaluate Q_c with t[0] = t_k, t[-1] = t_{k-1}, ... ;
 ///   6. notify the client if the result is non-empty.
+///
+/// Since the poll-group/subscriber split (DESIGN.md §6g) this class is a
+/// thin, name-keyed facade over the two layers that own the pipeline:
+///   - PollGroupManager — "what gets polled": poll groups, schedules,
+///     fetch→diff→apply, fault tolerance, durability (steps 1–4);
+///   - SubscriberRegistry — "who gets notified": handle-keyed
+///     registrations, compiled-filter sharing, fan-out (steps 5–6).
+/// The facade adds exactly one thing: a unique-name namespace mapped to
+/// registry handles (duplicate names fail with
+/// PollError::Kind::kDuplicateSubscription). Everything it does is
+/// byte-identical — histories, rows, notification bytes and order — to
+/// driving the layers directly.
 class QuerySubscriptionService {
  public:
   QuerySubscriptionService(InformationSource* source, Timestamp start,
@@ -192,12 +56,12 @@ class QuerySubscriptionService {
   /// QssOptions::executor; results commit in group-key order, so the
   /// outcome is independent of the executor (DESIGN.md §6b).
   ///
-  /// A failing source no longer aborts the tick: other groups still
-  /// poll, other members still get their notifications, and the clock
-  /// always reaches `t`. Failures accumulate into `*report` (if
-  /// non-null) and fire QssOptions::on_error. When neither channel is
-  /// provided, the first failure is returned as the Status — after the
-  /// whole tick has run.
+  /// A failing source does not abort the tick: other groups still poll,
+  /// other members still get their notifications, and the clock always
+  /// reaches `t`. Failures accumulate into `*report` (if non-null) and
+  /// fire the on_error callback. When neither channel is provided, the
+  /// first failure is returned as the Status — after the whole tick has
+  /// run.
   Status AdvanceTo(Timestamp t, PollReport* report = nullptr);
 
   /// Explicit-request mode (Section 6): polls one subscription now,
@@ -209,7 +73,7 @@ class QuerySubscriptionService {
   /// has not already polled at the current tick polls immediately.
   Status NotifySourceChanged(PollReport* report = nullptr);
 
-  Timestamp now() const { return now_; }
+  Timestamp now() const { return manager_.now(); }
 
   /// Poll health of the group backing a subscription: circuit state,
   /// consecutive failures, last error, attempted/retried/missed counts.
@@ -222,147 +86,22 @@ class QuerySubscriptionService {
   std::vector<Timestamp> PollingTimes(const std::string& name) const;
   /// Number of distinct DOEM databases maintained (see
   /// QssOptions::merge_similar_polls).
-  size_t GroupCount() const { return groups_.size(); }
+  size_t GroupCount() const { return manager_.GroupCount(); }
+
+  /// The registry handle behind a name (zero if unknown) — the bridge
+  /// for callers migrating from the name-keyed facade to the layered
+  /// API.
+  SubscriptionHandle Handle(const std::string& name) const;
+
+  /// The underlying layers, for callers that need the handle-keyed API
+  /// (or per-group state) alongside the facade's name namespace.
+  PollGroupManager& manager() { return manager_; }
+  SubscriberRegistry& registry() { return registry_; }
 
  private:
-  // Subscriptions sharing a polling query + frequency share one poll
-  // group: one DOEM database, one diff pipeline (Section 6.1).
-  struct PollGroup {
-    std::string polling_query;
-    FrequencySpec frequency;
-    DoemDatabase doem;
-    std::vector<Timestamp> polls;
-    Timestamp next_poll;
-    std::vector<std::string> members;
-    PollHealth health;
-    /// Persistent per-group Chorel engine: its encoding / index caches
-    /// survive across polls and are patched with each poll's delta
-    /// (QssOptions::incremental_filter). References `doem`, whose address
-    /// is stable (groups are heap-allocated; the two-snapshot rebase
-    /// move-assigns in place).
-    std::unique_ptr<chorel::ChorelEngine> engine;
-    /// Durable backing store (null when QssOptions::store is unset).
-    /// Appended from the serial commit phase only.
-    std::unique_ptr<store::Store> store;
-  };
-  struct SubState {
-    Subscription sub;
-    NotificationCallback callback;
-    std::string group_key;
-    /// The filter query, parsed and normalized once at Subscribe time
-    /// (the translated strategy caches its Section 5.2 translation here
-    /// after the first poll).
-    chorel::CompiledQuery filter;
-  };
-
-  /// The parallelizable half of one scheduled poll, plus everything the
-  /// serial commit phase needs to finish it. Produced by PreparePoll
-  /// (possibly on an executor thread), consumed by CommitPoll on the
-  /// calling thread. Only group-local state (the group's PollHealth) is
-  /// touched while preparing; shared state (PollReport, callbacks, the
-  /// DOEM database visible through History()) is only touched at commit.
-  struct PreparedPoll {
-    PollGroup* group = nullptr;
-    Timestamp time;
-    /// Skipped inside a quarantine window: commit records a MissedPoll.
-    bool quarantined = false;
-    std::string missed_reason;
-    /// Non-OK: fetch (after retries) or diff failed; commit runs the
-    /// failure path (health counters, circuit breaker, PollError).
-    Status failure;
-    /// U_k, valid when !quarantined && failure.ok().
-    ChangeSet delta;
-    /// Retries consumed, merged into PollReport::retries at commit
-    /// (PollHealth::retries is updated in place while preparing).
-    size_t retries = 0;
-    int64_t fetch_ns = 0;
-    int64_t diff_ns = 0;
-  };
-
-  std::string GroupKey(const Subscription& sub) const;
-  Result<PollGroup*> GroupFor(const Subscription& sub);
-
-  /// Runs one wave — a set of distinct groups all due at time t, in
-  /// group-key order — through PreparePoll (on the executor, when one is
-  /// configured and the wave has >1 group) and then CommitPoll for every
-  /// group under commit_mu_, in wave order. Never fails the caller:
-  /// errors become PollReport entries / on_error calls.
-  void RunWave(const std::vector<PollGroup*>& wave, Timestamp t,
-               PollReport* report);
-
-  /// Stage 1-3 of the pipeline for one group: circuit-breaker check,
-  /// fetch with retries/backoff/deadline/validation, canonical wrap, and
-  /// OEMdiff against the group's current snapshot. Safe to run
-  /// concurrently for *distinct* groups: it mutates only the group's own
-  /// state and serializes source access on source_mu_.
-  PreparedPoll PreparePoll(PollGroup* group, Timestamp t);
-
-  /// Attempts the source poll itself (with retries, deadline, and
-  /// snapshot validation) per the retry policy. Each attempt's Poll and
-  /// duration read from one critical section on source_mu_.
-  Result<OemDatabase> AttemptPoll(PollGroup* group, Timestamp t,
-                                  int max_attempts, PreparedPoll* pending);
-
-  /// Stage 4-6 on the calling thread: apply (t, U_k) to the DOEM
-  /// database, evaluate every member's filter, notify, and fold the
-  /// outcome into the group's health and `*report` (never null). A
-  /// member's filter failure is recorded and does not starve the
-  /// remaining members; an apply failure leaves the DOEM database
-  /// untouched and counts as a failed poll.
-  void CommitPoll(PreparedPoll* pending, PollReport* report);
-
-  /// Maps accumulated failures to the legacy Status surface: OK when the
-  /// caller supplied a report or an on_error callback is configured,
-  /// otherwise the first new error of this call.
-  Status SettleReport(const PollReport& report, size_t first_new_error,
-                      bool caller_has_report) const;
-
-  /// Wraps a polled answer database into canonical form: a fixed root
-  /// with one arc per group entry name to a fixed container whose arcs
-  /// are the answer's. Fixed ids make keyed diffs stable across polls.
-  Result<OemDatabase> CanonicalWrap(const OemDatabase& answer,
-                                    const PollGroup& group) const;
-
-  InformationSource* source_;
-  Timestamp now_;
-  QssOptions options_;
-  DiffMode diff_mode_;
-  std::map<std::string, SubState> subs_;
-  std::map<std::string, std::unique_ptr<PollGroup>> groups_;
-
-  /// Serializes source access: the InformationSource is shared mutable
-  /// state with no thread-safety obligation (see source.h), so each
-  /// Poll() plus its LastPollDurationTicks() read is one critical
-  /// section. Executor threads contend here only for the fetch itself;
-  /// diffing runs outside the lock.
-  std::mutex source_mu_;
-  /// Held for the whole commit phase of a wave: guards the merge of
-  /// PreparedPolls into the DOEM histories, PollHealth, and the caller's
-  /// PollReport, and keeps callback delivery single-threaded.
-  std::mutex commit_mu_;
-
-  /// Instrument handles resolved once at construction (all null without
-  /// a registry — every update is guarded). Counters and histograms are
-  /// bumped from the serial commit phase; the circuit gauges also from
-  /// PreparePoll on executor threads (instrument updates are atomic).
-  struct Instruments {
-    obs::Counter* polls_attempted = nullptr;
-    obs::Counter* polls_ok = nullptr;
-    obs::Counter* polls_failed = nullptr;
-    obs::Counter* polls_missed = nullptr;
-    obs::Counter* retries = nullptr;
-    obs::Counter* notifications = nullptr;
-    obs::Counter* quarantine_trips = nullptr;
-    obs::Counter* missed_log_dropped = nullptr;
-    obs::Gauge* groups = nullptr;
-    obs::Gauge* circuits_open = nullptr;
-    obs::Gauge* circuits_half_open = nullptr;
-    obs::Histogram* fetch_ns = nullptr;
-    obs::Histogram* diff_ns = nullptr;
-    obs::Histogram* apply_ns = nullptr;
-    obs::Histogram* filter_ns = nullptr;
-  };
-  Instruments ins_;
+  PollGroupManager manager_;
+  SubscriberRegistry registry_;
+  std::map<std::string, SubscriptionHandle> by_name_;
 };
 
 }  // namespace qss

@@ -1,0 +1,113 @@
+#ifndef DOEM_QSS_REGISTRY_H_
+#define DOEM_QSS_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chorel/chorel.h"
+#include "common/result.h"
+#include "qss/poll_group.h"
+#include "qss/subscription.h"
+
+namespace doem {
+namespace qss {
+
+/// Owner of the "who gets notified" half of QSS: the subscriber
+/// registrations and the fan-out of committed polls to their filters and
+/// callbacks (Figure 6 steps 5–6). Registrations are keyed by opaque
+/// SubscriptionHandle — the registry itself accepts duplicate names by
+/// design; only the name-keyed QuerySubscriptionService facade and the
+/// server's per-connection namespace enforce name uniqueness.
+///
+/// Subscribers sharing one poll group *and* one filter text share a
+/// single compiled query (the group's CompiledQueryPool), and each poll
+/// evaluates that filter once for the whole cohort — the notifications
+/// then fan out per subscriber, in registration order, byte-identical to
+/// evaluating per subscriber.
+///
+/// Thread model: every entry point locks the manager's service mutex
+/// (see PollGroupManager), so registration calls, polling entry points,
+/// and fan-out callbacks are mutually serialized; callbacks run with the
+/// (recursive) mutex held and may re-enter Subscribe/Unsubscribe.
+class SubscriberRegistry : public GroupFanout {
+ public:
+  /// Wires itself as `manager`'s fan-out sink. The manager must outlive
+  /// the registry.
+  explicit SubscriberRegistry(PollGroupManager* manager);
+  ~SubscriberRegistry() override;
+
+  SubscriberRegistry(const SubscriberRegistry&) = delete;
+  SubscriberRegistry& operator=(const SubscriberRegistry&) = delete;
+
+  /// Registers a subscriber: validates the polling query, attaches it to
+  /// its poll group (creating the group — and opening its durable store —
+  /// on first acquisition), and compiles (or shares) the filter query.
+  /// Never returns a zero handle on success. Failures surface as the
+  /// returned status and as a PollError (kBadPollingQuery /
+  /// kBadFilterQuery / kStore) through the on_error callback; a bad
+  /// filter never creates the group.
+  Result<SubscriptionHandle> Subscribe(const Subscription& sub,
+                                       NotificationCallback callback);
+
+  /// Removes a registration. The last subscriber of a group retires it
+  /// (deferred past any in-flight tick).
+  Status Unsubscribe(SubscriptionHandle handle);
+
+  /// The registration behind a handle (null if unknown). The pointer is
+  /// valid until the subscriber is unsubscribed.
+  const Subscription* Find(SubscriptionHandle handle) const;
+
+  /// The poll group a handle is attached to (null if unknown). Valid
+  /// under the service mutex until the subscriber is unsubscribed.
+  PollGroup* GroupOf(SubscriptionHandle handle) const;
+
+  /// Registered subscribers, across all groups.
+  size_t SubscriberCount() const;
+
+  PollGroupManager* manager() const { return manager_; }
+
+  /// GroupFanout: evaluates each distinct compiled filter of `group`
+  /// once, then notifies every subscriber in registration order. Called
+  /// by the manager from the serial commit phase.
+  void FanOut(PollGroup* group, Timestamp t, PollReport* report) override;
+
+ private:
+  struct SubEntry {
+    Subscription sub;
+    NotificationCallback callback;
+    PollGroup* group = nullptr;
+    /// Shared with every cohort member holding the same filter text on
+    /// the same group (the group's pool holds one more reference).
+    std::shared_ptr<chorel::CompiledQuery> filter;
+  };
+
+  void EmitSubscribeError(PollError::Kind kind, const std::string& subject,
+                          const Status& status) const;
+
+  PollGroupManager* manager_;
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, SubEntry> subs_;
+  /// Per-group subscriber handles in registration order — the fan-out
+  /// (and so notification) order, matching the legacy member order.
+  std::map<std::string, std::vector<uint64_t>> members_;
+
+  /// Instruments (all null without a registry). The notification-side
+  /// half of the legacy qss.* family lives here, next to the code that
+  /// bumps it; the new qss.group.* family tracks the sharing win.
+  struct Instruments {
+    obs::Counter* notifications = nullptr;
+    obs::Counter* filter_evals = nullptr;
+    obs::Counter* filter_shared = nullptr;
+    obs::Gauge* subscribers = nullptr;
+    obs::Histogram* filter_ns = nullptr;
+    obs::Histogram* fanout_ns = nullptr;
+  };
+  Instruments ins_;
+};
+
+}  // namespace qss
+}  // namespace doem
+
+#endif  // DOEM_QSS_REGISTRY_H_

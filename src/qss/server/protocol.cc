@@ -1,0 +1,246 @@
+#include "qss/server/protocol.h"
+
+#include "store/format.h"
+
+namespace doem {
+namespace qss {
+namespace server {
+
+namespace {
+
+void PutU32(uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  PutU32(static_cast<uint32_t>(v & 0xFFFFFFFFu), out);
+  PutU32(static_cast<uint32_t>(v >> 32), out);
+}
+
+void PutString(std::string_view s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+/// Cursor over a payload; every read checks bounds, so a hostile payload
+/// yields a ParseError instead of an out-of-range read.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<uint32_t> U32() {
+    if (bytes_.size() - pos_ < 4) return Truncated("u32");
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) |
+          static_cast<uint32_t>(static_cast<unsigned char>(bytes_[pos_ + i]));
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> U64() {
+    DOEM_ASSIGN_OR_RETURN(uint32_t lo, U32());
+    DOEM_ASSIGN_OR_RETURN(uint32_t hi, U32());
+    return (static_cast<uint64_t>(hi) << 32) | lo;
+  }
+
+  Result<int64_t> I64() {
+    DOEM_ASSIGN_OR_RETURN(uint64_t v, U64());
+    return static_cast<int64_t>(v);
+  }
+
+  Result<std::string> String() {
+    DOEM_ASSIGN_OR_RETURN(uint32_t len, U32());
+    if (bytes_.size() - pos_ < len) return Truncated("string body");
+    std::string out(bytes_.substr(pos_, len));
+    pos_ += len;
+    return out;
+  }
+
+  Status Done() const {
+    if (pos_ != bytes_.size()) {
+      return Status::ParseError("wire payload: " +
+                                std::to_string(bytes_.size() - pos_) +
+                                " trailing bytes");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Truncated(const char* what) {
+    return Status::ParseError(std::string("wire payload: truncated ") + what);
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+std::string Frame(MsgType type, std::string_view payload) {
+  return store::EncodeFrame(static_cast<uint8_t>(type), payload);
+}
+
+bool KnownType(uint8_t type) {
+  return type >= static_cast<uint8_t>(MsgType::kSubscribe) &&
+         type <= static_cast<uint8_t>(MsgType::kNotification);
+}
+
+}  // namespace
+
+std::string EncodeSubscribe(const SubscribeMsg& msg) {
+  std::string payload;
+  PutString(msg.name, &payload);
+  PutString(msg.entry, &payload);
+  PutU64(static_cast<uint64_t>(msg.interval_ticks), &payload);
+  PutString(msg.polling_query, &payload);
+  PutString(msg.filter_query, &payload);
+  return Frame(MsgType::kSubscribe, payload);
+}
+
+std::string EncodeUnsubscribe(const UnsubscribeMsg& msg) {
+  std::string payload;
+  PutString(msg.name, &payload);
+  return Frame(MsgType::kUnsubscribe, payload);
+}
+
+std::string EncodeSubscribed(const SubscribedMsg& msg) {
+  std::string payload;
+  PutString(msg.name, &payload);
+  PutU64(msg.handle, &payload);
+  return Frame(MsgType::kSubscribed, payload);
+}
+
+std::string EncodeUnsubscribed(const UnsubscribedMsg& msg) {
+  std::string payload;
+  PutString(msg.name, &payload);
+  return Frame(MsgType::kUnsubscribed, payload);
+}
+
+std::string EncodeError(const ErrorMsg& msg) {
+  std::string payload;
+  PutString(msg.name, &payload);
+  PutString(msg.kind, &payload);
+  PutString(msg.message, &payload);
+  return Frame(MsgType::kError, payload);
+}
+
+std::string EncodeNotification(const NotificationMsg& msg) {
+  std::string payload;
+  PutString(msg.name, &payload);
+  PutU64(static_cast<uint64_t>(msg.poll_time.ticks), &payload);
+  PutU64(msg.poll_index, &payload);
+  PutString(msg.rows, &payload);
+  return Frame(MsgType::kNotification, payload);
+}
+
+Result<SubscribeMsg> DecodeSubscribe(std::string_view payload) {
+  Reader r(payload);
+  SubscribeMsg msg;
+  DOEM_ASSIGN_OR_RETURN(msg.name, r.String());
+  DOEM_ASSIGN_OR_RETURN(msg.entry, r.String());
+  DOEM_ASSIGN_OR_RETURN(msg.interval_ticks, r.I64());
+  DOEM_ASSIGN_OR_RETURN(msg.polling_query, r.String());
+  DOEM_ASSIGN_OR_RETURN(msg.filter_query, r.String());
+  DOEM_RETURN_IF_ERROR(r.Done());
+  return msg;
+}
+
+Result<UnsubscribeMsg> DecodeUnsubscribe(std::string_view payload) {
+  Reader r(payload);
+  UnsubscribeMsg msg;
+  DOEM_ASSIGN_OR_RETURN(msg.name, r.String());
+  DOEM_RETURN_IF_ERROR(r.Done());
+  return msg;
+}
+
+Result<SubscribedMsg> DecodeSubscribed(std::string_view payload) {
+  Reader r(payload);
+  SubscribedMsg msg;
+  DOEM_ASSIGN_OR_RETURN(msg.name, r.String());
+  DOEM_ASSIGN_OR_RETURN(msg.handle, r.U64());
+  DOEM_RETURN_IF_ERROR(r.Done());
+  return msg;
+}
+
+Result<UnsubscribedMsg> DecodeUnsubscribed(std::string_view payload) {
+  Reader r(payload);
+  UnsubscribedMsg msg;
+  DOEM_ASSIGN_OR_RETURN(msg.name, r.String());
+  DOEM_RETURN_IF_ERROR(r.Done());
+  return msg;
+}
+
+Result<ErrorMsg> DecodeError(std::string_view payload) {
+  Reader r(payload);
+  ErrorMsg msg;
+  DOEM_ASSIGN_OR_RETURN(msg.name, r.String());
+  DOEM_ASSIGN_OR_RETURN(msg.kind, r.String());
+  DOEM_ASSIGN_OR_RETURN(msg.message, r.String());
+  DOEM_RETURN_IF_ERROR(r.Done());
+  return msg;
+}
+
+Result<NotificationMsg> DecodeNotification(std::string_view payload) {
+  Reader r(payload);
+  NotificationMsg msg;
+  DOEM_ASSIGN_OR_RETURN(msg.name, r.String());
+  DOEM_ASSIGN_OR_RETURN(msg.poll_time.ticks, r.I64());
+  DOEM_ASSIGN_OR_RETURN(msg.poll_index, r.U64());
+  DOEM_ASSIGN_OR_RETURN(msg.rows, r.String());
+  DOEM_RETURN_IF_ERROR(r.Done());
+  return msg;
+}
+
+Status FrameBuffer::Feed(std::string_view bytes) {
+  DOEM_RETURN_IF_ERROR(error_);
+  buffer_.append(bytes);
+  while (true) {
+    store::DecodedFrame frame;
+    std::string reason;
+    store::DecodeOutcome outcome = store::DecodeFrameAt(
+        buffer_, offset_, kMaxWireFrameLength, &frame, &reason);
+    if (outcome == store::DecodeOutcome::kTorn) break;
+    if (outcome == store::DecodeOutcome::kCorrupt ||
+        !KnownType(frame.type)) {
+      error_ = Status::ParseError(
+          "corrupt wire frame: " +
+          (outcome == store::DecodeOutcome::kCorrupt
+               ? reason
+               : "unknown message type " + std::to_string(frame.type)));
+      return error_;
+    }
+    WireFrame out;
+    out.type = static_cast<MsgType>(frame.type);
+    out.payload = std::string(frame.payload);
+    ready_.push_back(std::move(out));
+    offset_ = frame.end;
+  }
+  // Compact consumed bytes so a long-lived connection's buffer stays
+  // bounded by one torn tail.
+  if (offset_ > 0) {
+    buffer_.erase(0, offset_);
+    offset_ = 0;
+  }
+  return Status::OK();
+}
+
+bool FrameBuffer::Next(WireFrame* out) {
+  if (next_ready_ >= ready_.size()) {
+    ready_.clear();
+    next_ready_ = 0;
+    return false;
+  }
+  *out = std::move(ready_[next_ready_++]);
+  if (next_ready_ >= ready_.size()) {
+    ready_.clear();
+    next_ready_ = 0;
+  }
+  return true;
+}
+
+}  // namespace server
+}  // namespace qss
+}  // namespace doem

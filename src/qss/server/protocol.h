@@ -1,0 +1,146 @@
+#ifndef DOEM_QSS_SERVER_PROTOCOL_H_
+#define DOEM_QSS_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "oem/timestamp.h"
+
+namespace doem {
+namespace qss {
+namespace server {
+
+/// The QSS wire protocol (DESIGN.md §6g): a long-lived byte stream per
+/// client carrying length-prefixed, CRC32-checksummed frames — the same
+/// frame shape as the durable store's log records
+/// (store::EncodeFrame/DecodeFrameAt), because a torn TCP read and a
+/// torn file tail are the same condition:
+///
+///   | length u32 | crc32 u32 | msg type byte | payload |
+///
+/// Fixed-width payload fields are little-endian; strings are u32-length-
+/// prefixed bytes. Clients send kSubscribe/kUnsubscribe; the server
+/// replies kSubscribed/kUnsubscribed/kError and pushes kNotification
+/// frames as polls commit. Names are scoped per connection.
+
+/// Upper bound on one frame's declared length: a hostile peer's length
+/// field must not make the receiver buffer unbounded memory. Generous
+/// enough for any notification the repo's sources produce.
+inline constexpr uint32_t kMaxWireFrameLength = 1u << 24;
+
+enum class MsgType : uint8_t {
+  /// client → server: register a subscription.
+  kSubscribe = 1,
+  /// client → server: remove a subscription by name.
+  kUnsubscribe = 2,
+  /// server → client: subscription accepted; carries the registry handle.
+  kSubscribed = 3,
+  /// server → client: unsubscribed.
+  kUnsubscribed = 4,
+  /// server → client: a request failed; carries the PollError kind name
+  /// and the status message. The connection stays up.
+  kError = 5,
+  /// server → client: a filter fired at a poll.
+  kNotification = 6,
+};
+
+struct SubscribeMsg {
+  std::string name;
+  /// Filter entry label; empty = name (see qss::Subscription::entry).
+  std::string entry;
+  int64_t interval_ticks = 0;
+  std::string polling_query;
+  std::string filter_query;
+};
+
+struct UnsubscribeMsg {
+  std::string name;
+};
+
+struct SubscribedMsg {
+  std::string name;
+  uint64_t handle = 0;
+};
+
+struct UnsubscribedMsg {
+  std::string name;
+};
+
+struct ErrorMsg {
+  /// The subscription name the request was about (may be empty for
+  /// connection-level errors).
+  std::string name;
+  /// PollErrorKindToString of the failure class, e.g.
+  /// "duplicate-subscription", "bad-filter-query".
+  std::string kind;
+  std::string message;
+};
+
+struct NotificationMsg {
+  std::string name;
+  Timestamp poll_time;
+  uint64_t poll_index = 0;
+  /// lorel::QueryResult::RowsToString() of the filter result — the same
+  /// bytes an in-process subscriber would render, so twin runs can
+  /// compare the two transports byte for byte.
+  std::string rows;
+};
+
+// ---- Encoding (always succeeds) --------------------------------------------
+
+std::string EncodeSubscribe(const SubscribeMsg& msg);
+std::string EncodeUnsubscribe(const UnsubscribeMsg& msg);
+std::string EncodeSubscribed(const SubscribedMsg& msg);
+std::string EncodeUnsubscribed(const UnsubscribedMsg& msg);
+std::string EncodeError(const ErrorMsg& msg);
+std::string EncodeNotification(const NotificationMsg& msg);
+
+// ---- Decoding (payload only; the frame is already verified) ----------------
+
+Result<SubscribeMsg> DecodeSubscribe(std::string_view payload);
+Result<UnsubscribeMsg> DecodeUnsubscribe(std::string_view payload);
+Result<SubscribedMsg> DecodeSubscribed(std::string_view payload);
+Result<UnsubscribedMsg> DecodeUnsubscribed(std::string_view payload);
+Result<ErrorMsg> DecodeError(std::string_view payload);
+Result<NotificationMsg> DecodeNotification(std::string_view payload);
+
+/// One verified frame off the wire.
+struct WireFrame {
+  MsgType type = MsgType::kError;
+  std::string payload;
+};
+
+/// Reassembles frames from an arbitrarily fragmented byte stream: feed
+/// every received chunk to Feed(), pop complete frames with Next(). A
+/// torn frame waits for more bytes; a corrupt frame (bad checksum,
+/// oversized or zero length, unknown type byte) poisons the buffer — the
+/// stream cannot be resynchronized, so the connection must be dropped.
+class FrameBuffer {
+ public:
+  /// Appends received bytes. Returns non-OK (and poisons the buffer) on
+  /// a corrupt frame.
+  Status Feed(std::string_view bytes);
+
+  /// Pops the next complete frame into `*out`; false when only a torn
+  /// tail (or nothing) remains.
+  bool Next(WireFrame* out);
+
+  bool poisoned() const { return !error_.ok(); }
+  const Status& error() const { return error_; }
+
+ private:
+  std::string buffer_;
+  uint64_t offset_ = 0;
+  std::vector<WireFrame> ready_;
+  size_t next_ready_ = 0;
+  Status error_;
+};
+
+}  // namespace server
+}  // namespace qss
+}  // namespace doem
+
+#endif  // DOEM_QSS_SERVER_PROTOCOL_H_

@@ -1,0 +1,280 @@
+#include "qss/server/server.h"
+
+#include <utility>
+
+namespace doem {
+namespace qss {
+namespace server {
+
+namespace {
+
+void Count(obs::Counter* c, uint64_t by = 1) {
+  if (c != nullptr && by > 0) c->Increment(by);
+}
+
+void SetGauge(obs::Gauge* g, int64_t v) {
+  if (g != nullptr) g->Set(v);
+}
+
+// Maps a Subscribe failure back to its PollError kind name for the
+// error frame. The registry formats these statuses with fixed prefixes
+// (the same strings the legacy API returned), so the prefix *is* the
+// classification.
+std::string ClassifySubscribeError(const std::string& message) {
+  if (message.rfind("polling query", 0) == 0) {
+    return PollErrorKindToString(PollError::Kind::kBadPollingQuery);
+  }
+  if (message.rfind("filter query", 0) == 0) {
+    return PollErrorKindToString(PollError::Kind::kBadFilterQuery);
+  }
+  if (message.rfind("durable store", 0) == 0) {
+    return PollErrorKindToString(PollError::Kind::kStore);
+  }
+  return PollErrorKindToString(PollError::Kind::kPoll);
+}
+
+}  // namespace
+
+QssServer::QssServer(SubscriberRegistry* registry) : registry_(registry) {
+  obs::MetricsRegistry* m =
+      registry_->manager()->options().observability.metrics;
+  if (m == nullptr) return;
+  ins_.connections =
+      m->GetGauge("qss.server.connections", "client connections attached");
+  ins_.frames_in = m->GetCounter("qss.server.frames_in",
+                                 "wire frames received from clients");
+  ins_.frames_out =
+      m->GetCounter("qss.server.frames_out", "wire frames sent to clients");
+  ins_.subscribes_ok = m->GetCounter("qss.server.subscribes_ok",
+                                     "subscribe requests accepted");
+  ins_.subscribes_rejected = m->GetCounter(
+      "qss.server.subscribes_rejected",
+      "subscribe requests rejected (duplicate name or bad query)");
+  ins_.unsubscribes =
+      m->GetCounter("qss.server.unsubscribes", "unsubscribe requests honored");
+  ins_.notifications = m->GetCounter(
+      "qss.server.notifications", "notification frames pushed to clients");
+  ins_.protocol_errors = m->GetCounter(
+      "qss.server.protocol_errors",
+      "connections dropped for unrecoverable wire-protocol errors");
+}
+
+QssServer::~QssServer() {
+  while (!connections_.empty()) {
+    Detach(connections_.begin()->first);
+  }
+}
+
+QssServer::ConnectionId QssServer::Attach(ByteSink send) {
+  ConnectionId id = next_id_++;
+  Connection& conn = connections_[id];
+  conn.send = std::move(send);
+  SetGauge(ins_.connections, static_cast<int64_t>(connections_.size()));
+  return id;
+}
+
+void QssServer::Send(Connection* conn, std::string bytes) {
+  if (conn->send) conn->send(bytes);
+  Count(ins_.frames_out);
+}
+
+void QssServer::SendError(Connection* conn, const std::string& name,
+                          const std::string& kind,
+                          const std::string& message) {
+  ErrorMsg msg;
+  msg.name = name;
+  msg.kind = kind;
+  msg.message = message;
+  Send(conn, EncodeError(msg));
+}
+
+void QssServer::Close(ConnectionId id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  // Release in registration order; each Unsubscribe may retire a group.
+  for (const auto& [name, handle] : it->second.subs) {
+    (void)registry_->Unsubscribe(handle);
+  }
+  connections_.erase(it);
+  SetGauge(ins_.connections, static_cast<int64_t>(connections_.size()));
+}
+
+void QssServer::Fail(ConnectionId id, Connection* conn, const Status& error) {
+  Count(ins_.protocol_errors);
+  SendError(conn, "", "protocol", error.message());
+  Close(id);
+}
+
+void QssServer::Detach(ConnectionId id) { Close(id); }
+
+bool QssServer::Connected(ConnectionId id) const {
+  return connections_.contains(id);
+}
+
+size_t QssServer::ConnectionCount() const { return connections_.size(); }
+
+size_t QssServer::SubscriptionCount(ConnectionId id) const {
+  auto it = connections_.find(id);
+  return it == connections_.end() ? 0 : it->second.subs.size();
+}
+
+void QssServer::HandleSubscribe(ConnectionId id, Connection* conn,
+                                const SubscribeMsg& msg) {
+  if (conn->subs.contains(msg.name)) {
+    Count(ins_.subscribes_rejected);
+    SendError(conn, msg.name,
+              PollErrorKindToString(PollError::Kind::kDuplicateSubscription),
+              "subscription '" + msg.name + "' exists");
+    return;
+  }
+  Subscription sub;
+  sub.name = msg.name;
+  sub.entry = msg.entry;
+  sub.frequency.interval_ticks = msg.interval_ticks < 1 ? 1
+                                                        : msg.interval_ticks;
+  sub.polling_query = msg.polling_query;
+  sub.filter_query = msg.filter_query;
+  std::string name = msg.name;
+  // The callback fires inside polling entry points, under the service
+  // mutex; the connection may have closed by then (Detach unsubscribes,
+  // so normally it cannot), hence the liveness lookup.
+  auto handle = registry_->Subscribe(
+      sub, [this, id, name](const Notification& n) {
+        auto cit = connections_.find(id);
+        if (cit == connections_.end()) return;
+        NotificationMsg push;
+        push.name = name;
+        push.poll_time = n.poll_time;
+        push.poll_index = n.poll_index;
+        push.rows = n.result.RowsToString();
+        Send(&cit->second, EncodeNotification(push));
+        Count(ins_.notifications);
+      });
+  if (!handle.ok()) {
+    Count(ins_.subscribes_rejected);
+    SendError(conn, msg.name, ClassifySubscribeError(handle.status().message()),
+              handle.status().message());
+    return;
+  }
+  conn->subs.emplace(msg.name, *handle);
+  Count(ins_.subscribes_ok);
+  SubscribedMsg ok;
+  ok.name = msg.name;
+  ok.handle = handle->id;
+  Send(conn, EncodeSubscribed(ok));
+}
+
+void QssServer::HandleUnsubscribe(ConnectionId /*id*/, Connection* conn,
+                                  const UnsubscribeMsg& msg) {
+  auto it = conn->subs.find(msg.name);
+  if (it == conn->subs.end()) {
+    SendError(conn, msg.name, "not-found",
+              "no subscription '" + msg.name + "'");
+    return;
+  }
+  (void)registry_->Unsubscribe(it->second);
+  conn->subs.erase(it);
+  Count(ins_.unsubscribes);
+  UnsubscribedMsg ok;
+  ok.name = msg.name;
+  Send(conn, EncodeUnsubscribed(ok));
+}
+
+void QssServer::Dispatch(ConnectionId id, Connection* conn,
+                         const WireFrame& frame) {
+  switch (frame.type) {
+    case MsgType::kSubscribe: {
+      auto msg = DecodeSubscribe(frame.payload);
+      if (!msg.ok()) return Fail(id, conn, msg.status());
+      return HandleSubscribe(id, conn, *msg);
+    }
+    case MsgType::kUnsubscribe: {
+      auto msg = DecodeUnsubscribe(frame.payload);
+      if (!msg.ok()) return Fail(id, conn, msg.status());
+      return HandleUnsubscribe(id, conn, *msg);
+    }
+    case MsgType::kSubscribed:
+    case MsgType::kUnsubscribed:
+    case MsgType::kError:
+    case MsgType::kNotification:
+      return Fail(id, conn,
+                  Status::InvalidArgument(
+                      "server-to-client message type " +
+                      std::to_string(static_cast<int>(frame.type)) +
+                      " received from a client"));
+  }
+}
+
+void QssServer::OnBytes(ConnectionId id, std::string_view bytes) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  Connection* conn = &it->second;
+  Status fed = conn->frames.Feed(bytes);
+  if (!fed.ok()) {
+    Fail(id, conn, fed);
+    return;
+  }
+  WireFrame frame;
+  while (connections_.contains(id) && conn->frames.Next(&frame)) {
+    Count(ins_.frames_in);
+    Dispatch(id, conn, frame);
+  }
+}
+
+// ---- Client ----------------------------------------------------------------
+
+void QssClient::OnBytes(std::string_view bytes) {
+  if (!error_.ok()) return;
+  Status fed = frames_.Feed(bytes);
+  if (!fed.ok()) {
+    error_ = fed;
+    return;
+  }
+  WireFrame frame;
+  while (frames_.Next(&frame)) {
+    Event event;
+    event.type = frame.type;
+    switch (frame.type) {
+      case MsgType::kSubscribed: {
+        auto msg = DecodeSubscribed(frame.payload);
+        if (!msg.ok()) { error_ = msg.status(); return; }
+        event.subscribed = std::move(msg).value();
+        break;
+      }
+      case MsgType::kUnsubscribed: {
+        auto msg = DecodeUnsubscribed(frame.payload);
+        if (!msg.ok()) { error_ = msg.status(); return; }
+        event.unsubscribed = std::move(msg).value();
+        break;
+      }
+      case MsgType::kError: {
+        auto msg = DecodeError(frame.payload);
+        if (!msg.ok()) { error_ = msg.status(); return; }
+        event.error = std::move(msg).value();
+        break;
+      }
+      case MsgType::kNotification: {
+        auto msg = DecodeNotification(frame.payload);
+        if (!msg.ok()) { error_ = msg.status(); return; }
+        event.notification = std::move(msg).value();
+        break;
+      }
+      case MsgType::kSubscribe:
+      case MsgType::kUnsubscribe:
+        error_ = Status::InvalidArgument(
+            "client-to-server message type received from the server");
+        return;
+    }
+    events_.push_back(std::move(event));
+  }
+}
+
+std::vector<QssClient::Event> QssClient::TakeEvents() {
+  std::vector<Event> out;
+  out.swap(events_);
+  return out;
+}
+
+}  // namespace server
+}  // namespace qss
+}  // namespace doem

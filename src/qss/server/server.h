@@ -1,0 +1,150 @@
+#ifndef DOEM_QSS_SERVER_SERVER_H_
+#define DOEM_QSS_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "qss/registry.h"
+#include "qss/server/protocol.h"
+#include "qss/server/transport.h"
+
+namespace doem {
+namespace qss {
+namespace server {
+
+/// Multiplexing front-end over one SubscriberRegistry (DESIGN.md §6g):
+/// many long-lived client connections, each carrying any number of
+/// subscriptions, all fanned out from the registry's single poll loop.
+/// The server is transport-agnostic — a connection is an attached send
+/// function plus the bytes handed to OnBytes; LoopbackPipe provides a
+/// deterministic in-process transport for tests.
+///
+/// Per connection, subscription names are a private namespace (two
+/// clients can both own "restaurants"); a duplicate within one
+/// connection is rejected with a kError frame of kind
+/// "duplicate-subscription". Notifications are pushed as polls commit:
+/// the registry invokes the server's callback inside the tick (under the
+/// service mutex), the server frames the notification and writes it to
+/// the connection's send function — with a LoopbackPipe the bytes then
+/// sit queued until the pipe is pumped, like a socket buffer.
+///
+/// A corrupt frame (bad checksum, oversized length, unknown type) cannot
+/// be resynchronized: the server sends a final kError frame of kind
+/// "protocol" and closes the connection, releasing its subscriptions.
+class QssServer {
+ public:
+  using ConnectionId = uint64_t;
+
+  /// `registry` must outlive the server. Metrics (qss.server.*) come
+  /// from the registry's manager options.
+  explicit QssServer(SubscriberRegistry* registry);
+  ~QssServer();
+
+  QssServer(const QssServer&) = delete;
+  QssServer& operator=(const QssServer&) = delete;
+
+  /// Opens a connection whose outbound bytes go to `send`. The send
+  /// function may be invoked from inside polling entry points (under the
+  /// service mutex) when notifications are pushed.
+  ConnectionId Attach(ByteSink send);
+
+  /// Bytes received from the connection's peer — any fragmentation.
+  /// Complete frames are dispatched in order; a protocol error closes
+  /// the connection (subsequent OnBytes calls are no-ops).
+  void OnBytes(ConnectionId id, std::string_view bytes);
+
+  /// Closes a connection, unsubscribing everything it registered.
+  /// Closing an unknown (or already-closed) id is a no-op.
+  void Detach(ConnectionId id);
+
+  bool Connected(ConnectionId id) const;
+  size_t ConnectionCount() const;
+  /// Subscriptions registered by one connection (0 if unknown).
+  size_t SubscriptionCount(ConnectionId id) const;
+
+ private:
+  struct Connection {
+    ByteSink send;
+    FrameBuffer frames;
+    /// This connection's name → registry handle namespace, in
+    /// registration order for deterministic teardown.
+    std::map<std::string, SubscriptionHandle> subs;
+  };
+
+  void Dispatch(ConnectionId id, Connection* conn, const WireFrame& frame);
+  void HandleSubscribe(ConnectionId id, Connection* conn,
+                       const SubscribeMsg& msg);
+  void HandleUnsubscribe(ConnectionId id, Connection* conn,
+                         const UnsubscribeMsg& msg);
+  void Send(Connection* conn, std::string bytes);
+  void SendError(Connection* conn, const std::string& name,
+                 const std::string& kind, const std::string& message);
+  /// Sends a final "protocol" error and closes the connection.
+  void Fail(ConnectionId id, Connection* conn, const Status& error);
+  void Close(ConnectionId id);
+
+  SubscriberRegistry* registry_;
+  ConnectionId next_id_ = 1;
+  std::map<ConnectionId, Connection> connections_;
+
+  struct Instruments {
+    obs::Gauge* connections = nullptr;
+    obs::Counter* frames_in = nullptr;
+    obs::Counter* frames_out = nullptr;
+    obs::Counter* subscribes_ok = nullptr;
+    obs::Counter* subscribes_rejected = nullptr;
+    obs::Counter* unsubscribes = nullptr;
+    obs::Counter* notifications = nullptr;
+    obs::Counter* protocol_errors = nullptr;
+  };
+  Instruments ins_;
+};
+
+/// Client-side protocol driver: frames outgoing requests, reassembles
+/// and decodes the incoming stream into an ordered event queue. Pair it
+/// with a LoopbackPipe (client sink = OnBytes) or any byte transport.
+class QssClient {
+ public:
+  /// One decoded server→client message, in arrival order. `type` says
+  /// which member is meaningful.
+  struct Event {
+    MsgType type = MsgType::kError;
+    SubscribedMsg subscribed;
+    UnsubscribedMsg unsubscribed;
+    ErrorMsg error;
+    NotificationMsg notification;
+  };
+
+  explicit QssClient(ByteSink send) : send_(std::move(send)) {}
+
+  void Subscribe(const SubscribeMsg& msg) { send_(EncodeSubscribe(msg)); }
+  void Unsubscribe(const std::string& name) {
+    send_(EncodeUnsubscribe(UnsubscribeMsg{name}));
+  }
+
+  /// Bytes received from the server — any fragmentation.
+  void OnBytes(std::string_view bytes);
+
+  /// Drains the decoded events accumulated so far.
+  std::vector<Event> TakeEvents();
+
+  /// Non-OK when the incoming stream was corrupt (or a payload failed to
+  /// decode); the stream is dead from that point on.
+  const Status& error() const { return error_; }
+
+ private:
+  ByteSink send_;
+  FrameBuffer frames_;
+  std::vector<Event> events_;
+  Status error_;
+};
+
+}  // namespace server
+}  // namespace qss
+}  // namespace doem
+
+#endif  // DOEM_QSS_SERVER_SERVER_H_

@@ -1,0 +1,45 @@
+#include "qss/server/transport.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace doem {
+namespace qss {
+namespace server {
+
+size_t LoopbackPipe::Pump(std::string* queue, const ByteSink& sink,
+                          size_t max_bytes) {
+  if (queue->empty() || !sink) return 0;
+  size_t n = max_bytes == 0 ? queue->size() : std::min(max_bytes,
+                                                       queue->size());
+  // Detach the chunk before delivering: the sink may send a reply, which
+  // appends to the *other* queue, but re-entrant sends to this queue
+  // (server pushing during its own receive) must land after the bytes in
+  // flight.
+  std::string chunk = queue->substr(0, n);
+  queue->erase(0, n);
+  sink(chunk);
+  return n;
+}
+
+size_t LoopbackPipe::PumpToServer(size_t max_bytes) {
+  return Pump(&to_server_, to_server_sink_, max_bytes);
+}
+
+size_t LoopbackPipe::PumpToClient(size_t max_bytes) {
+  return Pump(&to_client_, to_client_sink_, max_bytes);
+}
+
+size_t LoopbackPipe::PumpAll() {
+  size_t total = 0;
+  while (true) {
+    size_t moved = PumpToServer() + PumpToClient();
+    if (moved == 0) break;
+    total += moved;
+  }
+  return total;
+}
+
+}  // namespace server
+}  // namespace qss
+}  // namespace doem

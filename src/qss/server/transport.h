@@ -1,0 +1,63 @@
+#ifndef DOEM_QSS_SERVER_TRANSPORT_H_
+#define DOEM_QSS_SERVER_TRANSPORT_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace doem {
+namespace qss {
+namespace server {
+
+/// Receives raw bytes from a transport. Implemented by the server (per
+/// connection) and by the client.
+using ByteSink = std::function<void(std::string_view)>;
+
+/// An in-process, deterministic stand-in for one client⇔server socket:
+/// two directional byte queues with *explicit* delivery. Nothing moves
+/// until a Pump call, and Pump's `max_bytes` chops the stream at any
+/// byte offset — so tests exercise exactly the fragmentation and
+/// coalescing a real TCP stream produces, without sockets, threads, or
+/// timing. A real transport would replace this class and nothing else:
+/// the server and client only ever see ByteSink callbacks and send
+/// functions.
+class LoopbackPipe {
+ public:
+  void set_server_sink(ByteSink sink) { to_server_sink_ = std::move(sink); }
+  void set_client_sink(ByteSink sink) { to_client_sink_ = std::move(sink); }
+
+  /// Queues bytes in the client→server direction.
+  void ClientSend(std::string_view bytes) { to_server_.append(bytes); }
+  /// Queues bytes in the server→client direction.
+  void ServerSend(std::string_view bytes) { to_client_.append(bytes); }
+
+  /// Delivers up to `max_bytes` queued client→server bytes to the server
+  /// sink (0 = everything). Returns bytes delivered.
+  size_t PumpToServer(size_t max_bytes = 0);
+  /// Delivers up to `max_bytes` queued server→client bytes to the client
+  /// sink (0 = everything). Returns bytes delivered.
+  size_t PumpToClient(size_t max_bytes = 0);
+
+  /// Pumps both directions until no bytes remain queued — the settled
+  /// state after a request/response exchange. Returns total bytes moved.
+  size_t PumpAll();
+
+  size_t pending_to_server() const { return to_server_.size(); }
+  size_t pending_to_client() const { return to_client_.size(); }
+
+ private:
+  static size_t Pump(std::string* queue, const ByteSink& sink,
+                     size_t max_bytes);
+
+  std::string to_server_;
+  std::string to_client_;
+  ByteSink to_server_sink_;
+  ByteSink to_client_sink_;
+};
+
+}  // namespace server
+}  // namespace qss
+}  // namespace doem
+
+#endif  // DOEM_QSS_SERVER_TRANSPORT_H_

@@ -48,6 +48,15 @@ Status ScriptedSource::AdvanceTo(Timestamp now) {
 
 Result<OemDatabase> ScriptedSource::Poll(const std::string& lorel_query,
                                          Timestamp now) {
+  // Direct callers act as their own group; poll groups proper go through
+  // PollForGroup so deduped groups sharing one query text cannot collide
+  // on the fresh-id counter.
+  return PollForGroup(lorel_query, lorel_query, now);
+}
+
+Result<OemDatabase> ScriptedSource::PollForGroup(
+    const std::string& group_key, const std::string& lorel_query,
+    Timestamp now) {
   DOEM_RETURN_IF_ERROR(AdvanceTo(now));
   lorel::OemView view(db_);
   auto result = lorel::RunQuery(lorel_query, view);
@@ -56,12 +65,12 @@ Result<OemDatabase> ScriptedSource::Poll(const std::string& lorel_query,
     return std::move(result->answer);
   }
   // Re-package with fresh identifiers: every poll shifts the id space, so
-  // no id is comparable across polls. The counter is per query (see the
-  // class comment), so concurrent QSS poll groups cannot perturb each
-  // other's id sequences.
+  // no id is comparable across polls. The counter is per poll group (see
+  // the class comment), so concurrent QSS poll groups cannot perturb
+  // each other's id sequences.
   const OemDatabase& ans = result->answer;
   OemDatabase remapped;
-  NodeId& fresh_offset = fresh_offsets_[lorel_query];
+  NodeId& fresh_offset = fresh_offsets_[group_key];
   fresh_offset += ans.PeekNextId() + 1;
   remapped.ReserveIdsBelow(fresh_offset);
   auto map = CopyReachable(ans, {ans.root()}, &remapped,

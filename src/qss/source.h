@@ -31,6 +31,20 @@ class InformationSource {
   virtual Result<OemDatabase> Poll(const std::string& lorel_query,
                                    Timestamp now) = 0;
 
+  /// As Poll, on behalf of one QSS poll group. `group_key` is a stable
+  /// opaque identifier for the calling group; stateful sources that
+  /// simulate non-persistent ids (ScriptedSource with preserve_ids
+  /// false) key their per-caller counters by it, so two groups that
+  /// happen to share a polling query (e.g. same query at different
+  /// frequencies) cannot perturb each other's id sequences. The default
+  /// ignores the key.
+  virtual Result<OemDatabase> PollForGroup(const std::string& group_key,
+                                           const std::string& lorel_query,
+                                           Timestamp now) {
+    (void)group_key;
+    return Poll(lorel_query, now);
+  }
+
   /// Whether object identifiers are stable across polls (a wrapper that
   /// exports persistent OIDs) — selects keyed vs. structural differencing
   /// in QSS.
@@ -50,11 +64,13 @@ class InformationSource {
 ///
 /// With `preserve_ids` false, each poll re-packages the result with fresh
 /// identifiers (shifted id space), simulating a wrapper without
-/// persistent OIDs. The shift counter is kept per polling query, so the
-/// ids a poll group observes depend only on that group's own poll
-/// sequence — not on how polls of *other* groups interleave with it —
-/// which keeps structural-mode DOEM histories byte-identical between
-/// serial and parallel QSS runs (groups are keyed by polling query).
+/// persistent OIDs. The shift counter is kept per poll group (the
+/// PollForGroup key; plain Poll calls use the query text as their own
+/// key), so the ids a poll group observes depend only on that group's
+/// own poll sequence — not on how polls of *other* groups interleave
+/// with it — which keeps structural-mode DOEM histories byte-identical
+/// between serial and parallel QSS runs, including when two groups share
+/// one polling query at different frequencies.
 ///
 /// A malformed script (steps out of time order, or a step whose change
 /// set is invalid for the source state) makes Poll return a clean
@@ -70,6 +86,9 @@ class ScriptedSource : public InformationSource {
 
   Result<OemDatabase> Poll(const std::string& lorel_query,
                            Timestamp now) override;
+  Result<OemDatabase> PollForGroup(const std::string& group_key,
+                                   const std::string& lorel_query,
+                                   Timestamp now) override;
   bool PreservesIds() const override { return preserve_ids_; }
 
   /// The source's current state (for tests).

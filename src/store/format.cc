@@ -34,7 +34,7 @@ uint32_t GetU32(std::string_view bytes, uint64_t offset) {
 
 std::string EncodeStoreHeader() { return std::string(kStoreMagic); }
 
-std::string EncodeRecord(RecordType type, std::string_view payload) {
+std::string EncodeFrame(uint8_t type, std::string_view payload) {
   std::string out;
   out.reserve(kRecordHeaderSize + 1 + payload.size());
   uint32_t length = static_cast<uint32_t>(1 + payload.size());
@@ -49,8 +49,9 @@ std::string EncodeRecord(RecordType type, std::string_view payload) {
   return out;
 }
 
-DecodeOutcome DecodeRecordAt(std::string_view bytes, uint64_t offset,
-                             DecodedRecord* out, std::string* reason) {
+DecodeOutcome DecodeFrameAt(std::string_view bytes, uint64_t offset,
+                            uint32_t max_length, DecodedFrame* out,
+                            std::string* reason) {
   if (offset > bytes.size()) {
     *reason = "record offset past end of file";
     return DecodeOutcome::kTorn;
@@ -67,7 +68,7 @@ DecodeOutcome DecodeRecordAt(std::string_view bytes, uint64_t offset,
     *reason = "record with zero length";
     return DecodeOutcome::kCorrupt;
   }
-  if (length > kMaxRecordLength) {
+  if (length > max_length) {
     *reason = "record length " + std::to_string(length) +
               " exceeds the format bound";
     return DecodeOutcome::kCorrupt;
@@ -85,15 +86,30 @@ DecodeOutcome DecodeRecordAt(std::string_view bytes, uint64_t offset,
               ", computed " + std::to_string(actual) + ")";
     return DecodeOutcome::kCorrupt;
   }
-  uint8_t type = static_cast<uint8_t>(body[0]);
-  if (type != static_cast<uint8_t>(RecordType::kCheckpoint) &&
-      type != static_cast<uint8_t>(RecordType::kDelta)) {
-    *reason = "unknown record type " + std::to_string(type);
-    return DecodeOutcome::kCorrupt;
-  }
-  out->type = static_cast<RecordType>(type);
+  out->type = static_cast<uint8_t>(body[0]);
   out->payload = body.substr(1);
   out->end = offset + kRecordHeaderSize + length;
+  return DecodeOutcome::kOk;
+}
+
+std::string EncodeRecord(RecordType type, std::string_view payload) {
+  return EncodeFrame(static_cast<uint8_t>(type), payload);
+}
+
+DecodeOutcome DecodeRecordAt(std::string_view bytes, uint64_t offset,
+                             DecodedRecord* out, std::string* reason) {
+  DecodedFrame frame;
+  DecodeOutcome outcome =
+      DecodeFrameAt(bytes, offset, kMaxRecordLength, &frame, reason);
+  if (outcome != DecodeOutcome::kOk) return outcome;
+  if (frame.type != static_cast<uint8_t>(RecordType::kCheckpoint) &&
+      frame.type != static_cast<uint8_t>(RecordType::kDelta)) {
+    *reason = "unknown record type " + std::to_string(frame.type);
+    return DecodeOutcome::kCorrupt;
+  }
+  out->type = static_cast<RecordType>(frame.type);
+  out->payload = frame.payload;
+  out->end = frame.end;
   return DecodeOutcome::kOk;
 }
 

@@ -58,13 +58,14 @@ enum class RecordType : uint8_t {
   kDelta = 2,
 };
 
-// ---- Record framing --------------------------------------------------------
-
-/// The 8-byte file header.
-std::string EncodeStoreHeader();
-
-/// Frames one record (header + type + payload) ready to append.
-std::string EncodeRecord(RecordType type, std::string_view payload);
+// ---- Frame codec -----------------------------------------------------------
+//
+// The record shape — u32 length | u32 crc32 | type byte | payload — is
+// useful beyond the log file: the QSS server's wire protocol frames its
+// messages the same way, so a torn TCP read and a torn file tail are the
+// same condition handled by the same code. EncodeFrame/DecodeFrameAt are
+// the type-agnostic layer (the caller owns the type-byte namespace);
+// EncodeRecord/DecodeRecordAt specialize them to the store's RecordType.
 
 enum class DecodeOutcome {
   kOk,
@@ -75,6 +76,34 @@ enum class DecodeOutcome {
   /// oversized length, or an unknown type byte.
   kCorrupt,
 };
+
+struct DecodedFrame {
+  uint8_t type = 0;
+  std::string_view payload;
+  /// Offset just past this frame; where the next one starts.
+  uint64_t end = 0;
+};
+
+/// Frames one message (header + type + payload).
+std::string EncodeFrame(uint8_t type, std::string_view payload);
+
+/// Decodes the frame starting at `offset`, accepting any type byte.
+/// `max_length` bounds the declared length (a hostile peer's length field
+/// must not make the receiver buffer unbounded memory); pass
+/// kMaxRecordLength for parity with the store. On kTorn/kCorrupt,
+/// `*reason` describes the defect; `out` is valid only on kOk. Never
+/// reads past `bytes`.
+DecodeOutcome DecodeFrameAt(std::string_view bytes, uint64_t offset,
+                            uint32_t max_length, DecodedFrame* out,
+                            std::string* reason);
+
+// ---- Record framing --------------------------------------------------------
+
+/// The 8-byte file header.
+std::string EncodeStoreHeader();
+
+/// Frames one record (header + type + payload) ready to append.
+std::string EncodeRecord(RecordType type, std::string_view payload);
 
 struct DecodedRecord {
   RecordType type = RecordType::kDelta;

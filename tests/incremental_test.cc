@@ -339,11 +339,11 @@ QssRun RunQssScenario(const QssConfig& config) {
   qss::QssOptions opts;
   opts.strategy = config.strategy;
   opts.retention = config.retention;
-  opts.incremental_filter = config.incremental;
+  opts.acceleration.incremental_filter = config.incremental;
   // Cross-check the maintained caches against rebuilds on every poll;
   // any divergence shows up as a filter error and fails the run
   // comparison.
-  opts.verify_incremental_filter = config.incremental;
+  opts.acceleration.verify_incremental_filter = config.incremental;
   opts.executor = config.executor;
   qss::QuerySubscriptionService service(&source, start, opts);
 

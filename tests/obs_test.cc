@@ -582,13 +582,13 @@ RunResult RunWorkload(bool obs, obs::MetricsRegistry* metrics = nullptr,
                    /*query_contains=*/".price");
 
   qss::QssOptions opts;
-  opts.retry.max_attempts = 2;
-  opts.quarantine_after = 2;
-  opts.quarantine_cooldown_ticks = 3;
-  opts.max_missed_log = 2;
+  opts.fault_tolerance.retry.max_attempts = 2;
+  opts.fault_tolerance.quarantine_after = 2;
+  opts.fault_tolerance.quarantine_cooldown_ticks = 3;
+  opts.fault_tolerance.max_missed_log = 2;
   if (obs) {
-    opts.metrics = metrics;
-    opts.trace = trace;
+    opts.observability.metrics = metrics;
+    opts.observability.trace = trace;
   }
 
   qss::QuerySubscriptionService service(&source, start, opts);

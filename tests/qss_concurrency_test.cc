@@ -176,11 +176,11 @@ RunResult RunScenario(Executor* executor, const Scenario& scenario) {
 
   QssOptions opts;
   opts.executor = executor;
-  opts.retry.max_attempts = 2;
-  opts.retry.backoff_base_ticks = 1;
-  opts.retry.poll_deadline_ticks = 5;
-  opts.quarantine_after = 2;
-  opts.quarantine_cooldown_ticks = 3;
+  opts.fault_tolerance.retry.max_attempts = 2;
+  opts.fault_tolerance.retry.backoff_base_ticks = 1;
+  opts.fault_tolerance.retry.poll_deadline_ticks = 5;
+  opts.fault_tolerance.quarantine_after = 2;
+  opts.fault_tolerance.quarantine_cooldown_ticks = 3;
   QuerySubscriptionService qss(&source, start, opts);
 
   RunResult out;
@@ -232,9 +232,7 @@ RunResult RunScenario(Executor* executor, const Scenario& scenario) {
   }
   out.report = report;
   for (const PollError& e : report.errors) {
-    out.errors.push_back(std::string(e.kind == PollError::Kind::kPoll
-                                         ? "poll:"
-                                         : "filter:") +
+    out.errors.push_back(std::string(PollErrorKindToString(e.kind)) + ":" +
                          e.subject + "@" + std::to_string(e.time.ticks) + ":" +
                          e.status.ToString());
   }

@@ -53,7 +53,7 @@ RunResult RunService(store::StoreManager* manager, Timestamp start,
                      Timestamp end, std::vector<std::string>* sink) {
   ScriptedSource source(BuildGuide().db, GuideHistory());
   QssOptions options;
-  options.store = manager;
+  options.durability.store = manager;
   QuerySubscriptionService qss(&source, start, options);
   RunResult out;
   Status subscribed =
@@ -149,7 +149,7 @@ TEST(QssStoreTest, ResumeDoesNotRepollCommittedTicks) {
   // poll at all: every tick up to Day(2) is already committed.
   ScriptedSource source(BuildGuide().db, GuideHistory());
   QssOptions options;
-  options.store = &manager;
+  options.durability.store = &manager;
   QuerySubscriptionService qss(&source, Day(2), options);
   size_t notified = 0;
   ASSERT_TRUE(qss.Subscribe(GuideSubscription(),
@@ -191,7 +191,7 @@ TEST(QssStoreTest, StoreFailureSurfacesAsStoreErrorAndPollStands) {
   ScriptedSource source(BuildGuide().db, GuideHistory());
   FaultyStoreManager manager;
   QssOptions options;
-  options.store = &manager;
+  options.durability.store = &manager;
   QuerySubscriptionService qss(&source, Day(0), options);
   size_t notified = 0;
   ASSERT_TRUE(qss.Subscribe(GuideSubscription(),
@@ -226,7 +226,7 @@ TEST(QssStoreTest, StoreFailureSurfacesAsStoreErrorAndPollStands) {
       manager.inner()->data();
   ScriptedSource source2(BuildGuide().db, GuideHistory());
   QssOptions options2;
-  options2.store = &clean;
+  options2.durability.store = &clean;
   QuerySubscriptionService qss2(&source2, Day(2), options2);
   ASSERT_TRUE(qss2.Subscribe(GuideSubscription(),
                              [&](const Notification&) {}).ok());

@@ -87,11 +87,11 @@ TEST_P(QssStressTest, InvariantsHoldAndTwinRunsAgree) {
 
     QssOptions opts;
     opts.executor = executor;
-    opts.retry.max_attempts = 1 + static_cast<int>(seed % 3);
-    opts.retry.backoff_base_ticks = 1;
-    opts.retry.poll_deadline_ticks = 4;  // RandomFaultSchedule slow > 0
-    opts.quarantine_after = 1 + static_cast<int>(seed % 2);
-    opts.quarantine_cooldown_ticks = 1 + seed % 3;
+    opts.fault_tolerance.retry.max_attempts = 1 + static_cast<int>(seed % 3);
+    opts.fault_tolerance.retry.backoff_base_ticks = 1;
+    opts.fault_tolerance.retry.poll_deadline_ticks = 4;  // RandomFaultSchedule slow > 0
+    opts.fault_tolerance.quarantine_after = 1 + static_cast<int>(seed % 2);
+    opts.fault_tolerance.quarantine_cooldown_ticks = 1 + seed % 3;
     QuerySubscriptionService qss(&source, start, opts);
 
     for (const SubSpec& spec : subs) {
@@ -145,7 +145,7 @@ TEST_P(QssStressTest, InvariantsHoldAndTwinRunsAgree) {
           static_cast<size_t>((end.ticks - start.ticks) / interval + 1);
       EXPECT_EQ(h.polls_attempted + h.missed.size(), scheduled) << spec.name;
       if (h.state != CircuitState::kOpen) {
-        EXPECT_LT(h.consecutive_failures, opts.quarantine_after + 1)
+        EXPECT_LT(h.consecutive_failures, opts.fault_tolerance.quarantine_after + 1)
             << spec.name;
       }
 

@@ -466,8 +466,8 @@ TEST(QssFaultTest, TransientFailureRetriedThenRecovered) {
 
   Timestamp t0 = Timestamp::FromDate(1996, 12, 30);
   QssOptions opts;
-  opts.retry.max_attempts = 2;
-  opts.retry.backoff_base_ticks = 3;
+  opts.fault_tolerance.retry.max_attempts = 2;
+  opts.fault_tolerance.retry.backoff_base_ticks = 3;
   QuerySubscriptionService qss(&source, t0, opts);
   int notified = 0;
   ASSERT_TRUE(qss.Subscribe(MakeCreSub("R"),
@@ -503,8 +503,8 @@ TEST(QssFaultTest, SlowPollExceedingDeadlineIsRetried) {
   source.SlowPolls(/*skip=*/0, /*count=*/1, /*duration_ticks=*/10);
 
   QssOptions opts;
-  opts.retry.max_attempts = 2;
-  opts.retry.poll_deadline_ticks = 5;
+  opts.fault_tolerance.retry.max_attempts = 2;
+  opts.fault_tolerance.retry.poll_deadline_ticks = 5;
   QuerySubscriptionService qss(&source, Timestamp(0), opts);
   ASSERT_TRUE(qss.Subscribe(MakeCreSub("R"), nullptr).ok());
   ASSERT_TRUE(qss.AdvanceTo(Timestamp(0)).ok());
@@ -524,9 +524,9 @@ TEST(QssFaultTest, QuarantineAfterConsecutiveFailures) {
 
   std::vector<PollError> errors;
   QssOptions opts;
-  opts.quarantine_after = 2;
-  opts.quarantine_cooldown_ticks = 2;
-  opts.on_error = [&](const PollError& e) { errors.push_back(e); };
+  opts.fault_tolerance.quarantine_after = 2;
+  opts.fault_tolerance.quarantine_cooldown_ticks = 2;
+  opts.fault_tolerance.on_error = [&](const PollError& e) { errors.push_back(e); };
   QuerySubscriptionService qss(&source, Timestamp(0), opts);
   ASSERT_TRUE(qss.Subscribe(MakeCreSub("X"), nullptr).ok());
 
@@ -574,9 +574,9 @@ TEST(QssFaultTest, HalfOpenProbeReopensAndResumesDiffing) {
 
   Timestamp t0 = Timestamp::FromDate(1996, 12, 30);
   QssOptions opts;
-  opts.quarantine_after = 2;
-  opts.quarantine_cooldown_ticks = 2;
-  opts.on_error = [](const PollError&) {};
+  opts.fault_tolerance.quarantine_after = 2;
+  opts.fault_tolerance.quarantine_cooldown_ticks = 2;
+  opts.fault_tolerance.on_error = [](const PollError&) {};
   QuerySubscriptionService qss(&source, t0, opts);
   std::vector<Notification> log;
   ASSERT_TRUE(qss.Subscribe(MakeCreSub("R"),
@@ -653,7 +653,7 @@ TEST(QssFaultTest, FilterErrorDoesNotStarveOtherMembers) {
   // (translate.h), so A's filter parses at Subscribe time but fails at
   // evaluation time — exactly a runtime filter error.
   opts.strategy = chorel::Strategy::kTranslated;
-  opts.on_error = [&](const PollError& e) { errors.push_back(e); };
+  opts.fault_tolerance.on_error = [&](const PollError& e) { errors.push_back(e); };
   QuerySubscriptionService qss(&source, t0, opts);
 
   int b_notified = 0;
@@ -724,9 +724,9 @@ TEST(QssFaultTest, EndToEndOutageScenario) {
 
   QssOptions opts;
   opts.notify_empty = true;  // healthy members hear from every tick
-  opts.retry.max_attempts = 2;
-  opts.quarantine_after = 2;
-  opts.quarantine_cooldown_ticks = 2;
+  opts.fault_tolerance.retry.max_attempts = 2;
+  opts.fault_tolerance.quarantine_after = 2;
+  opts.fault_tolerance.quarantine_cooldown_ticks = 2;
 
   auto subscribe_all = [](QuerySubscriptionService* qss, int* a, int* b,
                           std::vector<Notification>* c_log) {

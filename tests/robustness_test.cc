@@ -251,7 +251,7 @@ TEST(RobustnessTest, QssGarbageSnapshotIsCleanFailureThenRecovers) {
   Timestamp t0 = Timestamp::FromDate(1996, 12, 30);
   std::vector<qss::PollError> errors;
   qss::QssOptions opts;
-  opts.on_error = [&](const qss::PollError& e) { errors.push_back(e); };
+  opts.fault_tolerance.on_error = [&](const qss::PollError& e) { errors.push_back(e); };
   qss::QuerySubscriptionService service(&source, t0, opts);
   qss::Subscription sub;
   sub.name = "R";
@@ -291,9 +291,9 @@ TEST(RobustnessTest, QssPersistentOutageDoesNotStarveOtherGroups) {
                    /*query_contains=*/".name");
 
   qss::QssOptions opts;
-  opts.quarantine_after = 2;
-  opts.quarantine_cooldown_ticks = 5;
-  opts.on_error = [](const qss::PollError&) {};
+  opts.fault_tolerance.quarantine_after = 2;
+  opts.fault_tolerance.quarantine_cooldown_ticks = 5;
+  opts.fault_tolerance.on_error = [](const qss::PollError&) {};
   Timestamp t0 = Timestamp::FromDate(1996, 12, 30);
   qss::QuerySubscriptionService service(&source, t0, opts);
   qss::Subscription healthy;

@@ -379,8 +379,8 @@ QssRun RunQssScenario(bool vm) {
   Timestamp start = Timestamp::FromDate(1997, 1, 1);
 
   qss::QssOptions opts;
-  opts.vm_filter = vm;
-  opts.verify_vm_filter = vm;
+  opts.acceleration.vm_filter = vm;
+  opts.acceleration.verify_vm_filter = vm;
   qss::QuerySubscriptionService service(&source, start, opts);
 
   QssRun out;
