@@ -10,6 +10,7 @@
 
 #include <optional>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "qss/qss.h"
@@ -20,7 +21,8 @@ namespace {
 
 constexpr int64_t kPolls = 32;
 
-// obs: 0 = bare, 1 = metrics only, 2 = metrics + tracing.
+// obs: 0 = bare, 1 = metrics only, 2 = metrics + tracing,
+// 3 = metrics + tracing + event log (the full introspection plane).
 void BM_QssObsOverhead(benchmark::State& state) {
   int obs_level = static_cast<int>(state.range(0));
   OemDatabase base = testing::SyntheticGuide(100);
@@ -30,6 +32,7 @@ void BM_QssObsOverhead(benchmark::State& state) {
 
   std::optional<obs::MetricsRegistry> metrics;
   std::optional<obs::TraceRecorder> trace;
+  std::optional<obs::EventLog> events;
   qss::QssOptions opts;
   opts.strategy = chorel::Strategy::kTranslated;
   if (obs_level >= 1) {
@@ -39,6 +42,10 @@ void BM_QssObsOverhead(benchmark::State& state) {
   if (obs_level >= 2) {
     trace.emplace();
     opts.observability.trace = &*trace;
+  }
+  if (obs_level >= 3) {
+    events.emplace();
+    opts.observability.events = &*events;
   }
 
   std::optional<qss::ScriptedSource> source;
@@ -70,11 +77,15 @@ void BM_QssObsOverhead(benchmark::State& state) {
     state.counters["spans"] = static_cast<double>(trace->Events().size());
     state.counters["spans_dropped"] = static_cast<double>(trace->dropped());
   }
+  if (events.has_value()) {
+    state.counters["events"] = static_cast<double>(events->recorded());
+  }
 }
 BENCHMARK(BM_QssObsOverhead)
     ->Arg(0)
     ->Arg(1)
     ->Arg(2)
+    ->Arg(3)
     ->ArgNames({"obs"})
     ->Unit(benchmark::kMillisecond);
 
@@ -114,6 +125,18 @@ void BM_TraceSpan(benchmark::State& state) {
   // The bounded buffer saturates; steady-state cost is the dropped path.
 }
 BENCHMARK(BM_TraceSpan)->Arg(0)->Arg(1)->ArgNames({"recording"});
+
+void BM_EventLogRecord(benchmark::State& state) {
+  obs::EventLog log(/*capacity=*/1024);
+  Timestamp sim(42);
+  for (auto _ : state) {
+    log.Record(obs::EventType::kPollFailed, obs::EventSeverity::kInfo, sim,
+               "bench.group", "detail");
+    benchmark::DoNotOptimize(log.recorded());
+  }
+  // The ring laps; steady-state cost includes the overwrite path.
+}
+BENCHMARK(BM_EventLogRecord);
 
 }  // namespace
 }  // namespace doem

@@ -1,22 +1,31 @@
-// Observability walkthrough (DESIGN.md §6d): run a scripted QSS workload
-// with a flaky source, then inspect everything the obs layer collected —
-// the per-subscription health table, the qss.*/chorel.* metric families
-// in Prometheus text exposition, and a Chrome trace of the poll pipeline
-// (load the written .trace.json in Perfetto or chrome://tracing).
+// Live introspection walkthrough (DESIGN.md §6d, §6h): run a scripted
+// QSS workload with a flaky source behind the multiplexing wire server,
+// then inspect it the way an operator would — over the wire. The client
+// subscribes, receives notification frames as polls commit, and issues
+// the admin requests: kStatsRequest (Prometheus exposition + interval
+// rates), kHealthRequest (per-poll-group circuit state and last-poll
+// phase timings), kTraceDumpRequest (drains the Chrome-trace buffer;
+// load the written .trace.json in Perfetto or chrome://tracing). The
+// structured event log is printed as JSON lines at the end.
 //
 // Usage: qss_dashboard [trace-output-path]
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "qss/executor.h"
 #include "qss/fault.h"
 #include "qss/qss.h"
+#include "qss/server/server.h"
+#include "qss/server/transport.h"
 #include "testing/generators.h"
 
 using namespace doem;
+using qss::server::MsgType;
 
 namespace {
 
@@ -26,14 +35,23 @@ bool Contains(const std::string& haystack, const std::string& needle) {
   return haystack.find(needle) != std::string::npos;
 }
 
-void PrintHealth(const qss::QuerySubscriptionService& service,
-                 const char* name) {
-  qss::PollHealth h = service.Health(name);
-  std::printf("  %-10s %-8s attempted=%-3zu ok=%-3zu failed=%-3zu "
-              "retries=%-2zu missed=%zu(+%zu dropped)\n",
-              name, qss::CircuitStateToString(h.state), h.polls_attempted,
-              h.polls_succeeded, h.polls_failed, h.retries, h.missed.size(),
-              h.missed_dropped);
+void PrintGroupHealth(const qss::server::GroupHealthMsg& g) {
+  std::printf("  %-28s %-8s subs=%zu polls=%zu attempted=%zu ok=%zu "
+              "failed=%zu retries=%zu missed=%zu(+%zu dropped)\n",
+              g.entries.c_str(), qss::CircuitStateToString(g.circuit),
+              static_cast<size_t>(g.subscribers),
+              static_cast<size_t>(g.polls_committed),
+              static_cast<size_t>(g.polls_attempted),
+              static_cast<size_t>(g.polls_succeeded),
+              static_cast<size_t>(g.polls_failed),
+              static_cast<size_t>(g.retries), g.missed.size(),
+              static_cast<size_t>(g.missed_dropped));
+  const qss::PollPhaseLatency& lp = g.last_poll;
+  std::printf("  %-28s last poll: fetch=%.3fms diff=%.3fms apply=%.3fms "
+              "filter=%.3fms fanout=%.3fms wire=%.3fms e2e=%.3fms\n", "",
+              lp.fetch_ns / 1e6, lp.diff_ns / 1e6, lp.apply_ns / 1e6,
+              lp.filter_ns / 1e6, lp.fanout_ns / 1e6, lp.wire_ns / 1e6,
+              lp.e2e_ns / 1e6);
 }
 
 }  // namespace
@@ -55,11 +73,13 @@ int main(int argc, char** argv) {
 
   obs::MetricsRegistry metrics;
   obs::TraceRecorder trace;
+  obs::EventLog events(256);
   qss::ThreadPoolExecutor pool(2);
 
   qss::QssOptions opts;
   opts.observability.metrics = &metrics;
   opts.observability.trace = &trace;
+  opts.observability.events = &events;
   opts.executor = &pool;
   opts.fault_tolerance.retry.max_attempts = 2;
   opts.fault_tolerance.quarantine_after = 2;
@@ -72,43 +92,69 @@ int main(int argc, char** argv) {
   Timestamp start(Timestamp::FromDate(1997, 1, 1).ticks);
   qss::QuerySubscriptionService service(&source, start, opts);
 
-  size_t notifications = 0;
-  auto on_notify = [&](const qss::Notification& n) {
-    ++notifications;
-    std::printf("  [notify] %s at %s: %zu row(s)\n", n.subscription.c_str(),
-                n.poll_time.ToString().c_str(), n.result.rows.size());
-  };
+  // The wire plumbing: the server multiplexes the service's registry,
+  // the client talks to it through a deterministic in-process pipe.
+  qss::server::QssServer server(&service.registry());
+  qss::server::LoopbackPipe pipe;
+  qss::server::QssClient client(
+      [&pipe](std::string_view bytes) { pipe.ClientSend(bytes); });
+  qss::server::QssServer::ConnectionId conn = server.Attach(
+      [&pipe](std::string_view bytes) { pipe.ServerSend(bytes); });
+  pipe.set_server_sink([&server, conn](std::string_view bytes) {
+    server.OnBytes(conn, bytes);
+  });
+  pipe.set_client_sink(
+      [&client](std::string_view bytes) { client.OnBytes(bytes); });
 
   // Two subscriptions sharing one poll group (same polling query and
-  // frequency), watching different kinds of change.
-  for (const auto& [name, filter] :
-       {std::pair<std::string, std::string>{
-            "NewPlaces", "select S.restaurant<cre at T> where T > t[-1]"},
-        {"PriceMoves",
-         "select S.restaurant.price<upd at T> where T > t[-1]"}}) {
-    qss::Subscription sub;
+  // frequency), watching different kinds of change — registered over
+  // the wire this time.
+  for (const std::string name : {"NewPlaces", "PriceMoves"}) {
+    qss::server::SubscribeMsg sub;
     sub.name = name;
-    sub.frequency = *qss::FrequencySpec::Parse("every day");
+    sub.interval_ticks = 1;
     sub.polling_query = "select guide.restaurant";
-    std::string f = filter;
-    f.replace(f.find('S'), 1, name);
-    sub.filter_query = f;
-    Status st = service.Subscribe(sub, on_notify);
-    if (!st.ok()) {
-      std::printf("subscribe %s failed: %s\n", name.c_str(),
-                  st.ToString().c_str());
+    sub.filter_query =
+        name == "NewPlaces"
+            ? "select NewPlaces.restaurant<cre at T> where T > t[-1]"
+            : "select PriceMoves.restaurant.price<upd at T> where T > t[-1]";
+    client.Subscribe(sub);
+  }
+  pipe.PumpAll();
+  size_t subscribed = 0;
+  for (const auto& e : client.TakeEvents()) {
+    if (e.type == MsgType::kSubscribed) {
+      ++subscribed;
+    } else if (e.type == MsgType::kError) {
+      std::printf("subscribe failed: %s\n", e.error.message.c_str());
       return 1;
     }
+  }
+  if (subscribed != 2) {
+    std::printf("FAIL: expected 2 subscriptions, got %zu\n", subscribed);
+    return 1;
   }
 
   std::printf("== workload: %lld daily polls, source down on days 11-12 ==\n",
               static_cast<long long>(kDays));
   qss::PollReport report;
+  size_t notifications = 0;
   for (int64_t day = 0; day < kDays; ++day) {
     Status st = service.AdvanceTo(Timestamp(start.ticks + day), &report);
     if (!st.ok()) {
       std::printf("advance failed: %s\n", st.ToString().c_str());
       return 1;
+    }
+    // Notification frames queued during the tick sit in the pipe like a
+    // socket buffer until pumped.
+    pipe.PumpAll();
+    for (const auto& e : client.TakeEvents()) {
+      if (e.type != MsgType::kNotification) continue;
+      ++notifications;
+      std::printf("  [notify] %s at %s: %zu byte(s) of rows\n",
+                  e.notification.name.c_str(),
+                  e.notification.poll_time.ToString().c_str(),
+                  e.notification.rows.size());
     }
   }
 
@@ -117,52 +163,105 @@ int main(int argc, char** argv) {
               "notifications=%zu\n",
               report.polls_attempted, report.polls_ok, report.polls_failed,
               report.polls_missed, report.retries, report.notifications);
-  std::printf("  phase wall time: fetch=%.2fms diff=%.2fms apply=%.2fms "
-              "filter=%.2fms (whole calls: %.2fms)\n",
-              report.fetch_ns / 1e6, report.diff_ns / 1e6,
-              report.apply_ns / 1e6, report.filter_ns / 1e6,
-              report.elapsed_ns / 1e6);
 
-  std::printf("\n== health ==\n");
-  PrintHealth(service, "NewPlaces");
-  PrintHealth(service, "PriceMoves");
+  // ---- Admin round 1: health over the wire ----------------------------
+  client.RequestHealth();
+  pipe.PumpAll();
+  auto replies = client.TakeEvents();
+  if (replies.size() != 1 || replies[0].type != MsgType::kHealthReply) {
+    std::printf("FAIL: expected one health reply\n");
+    return 1;
+  }
+  qss::server::HealthReplyMsg health = std::move(replies[0].health);
+  std::printf("\n== health (over the wire, at %s) ==\n",
+              health.now.ToString().c_str());
+  for (const auto& g : health.groups) PrintGroupHealth(g);
 
-  std::printf("\n== metrics (Prometheus exposition) ==\n%s",
-              metrics.ExportPrometheus().c_str());
+  // ---- Admin round 2: stats over the wire -----------------------------
+  client.RequestStats(qss::server::StatsFormat::kPrometheus);
+  pipe.PumpAll();
+  replies = client.TakeEvents();
+  if (replies.size() != 1 || replies[0].type != MsgType::kStatsReply) {
+    std::printf("FAIL: expected one stats reply\n");
+    return 1;
+  }
+  qss::server::StatsReplyMsg stats = std::move(replies[0].stats);
+  std::printf("\n== metrics (Prometheus exposition, over the wire) ==\n%s",
+              stats.body.c_str());
+  std::printf("\n== interval rates (%.2fms window) ==\n  %s\n",
+              stats.interval_ns / 1e6, stats.rates_json.c_str());
 
-  // The trace: one qss.advance span per day, nesting per-group prepare
-  // (fetch, diff) and commit (apply, per-member filter) spans.
-  std::string chrome = trace.ExportChromeTrace();
+  // ---- Admin round 3: drain the trace ---------------------------------
+  client.RequestTraceDump();
+  pipe.PumpAll();
+  replies = client.TakeEvents();
+  if (replies.size() != 1 || replies[0].type != MsgType::kTraceDumpReply) {
+    std::printf("FAIL: expected one trace-dump reply\n");
+    return 1;
+  }
+  qss::server::TraceDumpReplyMsg dump = std::move(replies[0].trace_dump);
   if (FILE* f = std::fopen(trace_path.c_str(), "w")) {
-    std::fwrite(chrome.data(), 1, chrome.size(), f);
+    std::fwrite(dump.chrome_json.data(), 1, dump.chrome_json.size(), f);
     std::fclose(f);
-    std::printf("\n== trace ==\n  %zu span(s), %llu dropped -> %s\n",
-                trace.Events().size(),
-                static_cast<unsigned long long>(trace.dropped()),
+    std::printf("\n== trace (drained over the wire) ==\n"
+                "  %llu span(s), %llu dropped -> %s\n",
+                static_cast<unsigned long long>(dump.events),
+                static_cast<unsigned long long>(dump.dropped),
                 trace_path.c_str());
   } else {
     std::printf("cannot write %s\n", trace_path.c_str());
     return 1;
   }
 
+  // ---- The structured event log ---------------------------------------
+  std::printf("\n== event log (JSON lines, warnings and errors) ==\n%s",
+              events.ExportJsonLines(obs::EventSeverity::kWarning).c_str());
+
   // Self-checks so this example doubles as an end-to-end test.
-  std::string prom = metrics.ExportPrometheus();
-  if (!Contains(prom, "qss_polls_ok") ||
-      !Contains(prom, "qss_quarantine_trips 1") ||
-      !Contains(prom, "chorel_cache_patches") ||
-      !Contains(prom, "qss_fetch_ns_bucket")) {
+  if (notifications == 0 ||
+      metrics.CounterValue("qss.notifications") != notifications ||
+      metrics.CounterValue("qss.server.notifications") != notifications) {
+    std::printf("FAIL: wire notifications disagree with the metrics\n");
+    return 1;
+  }
+  if (!Contains(stats.body, "qss_polls_ok") ||
+      !Contains(stats.body, "qss_quarantine_trips 1") ||
+      !Contains(stats.body, "# HELP qss_server_notifications") ||
+      !Contains(stats.body, "qss_notify_e2e_ns_bucket")) {
     std::printf("FAIL: expected metric families missing from exposition\n");
     return 1;
   }
-  if (metrics.CounterValue("qss.polls_ok") != report.polls_ok ||
-      metrics.CounterValue("qss.notifications") != notifications) {
-    std::printf("FAIL: metrics disagree with the poll report\n");
+  if (!Contains(stats.rates_json, "\"counter_deltas\"")) {
+    std::printf("FAIL: stats reply carries no interval rates\n");
+    return 1;
+  }
+  if (health.groups.size() != 1 || health.groups[0].subscribers != 2 ||
+      health.groups[0].circuit != qss::CircuitState::kClosed) {
+    std::printf("FAIL: health reply shape unexpected\n");
     return 1;
   }
 #ifndef DOEM_TRACING_DISABLED
-  if (trace.Events().empty() || !Contains(chrome, "\"qss.advance\"") ||
-      !Contains(chrome, "\"qss.filter\"")) {
-    std::printf("FAIL: trace missing expected spans\n");
+  if (dump.events == 0 || !Contains(dump.chrome_json, "\"qss.advance\"") ||
+      !Contains(dump.chrome_json, "\"qss.filter\"")) {
+    std::printf("FAIL: trace dump missing expected spans\n");
+    return 1;
+  }
+  // The dump drained the recorder: a second dump is empty.
+  client.RequestTraceDump();
+  pipe.PumpAll();
+  replies = client.TakeEvents();
+  if (replies.size() != 1 || replies[0].trace_dump.events != 0) {
+    std::printf("FAIL: trace dump did not drain the recorder\n");
+    return 1;
+  }
+#endif
+#ifndef DOEM_EVENTLOG_DISABLED
+  std::string log = events.ExportJsonLines();
+  if (!Contains(log, "\"quarantine-opened\"") ||
+      !Contains(log, "\"poll-failed\"") ||
+      !Contains(log, "\"connection-opened\"") ||
+      !Contains(log, "\"subscribed\"")) {
+    std::printf("FAIL: event log missing expected events\n");
     return 1;
   }
 #endif

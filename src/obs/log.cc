@@ -1,0 +1,128 @@
+#include "obs/log.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/clock.h"
+
+namespace doem {
+namespace obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* EventTypeToString(EventType type) {
+  switch (type) {
+    case EventType::kPollFailed: return "poll-failed";
+    case EventType::kPollMissed: return "poll-missed";
+    case EventType::kQuarantineOpened: return "quarantine-opened";
+    case EventType::kQuarantineProbe: return "quarantine-probe";
+    case EventType::kQuarantineClosed: return "quarantine-closed";
+    case EventType::kStoreError: return "store-error";
+    case EventType::kFilterError: return "filter-error";
+    case EventType::kFramePoisoned: return "frame-poisoned";
+    case EventType::kConnectionOpened: return "connection-opened";
+    case EventType::kConnectionClosed: return "connection-closed";
+    case EventType::kSubscribed: return "subscribed";
+    case EventType::kSubscribeRejected: return "subscribe-rejected";
+    case EventType::kUnsubscribed: return "unsubscribed";
+    case EventType::kGroupCreated: return "group-created";
+    case EventType::kGroupRetired: return "group-retired";
+  }
+  return "unknown";
+}
+
+const char* EventSeverityToString(EventSeverity severity) {
+  switch (severity) {
+    case EventSeverity::kInfo: return "info";
+    case EventSeverity::kWarning: return "warning";
+    case EventSeverity::kError: return "error";
+  }
+  return "unknown";
+}
+
+EventLog::EventLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), slots_(capacity_) {}
+
+void EventLog::Record(EventType type, EventSeverity severity, Timestamp sim,
+                      std::string subject, std::string detail) {
+  uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % capacity_];
+  Event e;
+  e.seq = seq;
+  e.wall_ns = NowNs();
+  e.sim = sim;
+  e.type = type;
+  e.severity = severity;
+  e.subject = std::move(subject);
+  e.detail = std::move(detail);
+  std::lock_guard<std::mutex> lock(slot.mu);
+  // Two writers lapping each other race to the same slot; keep the newer
+  // event (the older one counts as overwritten either way).
+  if (slot.full && slot.event.seq > seq) return;
+  slot.full = true;
+  slot.event = std::move(e);
+}
+
+std::vector<Event> EventLog::Snapshot() const {
+  std::vector<Event> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    if (slot.full) out.push_back(slot.event);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::string EventToJson(const Event& e) {
+  std::string out = "{\"seq\":" + std::to_string(e.seq) +
+                    ",\"wall_ns\":" + std::to_string(e.wall_ns) +
+                    ",\"sim_ticks\":" + std::to_string(e.sim.ticks) +
+                    ",\"type\":\"" + EventTypeToString(e.type) +
+                    "\",\"severity\":\"" + EventSeverityToString(e.severity) +
+                    "\",\"subject\":\"" + JsonEscape(e.subject) + "\"";
+  if (!e.detail.empty()) {
+    out += ",\"detail\":\"" + JsonEscape(e.detail) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string EventLog::ExportJsonLines(EventSeverity floor) const {
+  std::string out;
+  for (const Event& e : Snapshot()) {
+    if (e.severity < floor) continue;
+    out += EventToJson(e);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace doem

@@ -1,0 +1,167 @@
+#ifndef DOEM_OBS_LOG_H_
+#define DOEM_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "oem/timestamp.h"
+
+namespace doem {
+namespace obs {
+
+/// What happened. Each value maps to a stable string (EventTypeToString)
+/// used by the JSON-lines export; add new values at the end so dashboards
+/// keyed on the strings stay valid.
+enum class EventType : uint8_t {
+  /// A scheduled poll failed after exhausting retries.
+  kPollFailed,
+  /// A scheduled poll was skipped because its group was quarantined.
+  kPollMissed,
+  /// Circuit breaker tripped: the group entered quarantine.
+  kQuarantineOpened,
+  /// Cool-down elapsed: the next due poll runs as a half-open probe.
+  kQuarantineProbe,
+  /// A probe succeeded: the group left quarantine.
+  kQuarantineClosed,
+  /// The durable store failed (append failure, broken writer, recovery
+  /// truncation).
+  kStoreError,
+  /// A member's filter query (or the group's filter-cache maintenance)
+  /// failed.
+  kFilterError,
+  /// A wire connection fed a corrupt frame and was poisoned.
+  kFramePoisoned,
+  kConnectionOpened,
+  kConnectionClosed,
+  kSubscribed,
+  kSubscribeRejected,
+  kUnsubscribed,
+  kGroupCreated,
+  kGroupRetired,
+};
+
+const char* EventTypeToString(EventType type);
+
+enum class EventSeverity : uint8_t { kInfo, kWarning, kError };
+
+const char* EventSeverityToString(EventSeverity severity);
+
+/// One structured event. `wall_ns` is the obs clock reading at Record
+/// time (measured, excluded from determinism comparisons like every
+/// other wall-clock field); `sim` is the simulated Timestamp of the
+/// operation when it has one.
+struct Event {
+  /// Position in the log's total order (0-based, never reused). Gaps in
+  /// a snapshot mean older events were overwritten by the ring.
+  uint64_t seq = 0;
+  int64_t wall_ns = 0;
+  Timestamp sim;
+  EventType type = EventType::kPollFailed;
+  EventSeverity severity = EventSeverity::kInfo;
+  /// Who it happened to: a group key, subscription name, connection id,
+  /// or store path.
+  std::string subject;
+  /// Free-form detail (an error message, a reason); may be empty.
+  std::string detail;
+};
+
+/// A bounded ring of typed events (DESIGN.md §6h): the operational
+/// journal behind the metrics — metrics say *how often*, the event log
+/// says *what, to whom, and why* for the most recent N incidents.
+///
+/// Thread safety: Record may be called from any thread (QSS executor
+/// threads, server dispatch). Each Record claims a slot with one atomic
+/// fetch_add — writers never contend on a shared lock — then fills the
+/// slot under that slot's own mutex, which is uncontended except against
+/// a concurrent Snapshot or a writer that lapped the ring. When the ring
+/// is full the oldest event is overwritten (overwritten() counts them):
+/// a bounded log never becomes the memory regression it is journaling.
+///
+/// Call sites should go through DOEM_LOG_EVENT below, which compiles to
+/// nothing under -DDOEM_EVENTLOG=OFF (mirroring DOEM_TRACING) so the
+/// argument expressions are never evaluated.
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 1024);
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Stamps wall_ns/seq and appends. Severity-agnostic: filtering is the
+  /// reader's job (ExportJsonLines takes a floor).
+  void Record(EventType type, EventSeverity severity, Timestamp sim,
+              std::string subject, std::string detail = "");
+
+  /// The retained events in seq order (oldest first). Taken under the
+  /// slot mutexes, so concurrent writers are safe; events recorded while
+  /// the snapshot walks the ring may or may not appear.
+  std::vector<Event> Snapshot() const;
+
+  /// Events ever recorded / overwritten by the ring bound. recorded() -
+  /// overwritten() == retained count once writers quiesce.
+  uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  uint64_t overwritten() const {
+    uint64_t n = recorded();
+    return n > capacity_ ? n - capacity_ : 0;
+  }
+  size_t capacity() const { return capacity_; }
+
+  /// One JSON object per line, oldest first, events below `floor`
+  /// omitted:
+  ///   {"seq":12,"wall_ns":98,"sim_ticks":4,"type":"poll-failed",
+  ///    "severity":"error","subject":"...","detail":"..."}
+  std::string ExportJsonLines(
+      EventSeverity floor = EventSeverity::kInfo) const;
+
+ private:
+  struct Slot {
+    mutable std::mutex mu;
+    bool full = false;
+    Event event;
+  };
+
+  const size_t capacity_;
+  std::atomic<uint64_t> next_{0};
+  std::vector<Slot> slots_;
+};
+
+/// Serializes one event as the JSON-lines object ExportJsonLines emits.
+std::string EventToJson(const Event& e);
+
+}  // namespace obs
+}  // namespace doem
+
+#ifdef DOEM_EVENTLOG_DISABLED
+
+/// Event logging compiled out (CMake -DDOEM_EVENTLOG=OFF): the call site
+/// vanishes and its argument expressions are never evaluated. The
+/// EventLog class itself stays available (tests and tools may drive it
+/// directly); only the instrumentation points disappear.
+#define DOEM_LOG_EVENT(log, type, severity, sim, subject, detail) \
+  do {                                                            \
+  } while (0)
+
+#else
+
+/// Records an event iff `log` is non-null. A macro (not an inline
+/// function) so -DDOEM_EVENTLOG=OFF removes the argument expressions —
+/// subjects are often string concatenations that would otherwise still
+/// allocate.
+#define DOEM_LOG_EVENT(log, type, severity, sim, subject, detail)       \
+  do {                                                                  \
+    ::doem::obs::EventLog* doem_log_event_sink = (log);                 \
+    if (doem_log_event_sink != nullptr) {                               \
+      doem_log_event_sink->Record((type), (severity), (sim), (subject), \
+                                  (detail));                            \
+    }                                                                   \
+  } while (0)
+
+#endif  // DOEM_EVENTLOG_DISABLED
+
+#endif  // DOEM_OBS_LOG_H_

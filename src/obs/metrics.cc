@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 namespace doem {
 namespace obs {
@@ -44,7 +45,48 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+/// Escapes a HELP text for the Prometheus exposition format, where the
+/// value runs to end of line: backslash and newline are the only
+/// characters with meaning.
+std::string PrometheusHelpEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void CheckName(const std::string& name) {
+  if (MetricsRegistry::ValidName(name)) return;
+  std::fprintf(stderr,
+               "MetricsRegistry: invalid metric name \"%s\" (want lowercase "
+               "first, then [a-z0-9_.], no empty dotted segment)\n",
+               name.c_str());
+  std::abort();
+}
+
 }  // namespace
+
+bool MetricsRegistry::ValidName(const std::string& name) {
+  if (name.empty()) return false;
+  if (!(name[0] >= 'a' && name[0] <= 'z')) return false;
+  char prev = '\0';
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+              c == '.';
+    if (!ok) return false;
+    if (c == '.' && prev == '.') return false;
+    prev = c;
+  }
+  return name.back() != '.';
+}
 
 Histogram::Histogram(std::vector<int64_t> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
@@ -86,6 +128,7 @@ const std::vector<int64_t>& LatencyBucketsNs() {
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help) {
+  CheckName(name);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it != entries_.end()) {
@@ -103,6 +146,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help) {
+  CheckName(name);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it != entries_.end()) {
@@ -120,6 +164,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::vector<int64_t>& bounds,
                                          const std::string& help) {
+  CheckName(name);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it != entries_.end()) {
@@ -150,12 +195,58 @@ int64_t MetricsRegistry::GaugeValue(const std::string& name) const {
   return it->second.gauge->value();
 }
 
+uint64_t MetricsRegistry::HistogramCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::kHistogram) return 0;
+  return it->second.histogram->count();
+}
+
+std::vector<MetricsRegistry::MetricInfo> MetricsRegistry::Describe() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    MetricInfo info;
+    info.name = name;
+    switch (e.kind) {
+      case Kind::kCounter: info.kind = "counter"; break;
+      case Kind::kGauge: info.kind = "gauge"; break;
+      case Kind::kHistogram: info.kind = "histogram"; break;
+    }
+    info.help = e.help;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+MetricsRegistry::Values MetricsRegistry::CurrentValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Values out;
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        out.counters[name] = e.counter->value();
+        break;
+      case Kind::kGauge:
+        out.gauges[name] = e.gauge->value();
+        break;
+      case Kind::kHistogram:
+        out.histogram_counts[name] = e.histogram->count();
+        break;
+    }
+  }
+  return out;
+}
+
 std::string MetricsRegistry::ExportPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& [name, e] : entries_) {
     std::string pn = PrometheusName(name);
-    if (!e.help.empty()) out += "# HELP " + pn + " " + e.help + "\n";
+    if (!e.help.empty()) {
+      out += "# HELP " + pn + " " + PrometheusHelpEscape(e.help) + "\n";
+    }
     switch (e.kind) {
       case Kind::kCounter:
         out += "# TYPE " + pn + " counter\n";

@@ -79,6 +79,10 @@ const std::vector<int64_t>& LatencyBucketsNs();
 ///
 /// Metric names use dotted lowercase ("qss.polls_ok"); the Prometheus
 /// exporter maps them to the exposition charset ("qss_polls_ok").
+/// Registration validates the name against that charset — a lowercase
+/// letter first, then [a-z0-9_.] with no empty dotted segment — and
+/// aborts on violation: a misspelled registration is a programming
+/// error, and failing at first use beats a silently unexportable metric.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -90,6 +94,9 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name,
                           const std::vector<int64_t>& bounds,
                           const std::string& help = "");
+
+  /// True iff `name` passes registration validation (see class comment).
+  static bool ValidName(const std::string& name);
 
   /// Prometheus text exposition format (one # HELP / # TYPE block per
   /// metric, histograms with cumulative le-buckets), names sorted.
@@ -104,6 +111,29 @@ class MetricsRegistry {
   /// the name is unknown or of another kind.
   uint64_t CounterValue(const std::string& name) const;
   int64_t GaugeValue(const std::string& name) const;
+  uint64_t HistogramCount(const std::string& name) const;
+
+  /// What is registered, without values — name order. Feeds the
+  /// generated METRICS.md reference (tests/metrics_doc_test.cc).
+  struct MetricInfo {
+    std::string name;
+    /// "counter" | "gauge" | "histogram".
+    std::string kind;
+    std::string help;
+  };
+  std::vector<MetricInfo> Describe() const;
+
+  /// Scalar values of every counter and gauge at one instant — the raw
+  /// material MetricsSnapshotter diffs into interval rates. Histograms
+  /// are represented by their total observation count (rates of events,
+  /// not of latency).
+  struct Values {
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, int64_t> gauges;
+    /// name -> count() per histogram.
+    std::map<std::string, uint64_t> histogram_counts;
+  };
+  Values CurrentValues() const;
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };

@@ -1,0 +1,60 @@
+#include "obs/snapshot.h"
+
+#include "obs/clock.h"
+
+namespace doem {
+namespace obs {
+
+namespace {
+
+/// Metric names are pre-validated to [a-z0-9_.], so no escaping needed.
+template <typename Map>
+std::string JsonObject(const Map& m) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : m) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(value);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+MetricsSnapshotter::MetricsSnapshotter(const MetricsRegistry* registry)
+    : registry_(registry),
+      base_(registry->CurrentValues()),
+      base_ns_(NowNs()) {}
+
+MetricsSnapshotter::Interval MetricsSnapshotter::Capture() {
+  MetricsRegistry::Values now = registry_->CurrentValues();
+  int64_t now_ns = NowNs();
+  Interval out;
+  out.interval_ns = now_ns - base_ns_;
+  for (const auto& [name, value] : now.counters) {
+    auto it = base_.counters.find(name);
+    uint64_t before = it == base_.counters.end() ? 0 : it->second;
+    out.counter_deltas[name] = value - before;
+  }
+  for (const auto& [name, value] : now.histogram_counts) {
+    auto it = base_.histogram_counts.find(name);
+    uint64_t before = it == base_.histogram_counts.end() ? 0 : it->second;
+    out.histogram_count_deltas[name] = value - before;
+  }
+  out.gauges = now.gauges;
+  base_ = std::move(now);
+  base_ns_ = now_ns;
+  return out;
+}
+
+std::string MetricsSnapshotter::Interval::ToJson() const {
+  return "{\"interval_ns\":" + std::to_string(interval_ns) +
+         ",\"counter_deltas\":" + JsonObject(counter_deltas) +
+         ",\"histogram_count_deltas\":" + JsonObject(histogram_count_deltas) +
+         ",\"gauges\":" + JsonObject(gauges) + "}";
+}
+
+}  // namespace obs
+}  // namespace doem

@@ -1,0 +1,57 @@
+#ifndef DOEM_OBS_SNAPSHOT_H_
+#define DOEM_OBS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace doem {
+namespace obs {
+
+/// Turns a MetricsRegistry's monotonic values into interval deltas:
+/// each Capture() diffs the registry against the previous capture (the
+/// constructor takes the first baseline), so a StatsReply can report
+/// "polls per interval" instead of "polls since process start".
+///
+/// Not thread-safe by itself — the QssServer drives one snapshotter from
+/// its (externally synchronized) dispatch path. Multiple clients asking
+/// for stats share the interval: each reply covers the span since the
+/// previous stats request from *any* client.
+class MetricsSnapshotter {
+ public:
+  explicit MetricsSnapshotter(const MetricsRegistry* registry);
+
+  struct Interval {
+    /// Wall nanoseconds covered (obs::NowNs domain).
+    int64_t interval_ns = 0;
+    /// Counter increments over the interval (every registered counter,
+    /// including zeros — absence would be ambiguous with "unregistered").
+    std::map<std::string, uint64_t> counter_deltas;
+    /// Histogram observation-count increments over the interval.
+    std::map<std::string, uint64_t> histogram_count_deltas;
+    /// Gauges are levels, not flows: current values, not deltas.
+    std::map<std::string, int64_t> gauges;
+
+    /// {"interval_ns":N,"counter_deltas":{...},
+    ///  "histogram_count_deltas":{...},"gauges":{...}} — rates are
+    /// delta * 1e9 / interval_ns, left to the consumer so the wire
+    /// carries integers only.
+    std::string ToJson() const;
+  };
+
+  /// The interval since the previous Capture (or construction), and
+  /// resets the baseline to now.
+  Interval Capture();
+
+ private:
+  const MetricsRegistry* registry_;
+  MetricsRegistry::Values base_;
+  int64_t base_ns_;
+};
+
+}  // namespace obs
+}  // namespace doem
+
+#endif  // DOEM_OBS_SNAPSHOT_H_

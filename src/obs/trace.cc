@@ -83,6 +83,15 @@ void TraceRecorder::Record(TraceEvent event) {
   buffer->events.push_back(std::move(event));
 }
 
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
 std::vector<TraceEvent> TraceRecorder::Events() const {
   std::vector<TraceEvent> out;
   {

@@ -52,6 +52,12 @@ class TraceRecorder {
     return dropped_.load(std::memory_order_relaxed);
   }
 
+  /// Discards every recorded event and resets the drop counter — the
+  /// TraceDump admin frame drains the recorder so each dump carries only
+  /// spans since the previous one. Thread buffers stay registered;
+  /// recording continues normally afterwards.
+  void Clear();
+
   /// Chrome trace-event JSON: {"traceEvents": [...]} with "X" complete
   /// events (ts/dur in fractional microseconds, relative to the earliest
   /// span), one pid, recorder thread indexes as tids, and args carrying

@@ -60,6 +60,29 @@ struct MissedPoll {
   std::string reason;
 };
 
+/// Wall-clock phase breakdown of one committed poll, from the
+/// PreparePoll stamp to the last notification delivered (DESIGN.md §6h).
+/// All fields are measured nanoseconds — like PollReport's *_ns fields
+/// they differ run to run and are excluded from determinism comparisons.
+struct PollPhaseLatency {
+  /// Source fetch including retries.
+  int64_t fetch_ns = 0;
+  /// OEMdiff of R_{k-1} vs R_k.
+  int64_t diff_ns = 0;
+  /// DOEM apply + incremental cache maintenance + store commit.
+  int64_t apply_ns = 0;
+  /// Filter evaluations summed across the cohort.
+  int64_t filter_ns = 0;
+  /// The whole fan-out (filters + notification callbacks).
+  int64_t fanout_ns = 0;
+  /// Wire framing + transport send, summed across server-delivered
+  /// notifications (0 for in-process subscribers).
+  int64_t wire_ns = 0;
+  /// PreparePoll entry to the return of the last notification callback —
+  /// the end-to-end figure qss.notify.e2e_ns aggregates.
+  int64_t e2e_ns = 0;
+};
+
 /// Health of one poll group, exposed per subscription via
 /// QuerySubscriptionService::Health().
 struct PollHealth {
@@ -87,6 +110,10 @@ struct PollHealth {
   /// Quarantine skips evicted from `missed` by the bound. Total skips
   /// ever = missed.size() + missed_dropped.
   size_t missed_dropped = 0;
+  /// Phase timings of the most recent poll that ran (attempted, not
+  /// quarantine-skipped). Measured wall clock — excluded from
+  /// determinism comparisons.
+  PollPhaseLatency last_poll;
 };
 
 /// One failure surfaced during a tick or a registration call: a poll of

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "chorel/chorel.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "qss/executor.h"
@@ -128,6 +129,13 @@ struct QssOptions {
     /// spans, exportable as Chrome trace JSON. Same determinism
     /// guarantee as `metrics`.
     obs::TraceRecorder* trace = nullptr;
+    /// Optional structured event log (not owned; must outlive the
+    /// service). Poll failures, quarantine transitions, store errors,
+    /// subscriber churn, and group lifecycle land here as typed events
+    /// (src/obs/log.h), exportable as JSON lines and over the wire via
+    /// the server's admin frames. Same determinism guarantee as
+    /// `metrics`.
+    obs::EventLog* events = nullptr;
   };
 
   Acceleration acceleration;

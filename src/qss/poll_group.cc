@@ -4,6 +4,7 @@
 
 #include "lorel/lorel.h"
 #include "obs/clock.h"
+#include "obs/log.h"
 
 namespace doem {
 namespace qss {
@@ -188,6 +189,9 @@ Result<PollGroup*> PollGroupManager::Acquire(
   PollGroup* out = group.get();
   groups_[key] = std::move(group);
   PublishGroupGauges();
+  DOEM_LOG_EVENT(options_.observability.events, obs::EventType::kGroupCreated,
+                 obs::EventSeverity::kInfo, now_, out->key,
+                 "entries=" + out->JoinedEntries());
   return out;
 }
 
@@ -219,7 +223,16 @@ void PollGroupManager::Release(PollGroup* group,
 }
 
 void PollGroupManager::EraseGroup(const std::string& key) {
-  groups_.erase(key);
+  auto it = groups_.find(key);
+  if (it != groups_.end()) {
+    // `key` may alias the erased group's own key member (callers pass
+    // group->key), so copy it out before the erase destroys the group.
+    std::string retired = it->first;
+    groups_.erase(it);
+    DOEM_LOG_EVENT(options_.observability.events,
+                   obs::EventType::kGroupRetired, obs::EventSeverity::kInfo,
+                   now_, retired, "");
+  }
   PublishGroupGauges();
 }
 
@@ -313,6 +326,7 @@ PollGroupManager::PreparedPoll PollGroupManager::PreparePoll(PollGroup* group,
   PreparedPoll pending;
   pending.group = group;
   pending.time = t;
+  pending.start_ns = obs::NowNs();
   PollHealth& health = group->health;
 
   // Quarantined: sit out the cool-down, then probe (half-open).
@@ -327,6 +341,10 @@ PollGroupManager::PreparedPoll PollGroupManager::PreparePoll(PollGroup* group,
     health.state = CircuitState::kHalfOpen;
     AddGauge(ins_.circuits_open, -1);
     AddGauge(ins_.circuits_half_open, 1);
+    DOEM_LOG_EVENT(options_.observability.events,
+                   obs::EventType::kQuarantineProbe,
+                   obs::EventSeverity::kInfo, t, group->key,
+                   "cool-down elapsed; next poll is a half-open probe");
   }
 
   ++health.polls_attempted;
@@ -394,6 +412,9 @@ void PollGroupManager::CommitPoll(PreparedPoll* pending, PollReport* report) {
     }
     ++report->polls_missed;
     Count(ins_.polls_missed);
+    DOEM_LOG_EVENT(options_.observability.events, obs::EventType::kPollMissed,
+                   obs::EventSeverity::kWarning, t, group->key,
+                   health.missed.back().reason);
     return;
   }
 
@@ -405,6 +426,14 @@ void PollGroupManager::CommitPoll(PreparedPoll* pending, PollReport* report) {
   Count(ins_.retries, pending->retries);
   Observe(ins_.fetch_ns, pending->fetch_ns);
   Observe(ins_.diff_ns, pending->diff_ns);
+  // Reset the per-poll phase attribution: fetch and diff were measured
+  // while preparing; apply lands below and the fan-out half
+  // (filter/fanout/wire/e2e) is filled in by SubscriberRegistry::FanOut
+  // and the server, measuring from `last_prepare_start_ns`.
+  health.last_poll = PollPhaseLatency{};
+  health.last_poll.fetch_ns = pending->fetch_ns;
+  health.last_poll.diff_ns = pending->diff_ns;
+  group->last_prepare_start_ns = pending->start_ns;
 
   Status failure = pending->failure;
   Status maintain;  // engine-cache maintenance outcome (see below)
@@ -440,6 +469,7 @@ void PollGroupManager::CommitPoll(PreparedPoll* pending, PollReport* report) {
     int64_t apply_ns = obs::ElapsedNs(apply_start);
     report->apply_ns += apply_ns;
     Observe(ins_.apply_ns, apply_ns);
+    health.last_poll.apply_ns = apply_ns;
   }
 
   if (!failure.ok()) {
@@ -455,6 +485,9 @@ void PollGroupManager::CommitPoll(PreparedPoll* pending, PollReport* report) {
     error.status = failure;
     report->errors.push_back(error);
     if (on_error) on_error(error);
+    DOEM_LOG_EVENT(options_.observability.events, obs::EventType::kPollFailed,
+                   obs::EventSeverity::kError, t, group->key,
+                   failure.ToString());
     // A failed probe re-opens immediately; otherwise the breaker trips
     // after `quarantine_after` consecutive failed polls.
     int quarantine_after = options_.fault_tolerance.quarantine_after;
@@ -469,6 +502,13 @@ void PollGroupManager::CommitPoll(PreparedPoll* pending, PollReport* report) {
           t.ticks + options_.fault_tolerance.quarantine_cooldown_ticks);
       AddGauge(ins_.circuits_open, 1);
       Count(ins_.quarantine_trips);
+      DOEM_LOG_EVENT(options_.observability.events,
+                     obs::EventType::kQuarantineOpened,
+                     obs::EventSeverity::kWarning, t, group->key,
+                     "quarantined until " +
+                         health.quarantined_until.ToString() + " after " +
+                         std::to_string(health.consecutive_failures) +
+                         " consecutive failures");
     }
     return;
   }
@@ -479,6 +519,10 @@ void PollGroupManager::CommitPoll(PreparedPoll* pending, PollReport* report) {
   health.consecutive_failures = 0;
   if (health.state == CircuitState::kHalfOpen) {
     AddGauge(ins_.circuits_half_open, -1);  // probe succeeded: close
+    DOEM_LOG_EVENT(options_.observability.events,
+                   obs::EventType::kQuarantineClosed,
+                   obs::EventSeverity::kInfo, t, group->key,
+                   "half-open probe succeeded");
   }
   health.state = CircuitState::kClosed;
 
@@ -499,6 +543,9 @@ void PollGroupManager::CommitPoll(PreparedPoll* pending, PollReport* report) {
           Status(stored.code(), "durable store commit: " + stored.message());
       report->errors.push_back(error);
       if (on_error) on_error(error);
+      DOEM_LOG_EVENT(options_.observability.events,
+                     obs::EventType::kStoreError, obs::EventSeverity::kError,
+                     t, group->key, error.status.ToString());
     }
   }
 
@@ -515,6 +562,9 @@ void PollGroupManager::CommitPoll(PreparedPoll* pending, PollReport* report) {
                           "filter cache maintenance: " + maintain.message());
     report->errors.push_back(error);
     if (on_error) on_error(error);
+    DOEM_LOG_EVENT(options_.observability.events,
+                   obs::EventType::kFilterError, obs::EventSeverity::kWarning,
+                   t, group->key, error.status.ToString());
   }
 
   // 5–6. Chorel engine + notifications: the subscriber layer's half of
@@ -671,6 +721,25 @@ std::vector<Timestamp> PollGroupManager::GroupPollingTimes(
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (group == nullptr) return {};
   return group->polls;
+}
+
+std::vector<PollGroupManager::GroupStatus> PollGroupManager::GroupStatuses()
+    const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::vector<GroupStatus> out;
+  out.reserve(groups_.size());
+  for (const auto& [key, group] : groups_) {
+    if (group->retired) continue;
+    GroupStatus status;
+    status.key = key;
+    status.entries = group->JoinedEntries();
+    status.subscribers = group->subscriber_count;
+    status.polls_committed = group->polls.size();
+    status.next_poll = group->next_poll;
+    status.health = group->health;
+    out.push_back(std::move(status));
+  }
+  return out;
 }
 
 }  // namespace qss

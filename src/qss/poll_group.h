@@ -62,6 +62,11 @@ struct PollGroup {
   /// Durable backing store (null when QssOptions::Durability is unset).
   /// Appended from the serial commit phase only.
   std::unique_ptr<store::Store> store;
+  /// obs::NowNs at the PreparePoll entry of the poll currently being
+  /// committed — the stamp the end-to-end latency attribution
+  /// (qss.notify.e2e_ns) measures from. Set by CommitPoll just before
+  /// fan-out; only meaningful during the fan-out of that poll.
+  int64_t last_prepare_start_ns = 0;
 
   /// Comma-joined entry names — the `subject` of group-scoped PollErrors.
   std::string JoinedEntries() const;
@@ -150,6 +155,21 @@ class PollGroupManager {
   PollHealth GroupHealth(const PollGroup* group) const;
   std::vector<Timestamp> GroupPollingTimes(const PollGroup* group) const;
 
+  /// A self-contained status copy of one live group — what the server's
+  /// HealthReply serializes per group.
+  struct GroupStatus {
+    std::string key;
+    /// Comma-joined entry names (PollGroup::JoinedEntries).
+    std::string entries;
+    size_t subscribers = 0;
+    /// Committed polls in the group's history.
+    size_t polls_committed = 0;
+    Timestamp next_poll;
+    PollHealth health;
+  };
+  /// Every non-retired group, in group-key order.
+  std::vector<GroupStatus> GroupStatuses() const;
+
   const QssOptions& options() const { return options_; }
 
   /// The one lock serializing the whole service surface. Recursive so
@@ -181,6 +201,9 @@ class PollGroupManager {
     size_t retries = 0;
     int64_t fetch_ns = 0;
     int64_t diff_ns = 0;
+    /// obs::NowNs at PreparePoll entry — the origin of the end-to-end
+    /// notify-latency attribution.
+    int64_t start_ns = 0;
   };
 
   std::string GroupKey(const std::string& polling_query,

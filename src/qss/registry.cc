@@ -5,6 +5,7 @@
 
 #include "lorel/lorel.h"
 #include "obs/clock.h"
+#include "obs/log.h"
 
 namespace doem {
 namespace qss {
@@ -64,6 +65,26 @@ SubscriberRegistry::SubscriberRegistry(PollGroupManager* manager)
   ins_.fanout_ns = m->GetHistogram(
       "qss.group.fanout_ns", obs::LatencyBucketsNs(),
       "per-poll fan-out wall time: filter evaluations + notifications, ns");
+  ins_.notify_e2e_ns = m->GetHistogram(
+      "qss.notify.e2e_ns", obs::LatencyBucketsNs(),
+      "per-notification end-to-end latency, PreparePoll entry to callback "
+      "return (incl. wire framing for server subscribers), ns");
+  ins_.notify_fetch_ns = m->GetHistogram(
+      "qss.notify.fetch_ns", obs::LatencyBucketsNs(),
+      "e2e segment: the notifying poll's source fetch (incl. retries), ns");
+  ins_.notify_diff_ns = m->GetHistogram(
+      "qss.notify.diff_ns", obs::LatencyBucketsNs(),
+      "e2e segment: the notifying poll's OEMdiff, ns");
+  ins_.notify_apply_ns = m->GetHistogram(
+      "qss.notify.apply_ns", obs::LatencyBucketsNs(),
+      "e2e segment: the notifying poll's DOEM apply + cache maintenance, ns");
+  ins_.notify_filter_ns = m->GetHistogram(
+      "qss.notify.filter_ns", obs::LatencyBucketsNs(),
+      "e2e segment: this member's filter evaluation (near zero when served "
+      "from a cohort-shared evaluation), ns");
+  ins_.notify_fanout_ns = m->GetHistogram(
+      "qss.notify.fanout_ns", obs::LatencyBucketsNs(),
+      "e2e segment: fan-out start to this notification's delivery, ns");
 }
 
 SubscriberRegistry::~SubscriberRegistry() { manager_->set_fanout(nullptr); }
@@ -71,6 +92,11 @@ SubscriberRegistry::~SubscriberRegistry() { manager_->set_fanout(nullptr); }
 void SubscriberRegistry::EmitSubscribeError(PollError::Kind kind,
                                             const std::string& subject,
                                             const Status& status) const {
+  DOEM_LOG_EVENT(manager_->options().observability.events,
+                 obs::EventType::kSubscribeRejected,
+                 obs::EventSeverity::kWarning, manager_->now(), subject,
+                 std::string(PollErrorKindToString(kind)) + ": " +
+                     status.ToString());
   const ErrorCallback& on_error =
       manager_->options().fault_tolerance.on_error;
   if (!on_error) return;
@@ -135,6 +161,9 @@ Result<SubscriptionHandle> SubscriberRegistry::Subscribe(
   members_[(*group)->key].push_back(handle.id);
   subs_.emplace(handle.id, std::move(entry));
   SetGauge(ins_.subscribers, static_cast<int64_t>(subs_.size()));
+  DOEM_LOG_EVENT(manager_->options().observability.events,
+                 obs::EventType::kSubscribed, obs::EventSeverity::kInfo,
+                 manager_->now(), sub.name, "group=" + (*group)->key);
   return handle;
 }
 
@@ -153,9 +182,13 @@ Status SubscriberRegistry::Unsubscribe(SubscriptionHandle handle) {
     if (ids.empty()) members_.erase(mit);
   }
   std::string entry_name = it->second.sub.entry_name();
+  std::string sub_name = it->second.sub.name;
   subs_.erase(it);
   manager_->Release(group, entry_name);
   SetGauge(ins_.subscribers, static_cast<int64_t>(subs_.size()));
+  DOEM_LOG_EVENT(manager_->options().observability.events,
+                 obs::EventType::kUnsubscribed, obs::EventSeverity::kInfo,
+                 manager_->now(), sub_name, "");
   return Status::OK();
 }
 
@@ -220,6 +253,7 @@ void SubscriberRegistry::FanOut(PollGroup* group, Timestamp t,
     }
     int64_t filter_ns = obs::ElapsedNs(filter_start);
     report->filter_ns += filter_ns;
+    group->health.last_poll.filter_ns += filter_ns;
     Observe(ins_.filter_ns, filter_ns);
     const Result<lorel::QueryResult>& result = cached->second;
     if (!result.ok()) {
@@ -234,6 +268,10 @@ void SubscriberRegistry::FanOut(PollGroup* group, Timestamp t,
       if (options.fault_tolerance.on_error) {
         options.fault_tolerance.on_error(error);
       }
+      DOEM_LOG_EVENT(options.observability.events,
+                     obs::EventType::kFilterError,
+                     obs::EventSeverity::kWarning, t, member,
+                     error.status.ToString());
       continue;
     }
     // 6. Notify. Invoke a copy of the callback: the callback may
@@ -251,10 +289,26 @@ void SubscriberRegistry::FanOut(PollGroup* group, Timestamp t,
         callback(n);
         ++report->notifications;
         Count(ins_.notifications);
+        // End-to-end attribution: measured *after* the callback returns,
+        // so a server callback's wire framing + send is inside the
+        // figure. The segments (fetch/diff/apply from the committed
+        // poll, this member's filter, fan-out-so-far, and the wire
+        // segment the server adds to last_poll) decompose it.
+        int64_t delivered_ns = obs::NowNs();
+        int64_t e2e_ns = delivered_ns - group->last_prepare_start_ns;
+        group->health.last_poll.e2e_ns = e2e_ns;
+        Observe(ins_.notify_e2e_ns, e2e_ns);
+        Observe(ins_.notify_fetch_ns, group->health.last_poll.fetch_ns);
+        Observe(ins_.notify_diff_ns, group->health.last_poll.diff_ns);
+        Observe(ins_.notify_apply_ns, group->health.last_poll.apply_ns);
+        Observe(ins_.notify_filter_ns, filter_ns);
+        Observe(ins_.notify_fanout_ns, delivered_ns - fanout_start);
       }
     }
   }
-  Observe(ins_.fanout_ns, obs::ElapsedNs(fanout_start));
+  int64_t fanout_ns = obs::ElapsedNs(fanout_start);
+  group->health.last_poll.fanout_ns = fanout_ns;
+  Observe(ins_.fanout_ns, fanout_ns);
 }
 
 }  // namespace qss

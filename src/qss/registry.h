@@ -103,6 +103,16 @@ class SubscriberRegistry : public GroupFanout {
     obs::Gauge* subscribers = nullptr;
     obs::Histogram* filter_ns = nullptr;
     obs::Histogram* fanout_ns = nullptr;
+    /// Per-notification end-to-end latency attribution (DESIGN.md §6h):
+    /// the committed poll's phase timings observed once per delivered
+    /// notification, so the e2e histogram decomposes into the segments a
+    /// notification actually waited on.
+    obs::Histogram* notify_e2e_ns = nullptr;
+    obs::Histogram* notify_fetch_ns = nullptr;
+    obs::Histogram* notify_diff_ns = nullptr;
+    obs::Histogram* notify_apply_ns = nullptr;
+    obs::Histogram* notify_filter_ns = nullptr;
+    obs::Histogram* notify_fanout_ns = nullptr;
   };
   Instruments ins_;
 };

@@ -8,6 +8,10 @@ namespace server {
 
 namespace {
 
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
 void PutU32(uint32_t v, std::string* out) {
   out->push_back(static_cast<char>(v & 0xFF));
   out->push_back(static_cast<char>((v >> 8) & 0xFF));
@@ -30,6 +34,13 @@ void PutString(std::string_view s, std::string* out) {
 class Reader {
  public:
   explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<uint8_t> U8() {
+    if (bytes_.size() - pos_ < 1) return Truncated("u8");
+    uint8_t v = static_cast<unsigned char>(bytes_[pos_]);
+    pos_ += 1;
+    return v;
+  }
 
   Result<uint32_t> U32() {
     if (bytes_.size() - pos_ < 4) return Truncated("u32");
@@ -85,7 +96,7 @@ std::string Frame(MsgType type, std::string_view payload) {
 
 bool KnownType(uint8_t type) {
   return type >= static_cast<uint8_t>(MsgType::kSubscribe) &&
-         type <= static_cast<uint8_t>(MsgType::kNotification);
+         type <= static_cast<uint8_t>(MsgType::kTraceDumpReply);
 }
 
 }  // namespace
@@ -134,6 +145,119 @@ std::string EncodeNotification(const NotificationMsg& msg) {
   PutU64(msg.poll_index, &payload);
   PutString(msg.rows, &payload);
   return Frame(MsgType::kNotification, payload);
+}
+
+std::string EncodeStatsRequest(const StatsRequestMsg& msg) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(msg.format), &payload);
+  return Frame(MsgType::kStatsRequest, payload);
+}
+
+std::string EncodeStatsReply(const StatsReplyMsg& msg) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(msg.format), &payload);
+  PutString(msg.body, &payload);
+  PutU64(static_cast<uint64_t>(msg.interval_ns), &payload);
+  PutString(msg.rates_json, &payload);
+  return Frame(MsgType::kStatsReply, payload);
+}
+
+std::string EncodeHealthRequest(const HealthRequestMsg&) {
+  return Frame(MsgType::kHealthRequest, {});
+}
+
+namespace {
+
+void PutGroupHealth(const GroupHealthMsg& g, std::string* payload) {
+  PutString(g.key, payload);
+  PutString(g.entries, payload);
+  PutU64(g.subscribers, payload);
+  PutU64(g.polls_committed, payload);
+  PutU64(static_cast<uint64_t>(g.next_poll.ticks), payload);
+  PutU8(static_cast<uint8_t>(g.circuit), payload);
+  PutU64(g.consecutive_failures, payload);
+  PutString(g.last_error, payload);
+  PutU64(g.polls_attempted, payload);
+  PutU64(g.polls_succeeded, payload);
+  PutU64(g.polls_failed, payload);
+  PutU64(g.retries, payload);
+  PutU64(static_cast<uint64_t>(g.backoff_ticks), payload);
+  PutU64(static_cast<uint64_t>(g.quarantined_until.ticks), payload);
+  PutU32(static_cast<uint32_t>(g.missed.size()), payload);
+  for (const MissedPoll& m : g.missed) {
+    PutU64(static_cast<uint64_t>(m.time.ticks), payload);
+    PutString(m.reason, payload);
+  }
+  PutU64(g.missed_dropped, payload);
+  PutU64(static_cast<uint64_t>(g.last_poll.fetch_ns), payload);
+  PutU64(static_cast<uint64_t>(g.last_poll.diff_ns), payload);
+  PutU64(static_cast<uint64_t>(g.last_poll.apply_ns), payload);
+  PutU64(static_cast<uint64_t>(g.last_poll.filter_ns), payload);
+  PutU64(static_cast<uint64_t>(g.last_poll.fanout_ns), payload);
+  PutU64(static_cast<uint64_t>(g.last_poll.wire_ns), payload);
+  PutU64(static_cast<uint64_t>(g.last_poll.e2e_ns), payload);
+}
+
+Result<GroupHealthMsg> ReadGroupHealth(Reader* r) {
+  GroupHealthMsg g;
+  DOEM_ASSIGN_OR_RETURN(g.key, r->String());
+  DOEM_ASSIGN_OR_RETURN(g.entries, r->String());
+  DOEM_ASSIGN_OR_RETURN(g.subscribers, r->U64());
+  DOEM_ASSIGN_OR_RETURN(g.polls_committed, r->U64());
+  DOEM_ASSIGN_OR_RETURN(g.next_poll.ticks, r->I64());
+  DOEM_ASSIGN_OR_RETURN(uint8_t circuit, r->U8());
+  if (circuit > static_cast<uint8_t>(CircuitState::kHalfOpen)) {
+    return Status::ParseError("wire payload: bad circuit state " +
+                              std::to_string(circuit));
+  }
+  g.circuit = static_cast<CircuitState>(circuit);
+  DOEM_ASSIGN_OR_RETURN(g.consecutive_failures, r->U64());
+  DOEM_ASSIGN_OR_RETURN(g.last_error, r->String());
+  DOEM_ASSIGN_OR_RETURN(g.polls_attempted, r->U64());
+  DOEM_ASSIGN_OR_RETURN(g.polls_succeeded, r->U64());
+  DOEM_ASSIGN_OR_RETURN(g.polls_failed, r->U64());
+  DOEM_ASSIGN_OR_RETURN(g.retries, r->U64());
+  DOEM_ASSIGN_OR_RETURN(g.backoff_ticks, r->I64());
+  DOEM_ASSIGN_OR_RETURN(g.quarantined_until.ticks, r->I64());
+  DOEM_ASSIGN_OR_RETURN(uint32_t missed_count, r->U32());
+  g.missed.reserve(missed_count);
+  for (uint32_t i = 0; i < missed_count; ++i) {
+    MissedPoll m;
+    DOEM_ASSIGN_OR_RETURN(m.time.ticks, r->I64());
+    DOEM_ASSIGN_OR_RETURN(m.reason, r->String());
+    g.missed.push_back(std::move(m));
+  }
+  DOEM_ASSIGN_OR_RETURN(g.missed_dropped, r->U64());
+  DOEM_ASSIGN_OR_RETURN(g.last_poll.fetch_ns, r->I64());
+  DOEM_ASSIGN_OR_RETURN(g.last_poll.diff_ns, r->I64());
+  DOEM_ASSIGN_OR_RETURN(g.last_poll.apply_ns, r->I64());
+  DOEM_ASSIGN_OR_RETURN(g.last_poll.filter_ns, r->I64());
+  DOEM_ASSIGN_OR_RETURN(g.last_poll.fanout_ns, r->I64());
+  DOEM_ASSIGN_OR_RETURN(g.last_poll.wire_ns, r->I64());
+  DOEM_ASSIGN_OR_RETURN(g.last_poll.e2e_ns, r->I64());
+  return g;
+}
+
+}  // namespace
+
+std::string EncodeHealthReply(const HealthReplyMsg& msg) {
+  std::string payload;
+  PutU64(static_cast<uint64_t>(msg.now.ticks), &payload);
+  PutU32(static_cast<uint32_t>(msg.groups.size()), &payload);
+  for (const GroupHealthMsg& g : msg.groups) PutGroupHealth(g, &payload);
+  return Frame(MsgType::kHealthReply, payload);
+}
+
+std::string EncodeTraceDumpRequest(const TraceDumpRequestMsg&) {
+  return Frame(MsgType::kTraceDumpRequest, {});
+}
+
+std::string EncodeTraceDumpReply(const TraceDumpReplyMsg& msg) {
+  std::string payload;
+  PutU64(msg.events, &payload);
+  PutU64(msg.dropped, &payload);
+  PutString(msg.chrome_json, &payload);
+  return Frame(MsgType::kTraceDumpReply, payload);
 }
 
 Result<SubscribeMsg> DecodeSubscribe(std::string_view payload) {
@@ -190,6 +314,71 @@ Result<NotificationMsg> DecodeNotification(std::string_view payload) {
   DOEM_ASSIGN_OR_RETURN(msg.poll_time.ticks, r.I64());
   DOEM_ASSIGN_OR_RETURN(msg.poll_index, r.U64());
   DOEM_ASSIGN_OR_RETURN(msg.rows, r.String());
+  DOEM_RETURN_IF_ERROR(r.Done());
+  return msg;
+}
+
+Result<StatsRequestMsg> DecodeStatsRequest(std::string_view payload) {
+  Reader r(payload);
+  StatsRequestMsg msg;
+  DOEM_ASSIGN_OR_RETURN(uint8_t format, r.U8());
+  if (format > static_cast<uint8_t>(StatsFormat::kJson)) {
+    return Status::ParseError("wire payload: bad stats format " +
+                              std::to_string(format));
+  }
+  msg.format = static_cast<StatsFormat>(format);
+  DOEM_RETURN_IF_ERROR(r.Done());
+  return msg;
+}
+
+Result<StatsReplyMsg> DecodeStatsReply(std::string_view payload) {
+  Reader r(payload);
+  StatsReplyMsg msg;
+  DOEM_ASSIGN_OR_RETURN(uint8_t format, r.U8());
+  if (format > static_cast<uint8_t>(StatsFormat::kJson)) {
+    return Status::ParseError("wire payload: bad stats format " +
+                              std::to_string(format));
+  }
+  msg.format = static_cast<StatsFormat>(format);
+  DOEM_ASSIGN_OR_RETURN(msg.body, r.String());
+  DOEM_ASSIGN_OR_RETURN(msg.interval_ns, r.I64());
+  DOEM_ASSIGN_OR_RETURN(msg.rates_json, r.String());
+  DOEM_RETURN_IF_ERROR(r.Done());
+  return msg;
+}
+
+Result<HealthRequestMsg> DecodeHealthRequest(std::string_view payload) {
+  Reader r(payload);
+  DOEM_RETURN_IF_ERROR(r.Done());
+  return HealthRequestMsg{};
+}
+
+Result<HealthReplyMsg> DecodeHealthReply(std::string_view payload) {
+  Reader r(payload);
+  HealthReplyMsg msg;
+  DOEM_ASSIGN_OR_RETURN(msg.now.ticks, r.I64());
+  DOEM_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  msg.groups.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DOEM_ASSIGN_OR_RETURN(GroupHealthMsg g, ReadGroupHealth(&r));
+    msg.groups.push_back(std::move(g));
+  }
+  DOEM_RETURN_IF_ERROR(r.Done());
+  return msg;
+}
+
+Result<TraceDumpRequestMsg> DecodeTraceDumpRequest(std::string_view payload) {
+  Reader r(payload);
+  DOEM_RETURN_IF_ERROR(r.Done());
+  return TraceDumpRequestMsg{};
+}
+
+Result<TraceDumpReplyMsg> DecodeTraceDumpReply(std::string_view payload) {
+  Reader r(payload);
+  TraceDumpReplyMsg msg;
+  DOEM_ASSIGN_OR_RETURN(msg.events, r.U64());
+  DOEM_ASSIGN_OR_RETURN(msg.dropped, r.U64());
+  DOEM_ASSIGN_OR_RETURN(msg.chrome_json, r.String());
   DOEM_RETURN_IF_ERROR(r.Done());
   return msg;
 }

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "oem/timestamp.h"
+#include "qss/health.h"
 
 namespace doem {
 namespace qss {
@@ -25,6 +26,13 @@ namespace server {
 /// prefixed bytes. Clients send kSubscribe/kUnsubscribe; the server
 /// replies kSubscribed/kUnsubscribed/kError and pushes kNotification
 /// frames as polls commit. Names are scoped per connection.
+///
+/// Any connection may also send the admin requests (DESIGN.md §6h):
+/// kStatsRequest (a metrics snapshot + interval rates), kHealthRequest
+/// (per-poll-group PollHealth incl. last-poll phase timings), and
+/// kTraceDumpRequest (drains the Chrome-trace buffer). When the
+/// corresponding sink is not configured the server answers kError with
+/// kind "unavailable"; the connection stays up.
 
 /// Upper bound on one frame's declared length: a hostile peer's length
 /// field must not make the receiver buffer unbounded memory. Generous
@@ -45,6 +53,18 @@ enum class MsgType : uint8_t {
   kError = 5,
   /// server → client: a filter fired at a poll.
   kNotification = 6,
+  /// client → server: ask for a metrics snapshot (+ interval rates).
+  kStatsRequest = 7,
+  /// server → client: the snapshot.
+  kStatsReply = 8,
+  /// client → server: ask for per-poll-group health.
+  kHealthRequest = 9,
+  /// server → client: the health report.
+  kHealthReply = 10,
+  /// client → server: drain the trace buffer.
+  kTraceDumpRequest = 11,
+  /// server → client: the Chrome-trace JSON drained.
+  kTraceDumpReply = 12,
 };
 
 struct SubscribeMsg {
@@ -89,6 +109,74 @@ struct NotificationMsg {
   std::string rows;
 };
 
+enum class StatsFormat : uint8_t {
+  /// Prometheus text exposition (MetricsRegistry::ExportPrometheus).
+  kPrometheus = 0,
+  /// JSON (MetricsRegistry::ExportJson).
+  kJson = 1,
+};
+
+struct StatsRequestMsg {
+  StatsFormat format = StatsFormat::kPrometheus;
+};
+
+struct StatsReplyMsg {
+  /// Echo of the requested format; `body` is in it.
+  StatsFormat format = StatsFormat::kPrometheus;
+  /// Full registry exposition (cumulative values).
+  std::string body;
+  /// Wall nanoseconds since the previous stats request from any client
+  /// (or since the server started) — the span `rates_json` covers.
+  int64_t interval_ns = 0;
+  /// MetricsSnapshotter::Interval::ToJson(): counter and histogram-count
+  /// deltas over the interval, plus gauge levels.
+  std::string rates_json;
+};
+
+struct HealthRequestMsg {};
+
+/// One poll group's health on the wire — PollGroupManager::GroupStatus
+/// flattened, with PollPhaseLatency carried field by field.
+struct GroupHealthMsg {
+  std::string key;
+  /// Comma-joined entry names.
+  std::string entries;
+  uint64_t subscribers = 0;
+  uint64_t polls_committed = 0;
+  Timestamp next_poll;
+  CircuitState circuit = CircuitState::kClosed;
+  uint64_t consecutive_failures = 0;
+  std::string last_error;
+  uint64_t polls_attempted = 0;
+  uint64_t polls_succeeded = 0;
+  uint64_t polls_failed = 0;
+  uint64_t retries = 0;
+  int64_t backoff_ticks = 0;
+  Timestamp quarantined_until;
+  std::vector<MissedPoll> missed;
+  uint64_t missed_dropped = 0;
+  /// Phase timings of the group's most recent poll.
+  PollPhaseLatency last_poll;
+};
+
+struct HealthReplyMsg {
+  /// The service clock (simulated) at reply time.
+  Timestamp now;
+  /// Every live group, in group-key order.
+  std::vector<GroupHealthMsg> groups;
+};
+
+struct TraceDumpRequestMsg {};
+
+struct TraceDumpReplyMsg {
+  /// Spans in `chrome_json` / dropped by the recorder's bound before
+  /// this dump. The recorder is cleared by the dump: each reply carries
+  /// only spans since the previous one.
+  uint64_t events = 0;
+  uint64_t dropped = 0;
+  std::string chrome_json;
+};
+
 // ---- Encoding (always succeeds) --------------------------------------------
 
 std::string EncodeSubscribe(const SubscribeMsg& msg);
@@ -97,6 +185,12 @@ std::string EncodeSubscribed(const SubscribedMsg& msg);
 std::string EncodeUnsubscribed(const UnsubscribedMsg& msg);
 std::string EncodeError(const ErrorMsg& msg);
 std::string EncodeNotification(const NotificationMsg& msg);
+std::string EncodeStatsRequest(const StatsRequestMsg& msg);
+std::string EncodeStatsReply(const StatsReplyMsg& msg);
+std::string EncodeHealthRequest(const HealthRequestMsg& msg);
+std::string EncodeHealthReply(const HealthReplyMsg& msg);
+std::string EncodeTraceDumpRequest(const TraceDumpRequestMsg& msg);
+std::string EncodeTraceDumpReply(const TraceDumpReplyMsg& msg);
 
 // ---- Decoding (payload only; the frame is already verified) ----------------
 
@@ -106,6 +200,12 @@ Result<SubscribedMsg> DecodeSubscribed(std::string_view payload);
 Result<UnsubscribedMsg> DecodeUnsubscribed(std::string_view payload);
 Result<ErrorMsg> DecodeError(std::string_view payload);
 Result<NotificationMsg> DecodeNotification(std::string_view payload);
+Result<StatsRequestMsg> DecodeStatsRequest(std::string_view payload);
+Result<StatsReplyMsg> DecodeStatsReply(std::string_view payload);
+Result<HealthRequestMsg> DecodeHealthRequest(std::string_view payload);
+Result<HealthReplyMsg> DecodeHealthReply(std::string_view payload);
+Result<TraceDumpRequestMsg> DecodeTraceDumpRequest(std::string_view payload);
+Result<TraceDumpReplyMsg> DecodeTraceDumpReply(std::string_view payload);
 
 /// One verified frame off the wire.
 struct WireFrame {

@@ -2,6 +2,10 @@
 
 #include <utility>
 
+#include "obs/clock.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+
 namespace doem {
 namespace qss {
 namespace server {
@@ -14,6 +18,14 @@ void Count(obs::Counter* c, uint64_t by = 1) {
 
 void SetGauge(obs::Gauge* g, int64_t v) {
   if (g != nullptr) g->Set(v);
+}
+
+void Observe(obs::Histogram* h, int64_t v) {
+  if (h != nullptr) h->Observe(v);
+}
+
+obs::EventLog* Events(SubscriberRegistry* registry) {
+  return registry->manager()->options().observability.events;
 }
 
 // Maps a Subscribe failure back to its PollError kind name for the
@@ -57,6 +69,16 @@ QssServer::QssServer(SubscriberRegistry* registry) : registry_(registry) {
   ins_.protocol_errors = m->GetCounter(
       "qss.server.protocol_errors",
       "connections dropped for unrecoverable wire-protocol errors");
+  ins_.stats_requests =
+      m->GetCounter("qss.server.stats_requests", "stats requests served");
+  ins_.health_requests =
+      m->GetCounter("qss.server.health_requests", "health requests served");
+  ins_.trace_dumps =
+      m->GetCounter("qss.server.trace_dumps", "trace-dump requests served");
+  ins_.wire_ns = m->GetHistogram(
+      "qss.server.wire_ns", obs::LatencyBucketsNs(),
+      "Per-notification wire framing + transport hand-off latency");
+  snapshotter_.emplace(m);
 }
 
 QssServer::~QssServer() {
@@ -70,6 +92,9 @@ QssServer::ConnectionId QssServer::Attach(ByteSink send) {
   Connection& conn = connections_[id];
   conn.send = std::move(send);
   SetGauge(ins_.connections, static_cast<int64_t>(connections_.size()));
+  DOEM_LOG_EVENT(Events(registry_), obs::EventType::kConnectionOpened,
+                 obs::EventSeverity::kInfo, registry_->manager()->now(),
+                 "conn#" + std::to_string(id), "");
   return id;
 }
 
@@ -95,12 +120,20 @@ void QssServer::Close(ConnectionId id) {
   for (const auto& [name, handle] : it->second.subs) {
     (void)registry_->Unsubscribe(handle);
   }
+  size_t released = it->second.subs.size();
   connections_.erase(it);
   SetGauge(ins_.connections, static_cast<int64_t>(connections_.size()));
+  DOEM_LOG_EVENT(Events(registry_), obs::EventType::kConnectionClosed,
+                 obs::EventSeverity::kInfo, registry_->manager()->now(),
+                 "conn#" + std::to_string(id),
+                 "released " + std::to_string(released) + " subscription(s)");
 }
 
 void QssServer::Fail(ConnectionId id, Connection* conn, const Status& error) {
   Count(ins_.protocol_errors);
+  DOEM_LOG_EVENT(Events(registry_), obs::EventType::kFramePoisoned,
+                 obs::EventSeverity::kError, registry_->manager()->now(),
+                 "conn#" + std::to_string(id), error.message());
   SendError(conn, "", "protocol", error.message());
   Close(id);
 }
@@ -142,6 +175,11 @@ void QssServer::HandleSubscribe(ConnectionId id, Connection* conn,
       sub, [this, id, name](const Notification& n) {
         auto cit = connections_.find(id);
         if (cit == connections_.end()) return;
+        // The wire segment of the e2e decomposition: framing + handing
+        // the bytes to the transport, measured here because it runs
+        // inside the registry's callback (so qss.notify.e2e_ns, observed
+        // after the callback returns, includes it).
+        int64_t wire_start = obs::NowNs();
         NotificationMsg push;
         push.name = name;
         push.poll_time = n.poll_time;
@@ -149,6 +187,12 @@ void QssServer::HandleSubscribe(ConnectionId id, Connection* conn,
         push.rows = n.result.RowsToString();
         Send(&cit->second, EncodeNotification(push));
         Count(ins_.notifications);
+        int64_t wire_ns = obs::ElapsedNs(wire_start);
+        Observe(ins_.wire_ns, wire_ns);
+        // Safe under the (recursive) service mutex the callback runs in.
+        if (PollGroup* group = registry_->GroupOf(n.handle)) {
+          group->health.last_poll.wire_ns += wire_ns;
+        }
       });
   if (!handle.ok()) {
     Count(ins_.subscribes_rejected);
@@ -180,6 +224,70 @@ void QssServer::HandleUnsubscribe(ConnectionId /*id*/, Connection* conn,
   Send(conn, EncodeUnsubscribed(ok));
 }
 
+void QssServer::HandleStats(Connection* conn, const StatsRequestMsg& msg) {
+  Count(ins_.stats_requests);
+  obs::MetricsRegistry* m =
+      registry_->manager()->options().observability.metrics;
+  if (m == nullptr || !snapshotter_.has_value()) {
+    SendError(conn, "", "unavailable", "no metrics registry configured");
+    return;
+  }
+  StatsReplyMsg reply;
+  reply.format = msg.format;
+  reply.body = msg.format == StatsFormat::kJson ? m->ExportJson()
+                                                : m->ExportPrometheus();
+  obs::MetricsSnapshotter::Interval interval = snapshotter_->Capture();
+  reply.interval_ns = interval.interval_ns;
+  reply.rates_json = interval.ToJson();
+  Send(conn, EncodeStatsReply(reply));
+}
+
+void QssServer::HandleHealth(Connection* conn) {
+  Count(ins_.health_requests);
+  PollGroupManager* manager = registry_->manager();
+  HealthReplyMsg reply;
+  reply.now = manager->now();
+  for (PollGroupManager::GroupStatus& s : manager->GroupStatuses()) {
+    GroupHealthMsg g;
+    g.key = std::move(s.key);
+    g.entries = std::move(s.entries);
+    g.subscribers = s.subscribers;
+    g.polls_committed = s.polls_committed;
+    g.next_poll = s.next_poll;
+    g.circuit = s.health.state;
+    g.consecutive_failures =
+        static_cast<uint64_t>(s.health.consecutive_failures);
+    g.last_error = s.health.last_error.ok() ? std::string()
+                                            : s.health.last_error.ToString();
+    g.polls_attempted = s.health.polls_attempted;
+    g.polls_succeeded = s.health.polls_succeeded;
+    g.polls_failed = s.health.polls_failed;
+    g.retries = s.health.retries;
+    g.backoff_ticks = s.health.backoff_ticks;
+    g.quarantined_until = s.health.quarantined_until;
+    g.missed = std::move(s.health.missed);
+    g.missed_dropped = s.health.missed_dropped;
+    g.last_poll = s.health.last_poll;
+    reply.groups.push_back(std::move(g));
+  }
+  Send(conn, EncodeHealthReply(reply));
+}
+
+void QssServer::HandleTraceDump(Connection* conn) {
+  Count(ins_.trace_dumps);
+  obs::TraceRecorder* t = registry_->manager()->options().observability.trace;
+  if (t == nullptr) {
+    SendError(conn, "", "unavailable", "no trace recorder configured");
+    return;
+  }
+  TraceDumpReplyMsg reply;
+  reply.events = t->Events().size();
+  reply.dropped = t->dropped();
+  reply.chrome_json = t->ExportChromeTrace();
+  t->Clear();
+  Send(conn, EncodeTraceDumpReply(reply));
+}
+
 void QssServer::Dispatch(ConnectionId id, Connection* conn,
                          const WireFrame& frame) {
   switch (frame.type) {
@@ -193,10 +301,28 @@ void QssServer::Dispatch(ConnectionId id, Connection* conn,
       if (!msg.ok()) return Fail(id, conn, msg.status());
       return HandleUnsubscribe(id, conn, *msg);
     }
+    case MsgType::kStatsRequest: {
+      auto msg = DecodeStatsRequest(frame.payload);
+      if (!msg.ok()) return Fail(id, conn, msg.status());
+      return HandleStats(conn, *msg);
+    }
+    case MsgType::kHealthRequest: {
+      auto msg = DecodeHealthRequest(frame.payload);
+      if (!msg.ok()) return Fail(id, conn, msg.status());
+      return HandleHealth(conn);
+    }
+    case MsgType::kTraceDumpRequest: {
+      auto msg = DecodeTraceDumpRequest(frame.payload);
+      if (!msg.ok()) return Fail(id, conn, msg.status());
+      return HandleTraceDump(conn);
+    }
     case MsgType::kSubscribed:
     case MsgType::kUnsubscribed:
     case MsgType::kError:
     case MsgType::kNotification:
+    case MsgType::kStatsReply:
+    case MsgType::kHealthReply:
+    case MsgType::kTraceDumpReply:
       return Fail(id, conn,
                   Status::InvalidArgument(
                       "server-to-client message type " +
@@ -259,8 +385,29 @@ void QssClient::OnBytes(std::string_view bytes) {
         event.notification = std::move(msg).value();
         break;
       }
+      case MsgType::kStatsReply: {
+        auto msg = DecodeStatsReply(frame.payload);
+        if (!msg.ok()) { error_ = msg.status(); return; }
+        event.stats = std::move(msg).value();
+        break;
+      }
+      case MsgType::kHealthReply: {
+        auto msg = DecodeHealthReply(frame.payload);
+        if (!msg.ok()) { error_ = msg.status(); return; }
+        event.health = std::move(msg).value();
+        break;
+      }
+      case MsgType::kTraceDumpReply: {
+        auto msg = DecodeTraceDumpReply(frame.payload);
+        if (!msg.ok()) { error_ = msg.status(); return; }
+        event.trace_dump = std::move(msg).value();
+        break;
+      }
       case MsgType::kSubscribe:
       case MsgType::kUnsubscribe:
+      case MsgType::kStatsRequest:
+      case MsgType::kHealthRequest:
+      case MsgType::kTraceDumpRequest:
         error_ = Status::InvalidArgument(
             "client-to-server message type received from the server");
         return;

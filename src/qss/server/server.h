@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "qss/registry.h"
 #include "qss/server/protocol.h"
 #include "qss/server/transport.h"
@@ -35,6 +37,14 @@ namespace server {
 /// A corrupt frame (bad checksum, oversized length, unknown type) cannot
 /// be resynchronized: the server sends a final kError frame of kind
 /// "protocol" and closes the connection, releasing its subscriptions.
+///
+/// Introspection (DESIGN.md §6h): any connection may send
+/// kStatsRequest / kHealthRequest / kTraceDumpRequest and gets the
+/// corresponding reply — a metrics snapshot with interval rates,
+/// per-poll-group health including last-poll phase timings, or a drain
+/// of the Chrome-trace buffer. A request whose sink is not configured
+/// (no metrics registry, no trace recorder) is answered with a kError
+/// frame of kind "unavailable"; the connection stays up.
 class QssServer {
  public:
   using ConnectionId = uint64_t;
@@ -80,6 +90,9 @@ class QssServer {
                        const SubscribeMsg& msg);
   void HandleUnsubscribe(ConnectionId id, Connection* conn,
                          const UnsubscribeMsg& msg);
+  void HandleStats(Connection* conn, const StatsRequestMsg& msg);
+  void HandleHealth(Connection* conn);
+  void HandleTraceDump(Connection* conn);
   void Send(Connection* conn, std::string bytes);
   void SendError(Connection* conn, const std::string& name,
                  const std::string& kind, const std::string& message);
@@ -91,6 +104,11 @@ class QssServer {
   ConnectionId next_id_ = 1;
   std::map<ConnectionId, Connection> connections_;
 
+  /// Interval-rate tracker behind StatsReply (present iff the manager
+  /// has a metrics registry). All connections share it: each stats
+  /// request reports the deltas since the previous one, from any client.
+  std::optional<obs::MetricsSnapshotter> snapshotter_;
+
   struct Instruments {
     obs::Gauge* connections = nullptr;
     obs::Counter* frames_in = nullptr;
@@ -100,6 +118,12 @@ class QssServer {
     obs::Counter* unsubscribes = nullptr;
     obs::Counter* notifications = nullptr;
     obs::Counter* protocol_errors = nullptr;
+    obs::Counter* stats_requests = nullptr;
+    obs::Counter* health_requests = nullptr;
+    obs::Counter* trace_dumps = nullptr;
+    /// Time spent framing + handing one notification to the connection's
+    /// byte sink — the wire segment of the e2e decomposition.
+    obs::Histogram* wire_ns = nullptr;
   };
   Instruments ins_;
 };
@@ -117,6 +141,9 @@ class QssClient {
     UnsubscribedMsg unsubscribed;
     ErrorMsg error;
     NotificationMsg notification;
+    StatsReplyMsg stats;
+    HealthReplyMsg health;
+    TraceDumpReplyMsg trace_dump;
   };
 
   explicit QssClient(ByteSink send) : send_(std::move(send)) {}
@@ -124,6 +151,13 @@ class QssClient {
   void Subscribe(const SubscribeMsg& msg) { send_(EncodeSubscribe(msg)); }
   void Unsubscribe(const std::string& name) {
     send_(EncodeUnsubscribe(UnsubscribeMsg{name}));
+  }
+  void RequestStats(StatsFormat format = StatsFormat::kPrometheus) {
+    send_(EncodeStatsRequest(StatsRequestMsg{format}));
+  }
+  void RequestHealth() { send_(EncodeHealthRequest(HealthRequestMsg{})); }
+  void RequestTraceDump() {
+    send_(EncodeTraceDumpRequest(TraceDumpRequestMsg{}));
   }
 
   /// Bytes received from the server — any fragmentation.

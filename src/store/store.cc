@@ -28,6 +28,11 @@ Store::Store(File* file, std::unique_ptr<File> owned,
     fsyncs_ = m->GetCounter("store.fsyncs", "Successful sync operations");
     append_failures_ = m->GetCounter(
         "store.append_failures", "Commits refused or failed (store broken)");
+    // Bumped from Open (before construction); registered here too so the
+    // metric is visible in Describe()/exports from the first open, not
+    // only after a truncating recovery.
+    m->GetCounter("store.recovery_truncations",
+                  "Opens that discarded a torn/corrupt tail");
     append_ns_ = m->GetHistogram("store.append_ns", obs::LatencyBucketsNs(),
                                  "Latency of one committed append");
     checkpoint_ns_ =
@@ -50,11 +55,20 @@ Result<std::unique_ptr<Store>> Store::Open(File* file,
   auto recovered = RecoverStoreBytes(*bytes);
   if (!recovered.ok()) return recovered.status();
 
-  if (options.metrics != nullptr && recovered->truncated) {
-    options.metrics
-        ->GetCounter("store.recovery_truncations",
-                     "Opens that discarded a torn/corrupt tail")
-        ->Increment();
+  if (recovered->truncated) {
+    if (options.metrics != nullptr) {
+      options.metrics
+          ->GetCounter("store.recovery_truncations",
+                       "Opens that discarded a torn/corrupt tail")
+          ->Increment();
+    }
+    DOEM_LOG_EVENT(options.events, obs::EventType::kStoreError,
+                   obs::EventSeverity::kWarning,
+                   recovered->times.empty() ? Timestamp{}
+                                            : recovered->times.back(),
+                   options.name,
+                   "recovery discarded torn/corrupt tail after byte " +
+                       std::to_string(recovered->valid_size));
   }
 
   // Repair: physically drop the torn/corrupt tail so appends resume on a
@@ -109,6 +123,9 @@ Status Store::Start(const DoemDatabase& db, std::vector<Timestamp> times) {
   Status s = AppendCheckpoint(db);
   if (!s.ok()) {
     if (append_failures_) append_failures_->Increment();
+    DOEM_LOG_EVENT(options_.events, obs::EventType::kStoreError,
+                   obs::EventSeverity::kError, Timestamp{}, options_.name,
+                   "initial checkpoint: " + s.ToString());
     return s;
   }
   started_ = true;
@@ -136,6 +153,9 @@ Status Store::Append(Timestamp t, const ChangeSet& ops,
   Status s = writer_.AppendRecord(RecordType::kDelta, EncodeDeltaPayload(t, ops));
   if (!s.ok()) {
     if (append_failures_) append_failures_->Increment();
+    DOEM_LOG_EVENT(options_.events, obs::EventType::kStoreError,
+                   obs::EventSeverity::kError, t, options_.name,
+                   "delta append failed (store now broken): " + s.ToString());
     return s;
   }
   times_.push_back(t);
@@ -176,7 +196,13 @@ Status Store::CommitCheckpoint(Timestamp t, const DoemDatabase& current) {
   times_.push_back(t);
   deltas_since_checkpoint_ = 0;
   Status s = AppendCheckpoint(current);
-  if (!s.ok() && append_failures_) append_failures_->Increment();
+  if (!s.ok()) {
+    if (append_failures_) append_failures_->Increment();
+    DOEM_LOG_EVENT(options_.events, obs::EventType::kStoreError,
+                   obs::EventSeverity::kError, t, options_.name,
+                   "checkpoint commit failed (store now broken): " +
+                       s.ToString());
+  }
   return s;
 }
 
@@ -202,7 +228,9 @@ Status Store::Sync() {
 
 Result<std::unique_ptr<Store>> MemoryStoreManager::OpenStore(
     const std::string& key) {
-  return Store::Open(file(key), options_);
+  StoreOptions opts = options_;
+  opts.name = key;
+  return Store::Open(file(key), opts);
 }
 
 MemoryFile* MemoryStoreManager::file(const std::string& key) {
@@ -251,7 +279,9 @@ Result<std::unique_ptr<Store>> DirectoryStoreManager::OpenStore(
   ::mkdir(directory_.c_str(), 0755);
   auto file = PosixFile::Open(PathFor(key));
   if (!file.ok()) return file.status();
-  return Store::Open(std::unique_ptr<File>(std::move(*file)), options_);
+  StoreOptions opts = options_;
+  opts.name = key;
+  return Store::Open(std::unique_ptr<File>(std::move(*file)), opts);
 }
 
 }  // namespace store

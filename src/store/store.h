@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "doem/doem.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "store/file.h"
 #include "store/log.h"
@@ -29,6 +30,12 @@ struct StoreOptions {
   bool sync_each_append = true;
   /// Optional: store.* counters and latency histograms land here.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional: recovery truncations and append failures land here as
+  /// typed kStoreError events (src/obs/log.h), with `name` as subject.
+  obs::EventLog* events = nullptr;
+  /// Diagnostic identity of this store (the store managers stamp the
+  /// store key); only used as the subject of event-log entries.
+  std::string name;
 };
 
 /// A durable DOEM history: one append-only file of checkpoint + delta

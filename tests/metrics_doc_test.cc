@@ -1,0 +1,156 @@
+// Keeps METRICS.md — the generated reference of every metric the
+// codebase can emit — in lockstep with the code. A full reference stack
+// (durable store + subscription service + Chorel engines + wire server)
+// is stood up so every registration site runs, then the registry's
+// Describe() output is rendered as the markdown table METRICS.md holds.
+// A mismatch means a metric was added, renamed, or re-helped without
+// regenerating the doc:
+//
+//   DOEM_UPDATE_METRICS_DOC=1 ./build/tests/metrics_doc_test
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "qss/qss.h"
+#include "qss/server/server.h"
+#include "store/store.h"
+#include "testing/generators.h"
+
+namespace doem {
+namespace {
+
+#ifndef DOEM_SOURCE_DIR
+#error "metrics_doc_test needs -DDOEM_SOURCE_DIR=\"<repo root>\""
+#endif
+
+// Every metric family has a registration site in exactly one layer;
+// touching all the layers once materializes the whole catalog.
+void MaterializeAllMetrics(obs::MetricsRegistry* metrics) {
+  store::StoreOptions store_opts;
+  store_opts.metrics = metrics;
+  store::MemoryStoreManager store_manager(store_opts);
+
+  OemDatabase base = testing::SyntheticGuide(8);
+  qss::ScriptedSource source(base,
+                             testing::SyntheticGuideHistory(base, 4, 2));
+
+  qss::QssOptions opts;
+  opts.observability.metrics = metrics;   // qss.* / chorel.* / vm.* / ...
+  opts.durability.store = &store_manager; // store.*
+
+  Timestamp start = Timestamp::FromDate(1997, 1, 1);
+  qss::QuerySubscriptionService service(&source, start, opts);
+  qss::server::QssServer server(&service.registry());  // qss.server.*
+
+  qss::Subscription sub;
+  sub.name = "Catalog";
+  sub.frequency.interval_ticks = 1;
+  sub.polling_query = "select guide.restaurant";
+  sub.filter_query = "select Catalog.restaurant<cre at T> where T > t[-1]";
+  ASSERT_TRUE(service.Subscribe(sub, [](const qss::Notification&) {}).ok());
+
+  // Poll a few ticks so the per-group Chorel engine (created lazily with
+  // the group) registers its instrument set too.
+  for (int day = 0; day < 3; ++day) {
+    ASSERT_TRUE(service.AdvanceTo(Timestamp(start.ticks + day)).ok());
+  }
+}
+
+std::string MarkdownEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '|') {
+      out += "\\|";
+    } else if (c == '\n') {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderDoc(const obs::MetricsRegistry& metrics) {
+  std::string doc =
+      "# Metrics reference\n"
+      "\n"
+      "Every metric the codebase can emit, generated from\n"
+      "`MetricsRegistry::Describe()` by `tests/metrics_doc_test.cc` over a\n"
+      "reference stack that exercises every registration site (durable\n"
+      "store, subscription service, Chorel engines, wire server). Do not\n"
+      "edit by hand — regenerate after adding or renaming a metric:\n"
+      "\n"
+      "```sh\n"
+      "DOEM_UPDATE_METRICS_DOC=1 ./build/tests/metrics_doc_test\n"
+      "```\n"
+      "\n"
+      "Prometheus exposition (`StatsRequest` over the wire, or\n"
+      "`MetricsRegistry::ExportPrometheus()`) rewrites the dotted names\n"
+      "below with underscores, e.g. `qss.polls_ok` -> `qss_polls_ok`.\n"
+      "\n"
+      "| Metric | Kind | Help |\n"
+      "| --- | --- | --- |\n";
+  for (const obs::MetricsRegistry::MetricInfo& info : metrics.Describe()) {
+    doc += "| `" + info.name + "` | " + info.kind + " | " +
+           MarkdownEscape(info.help) + " |\n";
+  }
+  return doc;
+}
+
+TEST(MetricsDocTest, CommittedDocMatchesTheRegistry) {
+  obs::MetricsRegistry metrics;
+  MaterializeAllMetrics(&metrics);
+
+  // Guard the guard: if a layer stops registering, the doc comparison
+  // would "pass" while silently documenting less. Each family must be
+  // present before the doc is worth comparing.
+  std::vector<std::string> families = {"qss.",   "qss.group.", "qss.notify.",
+                                       "qss.server.", "chorel.", "encoding.",
+                                       "index.", "vm.",         "store."};
+  std::vector<obs::MetricsRegistry::MetricInfo> described =
+      metrics.Describe();
+  for (const std::string& family : families) {
+    bool found = false;
+    for (const auto& info : described) {
+      if (info.name.rfind(family, 0) == 0) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "no metric in family " << family
+                       << " — the reference stack no longer reaches its "
+                          "registration site";
+  }
+
+  std::string rendered = RenderDoc(metrics);
+  const std::string path = std::string(DOEM_SOURCE_DIR) + "/METRICS.md";
+
+  if (std::getenv("DOEM_UPDATE_METRICS_DOC") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << rendered;
+    out.close();
+    ASSERT_TRUE(out.good()) << "short write to " << path;
+    GTEST_SKIP() << "regenerated " << path << " (" << described.size()
+                 << " metrics)";
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << path << " missing — generate it with DOEM_UPDATE_METRICS_DOC=1 "
+      << "./build/tests/metrics_doc_test";
+  std::stringstream committed;
+  committed << in.rdbuf();
+  EXPECT_EQ(committed.str(), rendered)
+      << "METRICS.md is stale — regenerate with DOEM_UPDATE_METRICS_DOC=1 "
+      << "./build/tests/metrics_doc_test";
+}
+
+}  // namespace
+}  // namespace doem

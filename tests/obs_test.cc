@@ -18,6 +18,7 @@
 #include "chorel/chorel.h"
 #include "encoding/doem_text.h"
 #include "obs/clock.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "qss/executor.h"
@@ -566,11 +567,12 @@ struct RunResult {
   int64_t elapsed_ns = 0;
 };
 
-// A faulty two-group workload; with `obs` set, metrics and tracing are
-// attached. max_missed_log=2 with a long outage exercises the bounded
-// missed-poll log.
+// A faulty two-group workload; with `obs` set, metrics, tracing, and the
+// structured event log are attached. max_missed_log=2 with a long outage
+// exercises the bounded missed-poll log.
 RunResult RunWorkload(bool obs, obs::MetricsRegistry* metrics = nullptr,
-                      obs::TraceRecorder* trace = nullptr) {
+                      obs::TraceRecorder* trace = nullptr,
+                      obs::EventLog* events = nullptr) {
   OemDatabase base = testing::SyntheticGuide(15);
   OemHistory script = testing::SyntheticGuideHistory(base, 20, 4);
   Timestamp start = Timestamp::FromDate(1997, 1, 1);
@@ -589,6 +591,7 @@ RunResult RunWorkload(bool obs, obs::MetricsRegistry* metrics = nullptr,
   if (obs) {
     opts.observability.metrics = metrics;
     opts.observability.trace = trace;
+    opts.observability.events = events;
   }
 
   qss::QuerySubscriptionService service(&source, start, opts);
@@ -640,7 +643,8 @@ TEST(QssObsTest, ObservabilityDoesNotPerturbTheRun) {
   RunResult bare = RunWorkload(/*obs=*/false);
   obs::MetricsRegistry metrics;
   obs::TraceRecorder trace;
-  RunResult observed = RunWorkload(/*obs=*/true, &metrics, &trace);
+  obs::EventLog events;
+  RunResult observed = RunWorkload(/*obs=*/true, &metrics, &trace, &events);
 
   // Byte-identical histories, polls, notifications, and errors.
   EXPECT_EQ(bare.history_text, observed.history_text);
@@ -663,6 +667,14 @@ TEST(QssObsTest, ObservabilityDoesNotPerturbTheRun) {
   EXPECT_EQ(metrics.GaugeValue("qss.groups"), 2);
 #ifndef DOEM_TRACING_DISABLED
   EXPECT_GT(trace.Events().size(), 0u);
+#endif
+#ifndef DOEM_EVENTLOG_DISABLED
+  // The outage journaled: failures, quarantine transitions, churn.
+  EXPECT_GT(events.recorded(), 0u);
+  std::string log = events.ExportJsonLines();
+  EXPECT_NE(log.find("\"quarantine-opened\""), std::string::npos);
+  EXPECT_NE(log.find("\"poll-failed\""), std::string::npos);
+  EXPECT_NE(log.find("\"group-created\""), std::string::npos);
 #endif
 }
 

@@ -433,6 +433,92 @@ TEST(QssServerTest, MultiplexesManyConnectionsOverOneRegistry) {
   EXPECT_EQ(h.metrics.CounterValue("qss.server.unsubscribes"), 1u);
 }
 
+// ------------------------------------------- Admin frames (DESIGN.md §6h)
+
+// The introspection replies are ordinary frames: a multi-kilobyte
+// Prometheus exposition reassembles from arbitrarily fragmented bytes,
+// interleaved with the notification stream.
+TEST(QssServerTest, AdminRepliesSurviveByteFragmentation) {
+  Harness h;
+  WiredClient wire(&h.server);
+  wire.client.Subscribe(GuideSubscribe("Names", 1));
+  wire.pipe.PumpAll();
+  ASSERT_EQ(wire.client.TakeEvents()[0].type, MsgType::kSubscribed);
+  ASSERT_TRUE(h.qss.AdvanceTo(Timestamp(h.start().ticks + 5)).ok());
+
+  wire.client.RequestStats(StatsFormat::kPrometheus);
+  wire.client.RequestHealth();
+  // Deliver notifications + both admin replies in 3-byte fragments.
+  while (wire.pipe.PumpToServer(3) > 0 || wire.pipe.PumpToClient(3) > 0) {
+  }
+  ASSERT_TRUE(wire.client.error().ok()) << wire.client.error().ToString();
+
+  size_t notifications = 0;
+  bool saw_stats = false, saw_health = false;
+  for (const auto& e : wire.client.TakeEvents()) {
+    if (e.type == MsgType::kNotification) {
+      ++notifications;
+    } else if (e.type == MsgType::kStatsReply) {
+      saw_stats = true;
+      EXPECT_NE(e.stats.body.find("# TYPE qss_polls_ok counter"),
+                std::string::npos);
+      EXPECT_NE(e.stats.rates_json.find("\"counter_deltas\""),
+                std::string::npos);
+    } else if (e.type == MsgType::kHealthReply) {
+      saw_health = true;
+      ASSERT_EQ(e.health.groups.size(), 1u);
+      EXPECT_EQ(e.health.groups[0].subscribers, 1u);
+      EXPECT_EQ(e.health.groups[0].circuit, CircuitState::kClosed);
+      EXPECT_EQ(e.health.groups[0].polls_committed,
+                h.metrics.CounterValue("qss.polls_ok"));
+    }
+  }
+  EXPECT_GT(notifications, 0u);
+  EXPECT_TRUE(saw_stats);
+  EXPECT_TRUE(saw_health);
+  EXPECT_EQ(h.metrics.CounterValue("qss.server.stats_requests"), 1u);
+  EXPECT_EQ(h.metrics.CounterValue("qss.server.health_requests"), 1u);
+
+  // No trace recorder configured: the dump is refused, the connection
+  // survives, and the refusal is still counted.
+  wire.client.RequestTraceDump();
+  wire.pipe.PumpAll();
+  auto events = wire.client.TakeEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, MsgType::kError);
+  EXPECT_EQ(events[0].error.kind, "unavailable");
+  EXPECT_TRUE(h.server.Connected(wire.id));
+  EXPECT_EQ(h.metrics.CounterValue("qss.server.trace_dumps"), 1u);
+}
+
+// Admin replies are server-to-client only; a client sending one is as
+// much a protocol violation as a forged Subscribed frame.
+TEST(QssServerTest, ClientSentAdminReplyIsAProtocolError) {
+  Harness h;
+  WiredClient wire(&h.server);
+  StatsReplyMsg forged;
+  forged.body = "qss_polls_ok 999\n";
+  wire.pipe.ClientSend(EncodeStatsReply(forged));
+  wire.pipe.PumpAll();
+  EXPECT_FALSE(h.server.Connected(wire.id));
+  auto events = wire.client.TakeEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, MsgType::kError);
+  EXPECT_EQ(events[0].error.kind, "protocol");
+  EXPECT_EQ(h.metrics.CounterValue("qss.server.protocol_errors"), 1u);
+}
+
+// Symmetrically, a server pushing a client-to-server request kills the
+// client's stream.
+TEST(QssServerTest, ServerSentAdminRequestPoisonsTheClientStream) {
+  QssClient client([](std::string_view) {});
+  client.OnBytes(EncodeStatsRequest(StatsRequestMsg{}));
+  EXPECT_FALSE(client.error().ok());
+  // Later frames are ignored — the stream is dead, not resynchronized.
+  client.OnBytes(EncodeStatsReply(StatsReplyMsg{}));
+  EXPECT_TRUE(client.TakeEvents().empty());
+}
+
 }  // namespace
 }  // namespace server
 }  // namespace qss
